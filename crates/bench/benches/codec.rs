@@ -1,0 +1,50 @@
+//! Microbench: wire codec throughput.
+//!
+//! §VI-B: "reading and writing requests represent a significant fraction
+//! of the CPU utilization in state machine replication" — the codec's
+//! per-message cost is exactly what the ClientIO/ReplicaIO cost-model
+//! entries stand for.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use smr_types::{ClientId, RequestId, SeqNum, Slot, View};
+use smr_wire::{Batch, Codec, ProtocolMsg, Request};
+
+fn paper_batch() -> ProtocolMsg {
+    // The paper's steady-state unit: a BSZ=1300 batch of 8 x 128-byte
+    // requests proposed for one slot.
+    let reqs: Vec<Request> = (0..8)
+        .map(|i| Request::new(RequestId::new(ClientId(i), SeqNum(1)), vec![7u8; 128]))
+        .collect();
+    ProtocolMsg::Propose { view: View(3), slot: Slot(1000), batch: Batch::new(reqs) }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(40);
+
+    let request = Request::new(RequestId::new(ClientId(9), SeqNum(77)), vec![0u8; 128]);
+    group.throughput(Throughput::Bytes(request.encoded_len() as u64));
+    group.bench_function("encode_request_128B", |b| {
+        b.iter(|| std::hint::black_box(&request).encode_to_vec());
+    });
+    let bytes = request.encode_to_vec();
+    group.bench_function("decode_request_128B", |b| {
+        b.iter(|| Request::decode(std::hint::black_box(&bytes)).unwrap());
+    });
+
+    let propose = paper_batch();
+    group.throughput(Throughput::Bytes(propose.encoded_len() as u64));
+    group.bench_function("encode_propose_bsz1300", |b| {
+        b.iter(|| std::hint::black_box(&propose).encode_to_vec());
+    });
+    let bytes = propose.encode_to_vec();
+    group.bench_function("decode_propose_bsz1300", |b| {
+        b.iter(|| ProtocolMsg::decode(std::hint::black_box(&bytes)).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Microbench: the instrumented BoundedQueue vs a raw crossbeam channel.
+//!
+//! The inter-module queues are on the per-request critical path (a
+//! request crosses at least four of them), so their overhead bounds the
+//! whole architecture's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use smr_queue::BoundedQueue;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue");
+    group.sample_size(30);
+
+    group.bench_function("bounded_push_pop_uncontended", |b| {
+        let q = BoundedQueue::new("bench", 1024);
+        b.iter(|| {
+            q.push(std::hint::black_box(42u64)).unwrap();
+            std::hint::black_box(q.pop().unwrap());
+        });
+    });
+
+    group.bench_function("crossbeam_push_pop_uncontended", |b| {
+        let (tx, rx) = crossbeam::channel::bounded(1024);
+        b.iter(|| {
+            tx.send(std::hint::black_box(42u64)).unwrap();
+            std::hint::black_box(rx.recv().unwrap());
+        });
+    });
+
+    group.bench_function("bounded_mpsc_4_producers", |b| {
+        b.iter_custom(|iters| {
+            let q = BoundedQueue::new("bench", 1024);
+            let per = iters / 4 + 1;
+            let start = std::time::Instant::now();
+            let producers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = q.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..per {
+                            q.push(i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            let mut received = 0;
+            while received < per * 4 {
+                if q.pop().is_ok() {
+                    received += 1;
+                }
+            }
+            for p in producers {
+                p.join().unwrap();
+            }
+            start.elapsed()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

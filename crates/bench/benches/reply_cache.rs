@@ -1,0 +1,54 @@
+//! Microbench + ablation: sharded vs coarse-locked reply cache under
+//! concurrent access.
+//!
+//! §V-D: the reply cache is "queried by each ClientIO thread when a
+//! client request is received, and updated by the ServiceManager thread
+//! when a request is executed … a conventional hash table based on
+//! coarse-grained locking performs poorly in this situation". This bench
+//! is the ablation: same workload, fine-grained vs coarse locking.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use smr_core::{CoarseReplyCache, ReplyCache, ShardedReplyCache};
+use smr_types::{ClientId, RequestId, SeqNum};
+
+fn hammer(cache: Arc<dyn ReplyCache>, threads: usize, ops_per_thread: u64) {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for i in 0..ops_per_thread {
+                    let id =
+                        RequestId::new(ClientId(((t as u64) << 32) | (i % 512)), SeqNum(i));
+                    // ClientIO-style probe + ServiceManager-style update.
+                    let _ = cache.lookup(id);
+                    cache.record(id, vec![0u8; 8]);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_reply_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reply_cache");
+    group.sample_size(20);
+
+    for threads in [1usize, 4, 8] {
+        group.bench_function(format!("sharded_16_{threads}_threads"), |b| {
+            b.iter(|| hammer(Arc::new(ShardedReplyCache::new(16)), threads, 2_000));
+        });
+        group.bench_function(format!("coarse_{threads}_threads"), |b| {
+            b.iter(|| hammer(Arc::new(CoarseReplyCache::new()), threads, 2_000));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_reply_cache);
+criterion_main!(benches);

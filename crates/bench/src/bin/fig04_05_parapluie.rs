@@ -1,0 +1,67 @@
+//! Figures 4 & 5: JPaxos throughput, speedup, CPU utilization and total
+//! blocked time vs. number of cores on the 24-core parapluie cluster,
+//! for n=3 and n=5.
+//!
+//! Paper reference points (parapluie): n=3 linear speedup to ~6 cores,
+//! max speedup ~6.5 at 12 cores, ~100K requests/s plateau to 24 cores;
+//! n=5 peaks at speedup ~5.5; leader CPU ≈ 400–500% at peak; total
+//! blocked time stays under ~20% of the run.
+
+use smr_sim_jpaxos::{run_experiment, ExperimentConfig};
+
+fn main() {
+    let cores_axis: Vec<usize> = if quick() {
+        vec![1, 4, 8, 24]
+    } else {
+        vec![1, 2, 4, 6, 8, 10, 12, 16, 20, 24]
+    };
+    for n in [3usize, 5] {
+        smr_bench::banner(
+            &format!("Fig 4/5 (parapluie, n={n})"),
+            "throughput + speedup + CPU utilization + total blocked time vs cores",
+        );
+        let mut rows = Vec::new();
+        let mut base = None;
+        for &cores in &cores_axis {
+            let cfg = ExperimentConfig::parapluie(n, cores);
+            let r = run_experiment(&cfg);
+            let base_tput = *base.get_or_insert(r.throughput_rps);
+            let leader = r.replicas.last().expect("leader report");
+            let follower = &r.replicas[0];
+            rows.push(vec![
+                cores.to_string(),
+                smr_bench::kreq(r.throughput_rps),
+                smr_bench::fmt(r.throughput_rps / base_tput, 2),
+                smr_bench::fmt(leader.cpu_util_pct, 0),
+                smr_bench::fmt(follower.cpu_util_pct, 0),
+                smr_bench::fmt(leader.blocked_pct, 1),
+                smr_bench::fmt(r.instance_latency_ms, 2),
+                smr_bench::fmt(r.avg_window, 1),
+                smr_bench::fmt(r.leader_tx_pps / 1000.0, 0),
+                smr_bench::fmt(r.leader_rx_pps / 1000.0, 0),
+            ]);
+        }
+        println!(
+            "{}",
+            smr_bench::render_table(
+                &[
+                    "cores",
+                    "req/s(x1000)",
+                    "speedup",
+                    "leaderCPU%",
+                    "followerCPU%",
+                    "leaderBlk%",
+                    "inst.lat(ms)",
+                    "window",
+                    "tx(Kpps)",
+                    "rx(Kpps)",
+                ],
+                &rows,
+            )
+        );
+    }
+}
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

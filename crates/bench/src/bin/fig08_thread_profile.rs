@@ -1,0 +1,46 @@
+//! Figure 8: per-thread CPU utilization of the leader process at 1 core
+//! and at the maximum core count, on both clusters.
+//!
+//! Paper reference points: at 1 core the ClientIO and Batcher threads
+//! account for most of the busy time (~80% combined) and JPaxos is
+//! CPU-bound; at full core count every thread sits between ~30 and ~60%
+//! busy (well balanced, no single-thread bottleneck), the Batcher shows
+//! ~15% blocked (it contends on both of its queues), and the "Replica"
+//! (ServiceManager) thread is the busiest.
+
+use smr_sim_jpaxos::{run_experiment, ExperimentConfig, ThreadReport};
+
+fn show(title: &str, threads: &[ThreadReport]) {
+    smr_bench::banner(title, "leader per-thread busy/blocked/waiting/other (% of run)");
+    let mut rows = Vec::new();
+    for t in threads {
+        rows.push(vec![
+            t.name.clone(),
+            smr_bench::fmt(100.0 * t.busy, 1),
+            smr_bench::fmt(100.0 * t.blocked, 1),
+            smr_bench::fmt(100.0 * t.waiting, 1),
+            smr_bench::fmt(100.0 * t.other, 1),
+        ]);
+    }
+    println!(
+        "{}",
+        smr_bench::render_table(&["thread", "busy%", "blocked%", "waiting%", "other%"], &rows)
+    );
+}
+
+fn main() {
+    let cases: Vec<(&str, ExperimentConfig)> = vec![
+        ("Fig 8a: parapluie, 1 core", ExperimentConfig::parapluie(3, 1)),
+        ("Fig 8b: parapluie, 24 cores", ExperimentConfig::parapluie(3, 24)),
+        ("Fig 8c: edel, 1 core", ExperimentConfig::edel(3, 1)),
+        ("Fig 8d: edel, 8 cores", ExperimentConfig::edel(3, 8)),
+    ];
+    for (title, cfg) in cases {
+        let r = run_experiment(&cfg);
+        let leader = r.replicas.last().unwrap();
+        show(
+            &format!("{title} ({} req/s x1000)", smr_bench::kreq(r.throughput_rps)),
+            &leader.threads,
+        );
+    }
+}

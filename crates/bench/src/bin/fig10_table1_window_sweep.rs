@@ -1,0 +1,59 @@
+//! Figure 10 + Table I: performance as a function of the pipelining
+//! window `WND` (parapluie, 24 cores, n=3, BSZ=1300).
+//!
+//! Paper reference points: throughput rises from ~100K requests/s at
+//! WND=10 to a peak of ~120K at WND=35, then falls back to ~110K at
+//! WND=50; instance latency grows steadily ~1→3.5ms; batches stay full;
+//! the average number of parallel ballots tracks WND closely until ~45.
+//! Table I: RequestQueue average occupancy falls 630→256 as WND grows,
+//! ProposalQueue stays ~15/20, DispatcherQueue stays nearly empty.
+
+use smr_sim_jpaxos::{run_experiment, ExperimentConfig};
+
+fn main() {
+    let wnds: Vec<usize> = if std::env::args().any(|a| a == "--quick") {
+        vec![10, 35, 50]
+    } else {
+        vec![10, 15, 20, 25, 30, 35, 40, 45, 50]
+    };
+    smr_bench::banner(
+        "Fig 10 + Table I (parapluie, 24 cores, n=3, BSZ=1300)",
+        "throughput, instance latency, batch size, window occupancy, queue sizes vs WND",
+    );
+    let mut rows = Vec::new();
+    for &wnd in &wnds {
+        let mut cfg = ExperimentConfig::parapluie(3, 24);
+        cfg.wnd = wnd;
+        let r = run_experiment(&cfg);
+        rows.push(vec![
+            wnd.to_string(),
+            smr_bench::kreq(r.throughput_rps),
+            smr_bench::fmt(r.instance_latency_ms, 2),
+            smr_bench::fmt(r.avg_batch_requests, 1),
+            smr_bench::fmt(r.avg_window, 2),
+            format!("{:.1}±{:.1}", r.request_queue.0, r.request_queue.1),
+            format!("{:.2}±{:.2}", r.proposal_queue.0, r.proposal_queue.1),
+            format!("{:.2}±{:.2}", r.dispatcher_queue.0, r.dispatcher_queue.1),
+            smr_bench::fmt(r.leader_tx_pps / 1000.0, 0),
+            smr_bench::fmt(r.leader_rx_pps / 1000.0, 0),
+        ]);
+    }
+    println!(
+        "{}",
+        smr_bench::render_table(
+            &[
+                "WND",
+                "req/s(x1000)",
+                "inst.lat(ms)",
+                "batch(reqs)",
+                "avg ballots",
+                "RequestQueue",
+                "ProposalQueue",
+                "DispatcherQueue",
+                "tx(Kpps)",
+                "rx(Kpps)",
+            ],
+            &rows,
+        )
+    );
+}

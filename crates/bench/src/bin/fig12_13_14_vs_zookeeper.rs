@@ -1,0 +1,81 @@
+//! Figures 12, 13, 14: JPaxos vs. ZooKeeper head to head (parapluie,
+//! n=3).
+//!
+//! Paper reference points: ZooKeeper scales super-linearly to a speedup
+//! of ~6 at 4 cores (~50K requests/s) then *degrades* to a speedup of ~4
+//! with all 24 cores, its leader's aggregate blocked time exceeding 100%
+//! of the run; JPaxos keeps scaling to ~100K and its blocked time never
+//! exceeds ~20%. At 24 cores several ZooKeeper threads are pinned at
+//! busy+blocked ≈ 100% (single-thread bottlenecks), the CommitProcessor
+//! spending ~40% of its time blocked.
+
+use smr_sim_jpaxos::{run_experiment, ExperimentConfig};
+use smr_sim_zab::{run_zab_experiment, ZabConfig};
+
+fn main() {
+    let cores_axis: Vec<usize> = if std::env::args().any(|a| a == "--quick") {
+        vec![1, 4, 8, 24]
+    } else {
+        vec![1, 2, 4, 6, 8, 10, 12, 16, 20, 24]
+    };
+    smr_bench::banner(
+        "Fig 12/13 (parapluie, n=3)",
+        "JPaxos vs ZooKeeper: throughput, speedup, leader CPU + blocked time vs cores",
+    );
+    let mut rows = Vec::new();
+    let (mut jp_base, mut zk_base) = (None, None);
+    let mut zk_profile = None;
+    for &cores in &cores_axis {
+        let jp = run_experiment(&ExperimentConfig::parapluie(3, cores));
+        let zk = run_zab_experiment(&ZabConfig::new(3, cores));
+        let jp_b = *jp_base.get_or_insert(jp.throughput_rps);
+        let zk_b = *zk_base.get_or_insert(zk.throughput_rps);
+        let jp_leader = jp.replicas.last().unwrap();
+        let zk_leader = zk.replicas.last().unwrap().clone();
+        rows.push(vec![
+            cores.to_string(),
+            smr_bench::kreq(jp.throughput_rps),
+            smr_bench::kreq(zk.throughput_rps),
+            smr_bench::fmt(jp.throughput_rps / jp_b, 2),
+            smr_bench::fmt(zk.throughput_rps / zk_b, 2),
+            smr_bench::fmt(jp_leader.cpu_util_pct, 0),
+            smr_bench::fmt(zk_leader.cpu_util_pct, 0),
+            smr_bench::fmt(jp_leader.blocked_pct, 1),
+            smr_bench::fmt(zk_leader.blocked_pct, 1),
+        ]);
+        if cores == *cores_axis.last().unwrap() {
+            zk_profile = Some(zk_leader);
+        }
+    }
+    println!(
+        "{}",
+        smr_bench::render_table(
+            &[
+                "cores",
+                "JPaxos(x1000)",
+                "ZK(x1000)",
+                "JP speedup",
+                "ZK speedup",
+                "JP CPU%",
+                "ZK CPU%",
+                "JP blk%",
+                "ZK blk%",
+            ],
+            &rows,
+        )
+    );
+    if let Some(leader) = zk_profile {
+        smr_bench::banner(
+            "Fig 14b (ZooKeeper leader per-thread profile, max cores)",
+            "several threads pinned at busy+blocked ~100%; CommitProcessor heavily blocked",
+        );
+        println!("{}", smr_sim::render_breakdown(&leader.threads));
+    }
+    // Fig 14a: the same profile at one core.
+    let zk1 = run_zab_experiment(&ZabConfig::new(3, 1));
+    smr_bench::banner(
+        "Fig 14a (ZooKeeper leader per-thread profile, 1 core)",
+        "moderate blocking even on one core",
+    );
+    println!("{}", smr_sim::render_breakdown(&zk1.replicas.last().unwrap().threads));
+}

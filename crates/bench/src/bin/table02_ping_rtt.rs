@@ -1,0 +1,46 @@
+//! Table II: kernel-level ping RTT between cluster nodes, idle and
+//! during an experiment (WND=35, BSZ=1300, n=3).
+//!
+//! Paper reference points: idle RTT is ~0.06ms everywhere; during the
+//! experiment the RTT between *followers* stays ~0.06–0.08ms, but any
+//! path through the *leader* inflates to ~2.5ms — matching the instance
+//! latency and pinning the bottleneck on the leader's kernel network
+//! subsystem (ping bypasses the JVM and TCP entirely).
+
+use smr_sim_jpaxos::{run_experiment, ExperimentConfig};
+
+fn main() {
+    smr_bench::banner(
+        "Table II (parapluie, 24 cores, n=3, WND=35)",
+        "ping RTT idle vs during the experiment",
+    );
+    // Idle: ping through an unloaded fabric.
+    let idle_ms = {
+        let sim = smr_sim::Sim::new(7);
+        let a = sim.add_node("a", 1, 1.0);
+        let b = sim.add_node("b", 1, 1.0);
+        let net: smr_sim::SimNet<u8> =
+            smr_sim::SimNet::new(&sim.ctx(), vec![smr_sim::NetConfig::default(); 2]);
+        let rtt = net.ping(a, b);
+        sim.run_until(100_000_000);
+        rtt.get().expect("idle echo") as f64 / 1e6
+    };
+    // Loaded: probes injected during a WND=35 run.
+    let mut cfg = ExperimentConfig::parapluie(3, 24);
+    cfg.wnd = 35;
+    cfg.ping_probes = true;
+    let r = run_experiment(&cfg);
+    let rows = vec![
+        vec!["idle any <-> any".to_string(), smr_bench::fmt(idle_ms, 3)],
+        vec![
+            "experiment follower <-> follower".to_string(),
+            r.ping_followers_ms.map(|v| smr_bench::fmt(v, 3)).unwrap_or_else(|| "-".into()),
+        ],
+        vec![
+            "experiment leader <-> any".to_string(),
+            r.ping_leader_ms.map(|v| smr_bench::fmt(v, 3)).unwrap_or_else(|| "-".into()),
+        ],
+        vec!["(instance latency, for comparison)".to_string(), smr_bench::fmt(r.instance_latency_ms, 3)],
+    ];
+    println!("{}", smr_bench::render_table(&["path", "RTT (ms)"], &rows));
+}

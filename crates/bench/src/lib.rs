@@ -1,0 +1,86 @@
+//! Shared plumbing for the experiment binaries: table rendering and
+//! series printing in the paper's units.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index) and prints the same rows or
+//! series the paper plots, so EXPERIMENTS.md can record
+//! paper-vs-measured side by side.
+
+use std::fmt::Write as _;
+
+/// Renders a simple aligned table.
+///
+/// # Examples
+///
+/// ```
+/// let table = smr_bench::render_table(
+///     &["cores", "req/s"],
+///     &[vec!["1".to_string(), "15000".to_string()]],
+/// );
+/// assert!(table.contains("cores"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+    }
+    out.push('\n');
+    for (i, _) in headers.iter().enumerate() {
+        let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats requests/s as the paper's "x1000" unit.
+pub fn kreq(v: f64) -> String {
+    format!("{:.1}", v / 1000.0)
+}
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str, what: &str) {
+    println!("==================================================================");
+    println!("{title}");
+    println!("  {what}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn kreq_matches_paper_unit() {
+        assert_eq!(kreq(100_000.0), "100.0");
+    }
+}

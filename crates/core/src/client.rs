@@ -1,0 +1,180 @@
+//! The synchronous client library.
+//!
+//! Clients follow the paper's workload model: persistent connections, one
+//! outstanding request at a time, retransmission on timeout. At-most-once
+//! execution is guaranteed by the replicas' reply cache, so retrying is
+//! always safe.
+
+use std::time::{Duration, Instant};
+
+use smr_net::{ClientEndpoint, NetError};
+use smr_types::{ClientId, ReplicaId, RequestId, SeqNum, SmrError};
+use smr_wire::{ClientMsg, Codec, Request};
+
+/// Factory producing a fresh connection to a given replica.
+pub type Connector = Box<dyn FnMut(ReplicaId) -> Result<Box<dyn ClientEndpoint>, NetError> + Send>;
+
+/// A synchronous replicated-service client.
+///
+/// Issues one request at a time (closed loop), transparently following
+/// leader redirects and retransmitting on timeouts.
+pub struct SmrClient {
+    id: ClientId,
+    seq: u64,
+    n: usize,
+    connector: Connector,
+    endpoints: Vec<Option<Box<dyn ClientEndpoint>>>,
+    current: usize,
+    per_try: Duration,
+    overall: Duration,
+}
+
+impl std::fmt::Debug for SmrClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmrClient").field("id", &self.id).field("seq", &self.seq).finish()
+    }
+}
+
+impl SmrClient {
+    /// Creates a client for a cluster of `n` replicas.
+    ///
+    /// `connector` opens a connection to a replica on demand; connections
+    /// are cached and re-opened when broken.
+    pub fn new(id: ClientId, n: usize, connector: Connector) -> Self {
+        SmrClient {
+            id,
+            seq: 0,
+            n,
+            connector,
+            endpoints: (0..n).map(|_| None).collect(),
+            current: 0,
+            per_try: Duration::from_millis(500),
+            overall: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the per-attempt and overall timeouts.
+    #[must_use]
+    pub fn with_timeouts(mut self, per_try: Duration, overall: Duration) -> Self {
+        self.per_try = per_try;
+        self.overall = overall;
+        self
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Number of requests issued so far.
+    pub fn requests_sent(&self) -> u64 {
+        self.seq
+    }
+
+    fn rotate(&mut self) {
+        self.current = (self.current + 1) % self.n;
+    }
+
+    /// Executes `payload` on the replicated service and returns the reply.
+    ///
+    /// Retries transparently across timeouts, broken connections, and
+    /// leader changes; the reply cache on the replicas makes retries safe.
+    ///
+    /// # Errors
+    ///
+    /// [`SmrError::Timeout`] when the overall deadline expires without a
+    /// reply (e.g. no majority of replicas is reachable).
+    pub fn execute(&mut self, payload: &[u8]) -> Result<Vec<u8>, SmrError> {
+        let request =
+            Request::new(RequestId::new(self.id, SeqNum(self.seq)), payload.to_vec());
+        self.seq += 1;
+        let deadline = Instant::now() + self.overall;
+        let frame = ClientMsg::Request(request.clone()).encode_to_vec();
+        let mut tries = 0u32;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(SmrError::Timeout);
+            }
+            let idx = self.current;
+            // Take the endpoint out so we can borrow self mutably later.
+            let mut ep = match self.endpoints[idx].take() {
+                Some(ep) => ep,
+                None => match (self.connector)(ReplicaId(idx as u16)) {
+                    Ok(ep) => ep,
+                    Err(_) => {
+                        self.rotate();
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
+                },
+            };
+            if ep.send(frame.clone()).is_err() {
+                self.rotate();
+                continue; // endpoint dropped; reconnect on next loop
+            }
+            match self.await_reply(&mut ep, &request, deadline) {
+                AwaitOutcome::Reply(reply) => {
+                    self.endpoints[idx] = Some(ep);
+                    return Ok(reply);
+                }
+                AwaitOutcome::Redirect(Some(leader)) => {
+                    self.endpoints[idx] = Some(ep);
+                    self.current = leader.index() % self.n;
+                    // Give a freshly elected leader a moment to settle.
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                AwaitOutcome::Redirect(None) => {
+                    self.endpoints[idx] = Some(ep);
+                    self.rotate();
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                AwaitOutcome::Timeout => {
+                    self.endpoints[idx] = Some(ep);
+                    tries += 1;
+                    // Periodically try another replica in case the leader
+                    // moved without telling us.
+                    if tries % 2 == 0 {
+                        self.rotate();
+                    }
+                }
+                AwaitOutcome::Broken => {
+                    self.rotate();
+                }
+            }
+        }
+    }
+
+    fn await_reply(
+        &mut self,
+        ep: &mut Box<dyn ClientEndpoint>,
+        request: &Request,
+        deadline: Instant,
+    ) -> AwaitOutcome {
+        let try_deadline = (Instant::now() + self.per_try).min(deadline);
+        loop {
+            let remaining = try_deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return AwaitOutcome::Timeout;
+            }
+            match ep.recv_timeout(remaining) {
+                Ok(Some(frame)) => match ClientMsg::decode(&frame) {
+                    Ok(ClientMsg::Reply(reply)) if reply.id == request.id => {
+                        return AwaitOutcome::Reply(reply.payload)
+                    }
+                    Ok(ClientMsg::Reply(_)) => continue, // stale reply
+                    Ok(ClientMsg::Redirect { leader }) => return AwaitOutcome::Redirect(leader),
+                    _ => continue,
+                },
+                Ok(None) => return AwaitOutcome::Timeout,
+                Err(_) => return AwaitOutcome::Broken,
+            }
+        }
+    }
+}
+
+enum AwaitOutcome {
+    Reply(Vec<u8>),
+    Redirect(Option<ReplicaId>),
+    Timeout,
+    Broken,
+}

@@ -1,0 +1,239 @@
+//! The reply cache: at-most-once execution and duplicate suppression.
+//!
+//! §V-D of the paper: the cache is queried by every ClientIO thread on
+//! request arrival and updated by the ServiceManager thread on execution,
+//! thousands of times per second from many threads — "a conventional hash
+//! table based on coarse-grained locking performs poorly in this
+//! situation". JPaxos used `ConcurrentHashMap`; we provide a sharded,
+//! fine-grained-locking cache ([`ShardedReplyCache`]) plus the naive
+//! coarse cache ([`CoarseReplyCache`]) as the ablation baseline measured
+//! by `smr-bench/benches/reply_cache.rs`.
+//!
+//! The cache stores, per client, the highest executed sequence number and
+//! its reply — sufficient for at-most-once semantics with clients that
+//! issue one request at a time (the closed-loop model of the paper).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use smr_types::RequestId;
+
+/// Outcome of the ClientIO-side lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Never seen: forward for ordering.
+    Miss,
+    /// Exactly the last executed request: resend the cached reply.
+    Hit(Vec<u8>),
+    /// Older than the last executed request: drop silently.
+    Stale,
+}
+
+/// Outcome of the execution-side check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecuteOutcome {
+    /// First execution of this sequence number: run the service.
+    Fresh,
+    /// Already executed; resend the cached reply if it is the latest.
+    Duplicate(Option<Vec<u8>>),
+}
+
+/// A cache of the last reply sent to each client.
+pub trait ReplyCache: Send + Sync + 'static {
+    /// ClientIO path: classify an incoming request.
+    fn lookup(&self, id: RequestId) -> CacheOutcome;
+
+    /// Execution path: decide whether the ordered request must execute.
+    fn check_execute(&self, id: RequestId) -> ExecuteOutcome;
+
+    /// Records the reply of an executed request.
+    fn record(&self, id: RequestId, reply: Vec<u8>);
+
+    /// Number of clients tracked.
+    fn len(&self) -> usize;
+
+    /// Whether no clients are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+type Shard = Mutex<HashMap<u64, (u64, Vec<u8>)>>;
+
+fn classify(entry: Option<&(u64, Vec<u8>)>, seq: u64) -> CacheOutcome {
+    match entry {
+        Some((last, reply)) if seq == *last => CacheOutcome::Hit(reply.clone()),
+        Some((last, _)) if seq < *last => CacheOutcome::Stale,
+        _ => CacheOutcome::Miss,
+    }
+}
+
+fn classify_execute(entry: Option<&(u64, Vec<u8>)>, seq: u64) -> ExecuteOutcome {
+    match entry {
+        Some((last, reply)) if seq == *last => ExecuteOutcome::Duplicate(Some(reply.clone())),
+        Some((last, _)) if seq < *last => ExecuteOutcome::Duplicate(None),
+        _ => ExecuteOutcome::Fresh,
+    }
+}
+
+/// Fine-grained (sharded) reply cache — the design the paper recommends.
+#[derive(Debug)]
+pub struct ShardedReplyCache {
+    shards: Vec<Shard>,
+}
+
+impl ShardedReplyCache {
+    /// Creates a cache with `shards` independent locks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedReplyCache { shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, client: u64) -> &Shard {
+        // Multiplicative hash spreads consecutive client ids.
+        let h = client.wrapping_mul(0x9E3779B97F4A7C15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+}
+
+impl ReplyCache for ShardedReplyCache {
+    fn lookup(&self, id: RequestId) -> CacheOutcome {
+        let shard = self.shard(id.client.0).lock();
+        classify(shard.get(&id.client.0), id.seq.0)
+    }
+
+    fn check_execute(&self, id: RequestId) -> ExecuteOutcome {
+        let shard = self.shard(id.client.0).lock();
+        classify_execute(shard.get(&id.client.0), id.seq.0)
+    }
+
+    fn record(&self, id: RequestId, reply: Vec<u8>) {
+        let mut shard = self.shard(id.client.0).lock();
+        let entry = shard.entry(id.client.0).or_insert((0, Vec::new()));
+        if entry.1.is_empty() && entry.0 == 0 || id.seq.0 >= entry.0 {
+            *entry = (id.seq.0, reply);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Coarse-grained reply cache: one global lock (the anti-pattern §V-D
+/// warns about; kept as the ablation baseline).
+#[derive(Debug, Default)]
+pub struct CoarseReplyCache {
+    map: Mutex<HashMap<u64, (u64, Vec<u8>)>>,
+}
+
+impl CoarseReplyCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CoarseReplyCache::default()
+    }
+}
+
+impl ReplyCache for CoarseReplyCache {
+    fn lookup(&self, id: RequestId) -> CacheOutcome {
+        let map = self.map.lock();
+        classify(map.get(&id.client.0), id.seq.0)
+    }
+
+    fn check_execute(&self, id: RequestId) -> ExecuteOutcome {
+        let map = self.map.lock();
+        classify_execute(map.get(&id.client.0), id.seq.0)
+    }
+
+    fn record(&self, id: RequestId, reply: Vec<u8>) {
+        let mut map = self.map.lock();
+        let entry = map.entry(id.client.0).or_insert((0, Vec::new()));
+        if entry.1.is_empty() && entry.0 == 0 || id.seq.0 >= entry.0 {
+            *entry = (id.seq.0, reply);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_types::{ClientId, SeqNum};
+
+    fn id(client: u64, seq: u64) -> RequestId {
+        RequestId::new(ClientId(client), SeqNum(seq))
+    }
+
+    fn behaves_correctly(cache: &dyn ReplyCache) {
+        assert_eq!(cache.lookup(id(1, 1)), CacheOutcome::Miss);
+        assert_eq!(cache.check_execute(id(1, 1)), ExecuteOutcome::Fresh);
+        cache.record(id(1, 1), b"r1".to_vec());
+        assert_eq!(cache.lookup(id(1, 1)), CacheOutcome::Hit(b"r1".to_vec()));
+        assert_eq!(
+            cache.check_execute(id(1, 1)),
+            ExecuteOutcome::Duplicate(Some(b"r1".to_vec()))
+        );
+        assert_eq!(cache.lookup(id(1, 2)), CacheOutcome::Miss);
+        cache.record(id(1, 2), b"r2".to_vec());
+        assert_eq!(cache.lookup(id(1, 1)), CacheOutcome::Stale);
+        assert_eq!(cache.check_execute(id(1, 1)), ExecuteOutcome::Duplicate(None));
+        // Clients are independent.
+        assert_eq!(cache.lookup(id(2, 1)), CacheOutcome::Miss);
+        assert_eq!(cache.len(), 1 + usize::from(false));
+    }
+
+    #[test]
+    fn sharded_semantics() {
+        behaves_correctly(&ShardedReplyCache::new(16));
+    }
+
+    #[test]
+    fn coarse_semantics() {
+        behaves_correctly(&CoarseReplyCache::new());
+    }
+
+    #[test]
+    fn out_of_order_record_keeps_latest() {
+        let cache = ShardedReplyCache::new(4);
+        cache.record(id(1, 5), b"r5".to_vec());
+        cache.record(id(1, 3), b"r3".to_vec());
+        assert_eq!(cache.lookup(id(1, 5)), CacheOutcome::Hit(b"r5".to_vec()));
+        assert_eq!(cache.lookup(id(1, 3)), CacheOutcome::Stale);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let cache = Arc::new(ShardedReplyCache::new(16));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        let rid = id(t * 1000 + i, 1);
+                        cache.record(rid, vec![t as u8]);
+                        assert_ne!(cache.lookup(rid), CacheOutcome::Miss);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(cache.len(), 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedReplyCache::new(0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The ClientIO module (§V-A): the acceptor thread and the ClientIO pool.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use smr_metrics::ThreadState;
+use smr_net::{ClientConn, ClientListener};
+use smr_queue::{PopError, PushError};
+use smr_wire::{ClientMsg, Codec, Reply, Request};
+
+use crate::reply_cache::CacheOutcome;
+
+use super::Ctx;
+
+/// Accepts client connections and deals them to ClientIO threads
+/// round-robin (§V-A).
+pub(crate) fn run_acceptor(ctx: &Ctx, listener: Box<dyn ClientListener>) {
+    let handle = ctx.metrics.register_thread("ClientAcceptor");
+    let k = ctx.intake_qs.len();
+    let mut next = 0usize;
+    while !ctx.is_shutdown() {
+        let accepted = {
+            let _g = handle.enter(ThreadState::Other); // blocked in accept(2)
+            listener.accept_timeout(Duration::from_millis(100))
+        };
+        match accepted {
+            Ok(Some(conn)) => {
+                if ctx.intake_qs[next].push(conn).is_err() {
+                    break;
+                }
+                next = (next + 1) % k;
+            }
+            Ok(None) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+struct ConnState {
+    conn: Box<dyn ClientConn>,
+    /// A decoded request that could not yet be pushed to the
+    /// RequestQueue. While present, the connection is not read — this is
+    /// the backpressure point of §V-E: paused reads fill the client's TCP
+    /// buffers and eventually block the client.
+    pending: Option<Request>,
+}
+
+/// One thread of the ClientIO pool: owns a subset of connections, decodes
+/// requests, probes the reply cache, forwards to the Batcher, and writes
+/// replies handed over by the ServiceManager.
+pub(crate) fn run_client_io(ctx: &Ctx, index: usize) {
+    let handle = ctx.metrics.register_thread(format!("ClientIO-{index}"));
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut dead: Vec<u64> = Vec::new();
+
+    while !ctx.is_shutdown() {
+        let mut did_work = false;
+
+        // Adopt newly accepted connections.
+        while let Ok(conn) = ctx.intake_qs[index].try_pop() {
+            conns.insert(conn.id(), ConnState { conn, pending: None });
+            did_work = true;
+        }
+
+        // Write replies queued by the ServiceManager.
+        loop {
+            match ctx.reply_qs[index].try_pop() {
+                Ok((conn_id, reply)) => {
+                    did_work = true;
+                    deliver_reply(&mut conns, &mut dead, conn_id, reply);
+                }
+                Err(PopError::Empty) => break,
+                Err(PopError::Closed) => return,
+            }
+        }
+
+        // Retry pushes that were paused on a full RequestQueue.
+        for (id, state) in conns.iter_mut() {
+            if let Some(req) = state.pending.take() {
+                match ctx.request_q.try_push(req) {
+                    Ok(()) => did_work = true,
+                    Err(PushError::Full(req)) => state.pending = Some(req),
+                    Err(PushError::Closed(_)) => return,
+                }
+            }
+            let _ = id;
+        }
+
+        // Read from connections that are not paused.
+        for (id, state) in conns.iter_mut() {
+            if state.pending.is_some() {
+                continue;
+            }
+            loop {
+                match state.conn.try_recv() {
+                    Ok(Some(frame)) => {
+                        did_work = true;
+                        if !handle_frame(ctx, index, state, &frame) {
+                            dead.push(*id);
+                            break;
+                        }
+                        if state.pending.is_some() {
+                            break; // backpressure: stop reading this conn
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        dead.push(*id);
+                        break;
+                    }
+                }
+            }
+        }
+        for id in dead.drain(..) {
+            conns.remove(&id);
+        }
+
+        if !did_work {
+            // Park on the reply queue: the most likely source of new work
+            // when all connections are idle.
+            match ctx.reply_qs[index].pop_timeout_with(Duration::from_millis(1), &handle) {
+                Ok((conn_id, reply)) => deliver_reply(&mut conns, &mut dead, conn_id, reply),
+                Err(PopError::Empty) => {}
+                Err(PopError::Closed) => return,
+            }
+        }
+    }
+}
+
+fn deliver_reply(
+    conns: &mut HashMap<u64, ConnState>,
+    dead: &mut Vec<u64>,
+    conn_id: u64,
+    reply: Reply,
+) {
+    if let Some(state) = conns.get_mut(&conn_id) {
+        let frame = ClientMsg::Reply(reply).encode_to_vec();
+        if state.conn.send(frame).is_err() {
+            dead.push(conn_id);
+        }
+    }
+}
+
+/// Processes one inbound frame; returns false if the connection should be
+/// dropped.
+fn handle_frame(ctx: &Ctx, index: usize, state: &mut ConnState, frame: &[u8]) -> bool {
+    let msg = match ClientMsg::decode(frame) {
+        Ok(m) => m,
+        Err(_) => return false, // garbage: drop the connection
+    };
+    let ClientMsg::Request(request) = msg else {
+        return false; // clients only send requests
+    };
+    match ctx.cache.lookup(request.id) {
+        CacheOutcome::Hit(reply) => {
+            let frame =
+                ClientMsg::Reply(Reply::new(request.id, reply)).encode_to_vec();
+            return state.conn.send(frame).is_ok();
+        }
+        CacheOutcome::Stale => return true, // outdated duplicate: ignore
+        CacheOutcome::Miss => {}
+    }
+    if !ctx.shared.is_leader() {
+        // §VI-E: non-leaders refuse ordering work; point the client at
+        // the best-known leader.
+        let leader = ctx.shared.leader();
+        let hint = if leader == ctx.me { None } else { Some(leader) };
+        let frame = ClientMsg::Redirect { leader: hint }.encode_to_vec();
+        return state.conn.send(frame).is_ok();
+    }
+    // Remember how to route the reply back (§V-D hand-over).
+    ctx.shared.bind_client(request.id.client, index, state.conn.id());
+    match ctx.request_q.try_push(request) {
+        Ok(()) => true,
+        Err(PushError::Full(request)) => {
+            state.pending = Some(request);
+            true
+        }
+        Err(PushError::Closed(_)) => false,
+    }
+}

@@ -1,0 +1,230 @@
+//! ReplicationCore threads (§V-C): Batcher, Protocol, FailureDetector,
+//! and Retransmitter.
+
+use std::time::{Duration, Instant};
+
+use smr_metrics::ThreadState;
+use smr_paxos::{Action, BatchBuilder, Event, PaxosReplica};
+use smr_queue::PopError;
+use smr_types::View;
+use smr_wire::ProtocolMsg;
+
+use super::{Ctx, RetransmitEntry};
+
+/// The Batcher thread (§V-C1): drains the RequestQueue into batches
+/// according to the batching policy and feeds the ProposalQueue.
+pub(crate) fn run_batcher(ctx: &Ctx) {
+    let handle = ctx.metrics.register_thread("Batcher");
+    let mut builder = BatchBuilder::new(ctx.config.batch());
+    loop {
+        let now = ctx.shared.now_ns();
+        // Wait at most until the open batch's deadline.
+        let wait = match builder.next_deadline() {
+            Some(deadline) => Duration::from_nanos(deadline.saturating_sub(now).max(1)),
+            None => Duration::from_millis(10),
+        };
+        match ctx.request_q.pop_timeout_with(wait, &handle) {
+            Ok(request) => {
+                let now = ctx.shared.now_ns();
+                if let Some(batch) = builder.push(request, now) {
+                    if ctx.proposal_q.push_with(batch, &handle).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(PopError::Empty) => {
+                let now = ctx.shared.now_ns();
+                if let Some(batch) = builder.poll_timeout(now) {
+                    if ctx.proposal_q.push_with(batch, &handle).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(PopError::Closed) => return,
+        }
+    }
+}
+
+/// The Protocol thread (§V-C2): the single-threaded event loop around the
+/// pure Paxos state machine. Owns the log; everything it publishes goes
+/// through queues or the shared atomics.
+pub(crate) fn run_protocol(ctx: &Ctx) {
+    let handle = ctx.metrics.register_thread("Protocol");
+    let mut core = PaxosReplica::new(ctx.me, ctx.config.clone());
+    let mut actions = Vec::new();
+    core.handle(Event::Init, ctx.shared.now_ns(), &mut actions);
+    if apply_actions(ctx, &mut actions).is_err() {
+        return;
+    }
+    let tick_every = Duration::from_millis(25);
+    let mut last_tick = Instant::now();
+    loop {
+        if ctx.is_shutdown() {
+            return;
+        }
+        // Pull proposals whenever the pipelining window has room. The
+        // Batcher prepares batches concurrently (§V-C1), so starting a new
+        // ballot is one queue pop, not a batch construction.
+        while core.window_open() {
+            match ctx.proposal_q.try_pop() {
+                Ok(batch) => {
+                    core.handle(Event::Proposal(batch), ctx.shared.now_ns(), &mut actions);
+                    if apply_actions(ctx, &mut actions).is_err() {
+                        return;
+                    }
+                    publish(ctx, &core);
+                }
+                Err(PopError::Empty) => break,
+                Err(PopError::Closed) => return,
+            }
+        }
+        match ctx.dispatcher_q.pop_timeout_with(Duration::from_millis(1), &handle) {
+            Ok(event) => {
+                core.handle(event, ctx.shared.now_ns(), &mut actions);
+                if apply_actions(ctx, &mut actions).is_err() {
+                    return;
+                }
+                publish(ctx, &core);
+            }
+            Err(PopError::Empty) => {}
+            Err(PopError::Closed) => return,
+        }
+        if last_tick.elapsed() >= tick_every {
+            last_tick = Instant::now();
+            core.handle(Event::Tick, ctx.shared.now_ns(), &mut actions);
+            if apply_actions(ctx, &mut actions).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+fn publish(ctx: &Ctx, core: &PaxosReplica) {
+    ctx.shared.set_decided_upto(core.decided_upto());
+}
+
+/// Carries out the state machine's actions. Returns `Err(())` when the
+/// replica is shutting down.
+fn apply_actions(ctx: &Ctx, actions: &mut Vec<Action>) -> Result<(), ()> {
+    for action in actions.drain(..) {
+        match action {
+            Action::Send { to, msg } => ctx.send(to, &msg),
+            Action::Deliver { slot, batch } => {
+                if ctx.decision_q.push((slot, batch)).is_err() {
+                    return Err(());
+                }
+            }
+            Action::ScheduleRetransmit { key, to, msg } => {
+                let entry = RetransmitEntry { key, to, msg, attempt: 0 };
+                let deadline = Instant::now() + ctx.config.retransmit().interval(0);
+                let cancel = ctx.timers.schedule(deadline, entry);
+                if let Some(old) = ctx.retransmits.lock().insert(key, cancel) {
+                    old.cancel();
+                }
+            }
+            Action::CancelRetransmit { key } => {
+                if let Some(cancel) = ctx.retransmits.lock().remove(&key) {
+                    cancel.cancel();
+                }
+            }
+            Action::CancelAllRetransmits => {
+                for (_, cancel) in ctx.retransmits.lock().drain() {
+                    cancel.cancel();
+                }
+            }
+            Action::LeaderChanged { view, leader } => {
+                ctx.shared.set_view(view, leader, ctx.me);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The Retransmitter thread (§V-C4): re-sends messages whose timers
+/// expire uncancelled, with exponential backoff.
+pub(crate) fn run_retransmitter(ctx: &Ctx) {
+    let handle = ctx.metrics.register_thread("Retransmitter");
+    loop {
+        if ctx.is_shutdown() {
+            return;
+        }
+        let expired = {
+            let _g = handle.enter(ThreadState::Waiting);
+            ctx.timers.next_expired(Duration::from_millis(100))
+        };
+        let Some(fired) = expired else {
+            if ctx.is_shutdown() {
+                return;
+            }
+            continue;
+        };
+        let entry = fired.value;
+        // Skip zombies: the Protocol thread may have cancelled between
+        // expiry and now.
+        {
+            let mut map = ctx.retransmits.lock();
+            if !map.contains_key(&entry.key) {
+                continue;
+            }
+            let attempt = entry.attempt + 1;
+            let next = RetransmitEntry { attempt, ..entry.clone() };
+            let deadline = Instant::now() + ctx.config.retransmit().interval(attempt);
+            let cancel = ctx.timers.schedule(deadline, next);
+            if let Some(old) = map.insert(entry.key, cancel) {
+                old.cancel();
+            }
+        }
+        ctx.send(entry.to, &entry.msg);
+    }
+}
+
+/// The FailureDetector thread (§V-C3): leader side sends heartbeats on
+/// idle links; follower side suspects a silent leader. Reads the
+/// ReplicaIO timestamps lock-free — timestamps only grow, so a delayed
+/// re-check is always safe.
+pub(crate) fn run_failure_detector(ctx: &Ctx) {
+    let handle = ctx.metrics.register_thread("FailureDetector");
+    let heartbeat = ctx.config.heartbeat_interval();
+    let suspect_after = ctx.config.suspect_timeout().as_nanos() as u64;
+    let mut observed_view = View::ZERO;
+    let mut view_since = ctx.shared.now_ns();
+    let mut suspected: Option<View> = None;
+    loop {
+        {
+            let _g = handle.enter(ThreadState::Other); // sleeping
+            std::thread::sleep(heartbeat / 2);
+        }
+        if ctx.is_shutdown() {
+            return;
+        }
+        let now = ctx.shared.now_ns();
+        let view = ctx.shared.view();
+        if view != observed_view {
+            observed_view = view;
+            view_since = now;
+            suspected = None;
+        }
+        if ctx.shared.is_leader() {
+            // Keep every follower's link warm so their detectors stay
+            // quiet, but only when the link has been idle (§V-C3: the
+            // ReplicaIO threads update timestamps; no heartbeat needed on
+            // busy links).
+            let hb = ProtocolMsg::Heartbeat { view, decided_upto: ctx.shared.decided_upto() };
+            for peer in ctx.config.peers(ctx.me) {
+                let idle_ns = now.saturating_sub(ctx.shared.last_send_ns(peer));
+                if idle_ns >= heartbeat.as_nanos() as u64 {
+                    ctx.send(smr_paxos::Target::One(peer), &hb);
+                }
+            }
+        } else {
+            let leader = ctx.shared.leader();
+            let last = ctx.shared.last_recv_ns(leader).max(view_since);
+            if now.saturating_sub(last) > suspect_after && suspected != Some(view) {
+                suspected = Some(view);
+                if ctx.dispatcher_q.push(Event::Suspect { view }).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The replica runtime: thread spawning, wiring, and lifecycle.
+
+mod client_io;
+mod core_threads;
+mod replica_io;
+mod service_manager;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use smr_metrics::{Counter, MetricsRegistry};
+use smr_net::{ClientConn, ClientListener, ReplicaNetwork};
+use smr_paxos::{RetransmitKey, Target};
+use smr_queue::{BoundedQueue, CancelHandle, TimerQueue};
+use smr_types::{ClusterConfig, ReplicaId, Slot, SmrError};
+use smr_wire::{Batch, ProtocolMsg, Reply, Request};
+
+use crate::reply_cache::{ReplyCache, ShardedReplyCache};
+use crate::service::Service;
+use crate::shared::SharedState;
+
+/// A message awaiting retransmission (§V-C4).
+#[derive(Debug, Clone)]
+pub(crate) struct RetransmitEntry {
+    pub key: RetransmitKey,
+    pub to: Target,
+    pub msg: ProtocolMsg,
+    pub attempt: u32,
+}
+
+/// Everything the replica's threads share.
+pub(crate) struct Ctx {
+    pub me: ReplicaId,
+    pub config: ClusterConfig,
+    pub shared: Arc<SharedState>,
+    pub cache: Arc<dyn ReplyCache>,
+    pub metrics: MetricsRegistry,
+    pub shutdown: AtomicBool,
+    pub request_q: BoundedQueue<Request>,
+    pub proposal_q: BoundedQueue<Batch>,
+    pub dispatcher_q: BoundedQueue<smr_paxos::Event>,
+    pub decision_q: BoundedQueue<(Slot, Batch)>,
+    /// Indexed by peer replica id (own slot unused).
+    pub send_qs: Vec<BoundedQueue<ProtocolMsg>>,
+    /// Indexed by ClientIO thread.
+    pub reply_qs: Vec<BoundedQueue<(u64, Reply)>>,
+    /// Indexed by ClientIO thread: newly accepted connections.
+    pub intake_qs: Vec<BoundedQueue<Box<dyn ClientConn>>>,
+    pub network: Arc<dyn ReplicaNetwork>,
+    pub timers: TimerQueue<RetransmitEntry>,
+    pub retransmits: Mutex<HashMap<RetransmitKey, CancelHandle>>,
+    /// Frames dropped because a SendQueue was full (the non-blocking
+    /// escape hatch of §V-B; retransmission recovers them).
+    pub send_drops: Counter,
+}
+
+impl Ctx {
+    /// Enqueues `msg` for each target peer on its SendQueue without
+    /// blocking; full queues drop (the Retransmitter will recover).
+    pub fn send(&self, to: Target, msg: &ProtocolMsg) {
+        match to {
+            Target::All => {
+                for peer in self.config.peers(self.me) {
+                    if self.send_qs[peer.index()].try_push(msg.clone()).is_err() {
+                        self.send_drops.inc();
+                    }
+                }
+            }
+            Target::One(peer) => {
+                if peer != self.me && self.config.contains(peer) {
+                    if self.send_qs[peer.index()].try_push(msg.clone()).is_err() {
+                        self.send_drops.inc();
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// Builder for a [`Replica`] ([C-BUILDER]).
+pub struct ReplicaBuilder {
+    me: ReplicaId,
+    config: ClusterConfig,
+    service: Option<Box<dyn Service>>,
+    network: Option<Arc<dyn ReplicaNetwork>>,
+    listener: Option<Box<dyn ClientListener>>,
+    metrics: Option<MetricsRegistry>,
+    cache: Option<Arc<dyn ReplyCache>>,
+}
+
+impl ReplicaBuilder {
+    /// Starts building replica `me` of `config`.
+    pub fn new(me: ReplicaId, config: ClusterConfig) -> Self {
+        ReplicaBuilder {
+            me,
+            config,
+            service: None,
+            network: None,
+            listener: None,
+            metrics: None,
+            cache: None,
+        }
+    }
+
+    /// Sets the replicated service (required).
+    pub fn service(mut self, service: Box<dyn Service>) -> Self {
+        self.service = Some(service);
+        self
+    }
+
+    /// Sets the replica-to-replica network (required).
+    pub fn network(mut self, network: Arc<dyn ReplicaNetwork>) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    /// Sets the client listener (required).
+    pub fn client_listener(mut self, listener: Box<dyn ClientListener>) -> Self {
+        self.listener = Some(listener);
+        self
+    }
+
+    /// Uses an existing metrics registry (optional).
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Overrides the reply cache (optional; defaults to a
+    /// [`ShardedReplyCache`] with the configured shard count).
+    pub fn reply_cache(mut self, cache: Arc<dyn ReplyCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Spawns every thread of the architecture and returns the handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmrError::Config`] if a required component is missing or
+    /// `me` is not part of `config`.
+    pub fn start(self) -> Result<Replica, SmrError> {
+        use smr_types::ConfigError;
+        if !self.config.contains(self.me) {
+            return Err(ConfigError::invalid("replica id outside cluster").into());
+        }
+        let service =
+            self.service.ok_or_else(|| ConfigError::invalid("service is required"))?;
+        let network =
+            self.network.ok_or_else(|| ConfigError::invalid("network is required"))?;
+        let listener =
+            self.listener.ok_or_else(|| ConfigError::invalid("client listener is required"))?;
+        let metrics = self.metrics.unwrap_or_default();
+        let cache = self
+            .cache
+            .unwrap_or_else(|| Arc::new(ShardedReplyCache::new(self.config.reply_cache_shards())));
+
+        let config = self.config;
+        let me = self.me;
+        let n = config.n();
+        let k = config.client_io_threads();
+        let ctx = Arc::new(Ctx {
+            me,
+            shared: Arc::new(SharedState::new(n)),
+            cache,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            request_q: BoundedQueue::new("RequestQueue", config.request_queue_capacity()),
+            proposal_q: BoundedQueue::new("ProposalQueue", config.proposal_queue_capacity()),
+            dispatcher_q: BoundedQueue::new("DispatcherQueue", config.dispatcher_queue_capacity()),
+            decision_q: BoundedQueue::new("DecisionQueue", config.decision_queue_capacity()),
+            send_qs: (0..n)
+                .map(|p| BoundedQueue::new(format!("SendQueue-{p}"), config.send_queue_capacity()))
+                .collect(),
+            reply_qs: (0..k)
+                .map(|i| BoundedQueue::new(format!("ReplyQueue-{i}"), 4096))
+                .collect(),
+            intake_qs: (0..k)
+                .map(|i| BoundedQueue::new(format!("ConnIntake-{i}"), 1024))
+                .collect(),
+            network,
+            timers: TimerQueue::new(),
+            retransmits: Mutex::new(HashMap::new()),
+            send_drops: Counter::new(),
+            config,
+        });
+
+        let mut threads = Vec::new();
+        let spawn = |name: String, f: Box<dyn FnOnce() + Send>| -> JoinHandle<()> {
+            std::thread::Builder::new().name(name).spawn(f).expect("spawn replica thread")
+        };
+
+        // ClientIO pool + acceptor (§V-A).
+        for i in 0..k {
+            let ctx2 = Arc::clone(&ctx);
+            threads.push(spawn(
+                format!("ClientIO-{i}"),
+                Box::new(move || client_io::run_client_io(&ctx2, i)),
+            ));
+        }
+        {
+            let ctx2 = Arc::clone(&ctx);
+            threads.push(spawn(
+                "ClientAcceptor".into(),
+                Box::new(move || client_io::run_acceptor(&ctx2, listener)),
+            ));
+        }
+        // ReplicaIO: one sender + one receiver per peer (§V-B).
+        for peer in ctx.config.peers(me).collect::<Vec<_>>() {
+            let ctx2 = Arc::clone(&ctx);
+            threads.push(spawn(
+                format!("ReplicaIOSnd-{}", peer.0),
+                Box::new(move || replica_io::run_sender(&ctx2, peer)),
+            ));
+            let ctx2 = Arc::clone(&ctx);
+            threads.push(spawn(
+                format!("ReplicaIORcv-{}", peer.0),
+                Box::new(move || replica_io::run_receiver(&ctx2, peer)),
+            ));
+        }
+        // ReplicationCore threads (§V-C).
+        {
+            let ctx2 = Arc::clone(&ctx);
+            threads.push(spawn("Batcher".into(), Box::new(move || core_threads::run_batcher(&ctx2))));
+        }
+        {
+            let ctx2 = Arc::clone(&ctx);
+            threads
+                .push(spawn("Protocol".into(), Box::new(move || core_threads::run_protocol(&ctx2))));
+        }
+        {
+            let ctx2 = Arc::clone(&ctx);
+            threads.push(spawn(
+                "FailureDetector".into(),
+                Box::new(move || core_threads::run_failure_detector(&ctx2)),
+            ));
+        }
+        {
+            let ctx2 = Arc::clone(&ctx);
+            threads.push(spawn(
+                "Retransmitter".into(),
+                Box::new(move || core_threads::run_retransmitter(&ctx2)),
+            ));
+        }
+        // ServiceManager (§V-D) — named "Replica" in the paper's profiles.
+        {
+            let ctx2 = Arc::clone(&ctx);
+            threads.push(spawn(
+                "Replica".into(),
+                Box::new(move || service_manager::run_service_manager(&ctx2, service)),
+            ));
+        }
+
+        Ok(Replica { ctx, threads: Some(threads) })
+    }
+}
+
+/// A running replica: the full thread ensemble of Fig. 3.
+///
+/// Dropping the handle shuts the replica down and joins every thread.
+pub struct Replica {
+    ctx: Arc<Ctx>,
+    threads: Option<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica").field("id", &self.ctx.me).finish()
+    }
+}
+
+impl Replica {
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.ctx.me
+    }
+
+    /// The lock-free shared state (view, leader, frontier).
+    pub fn shared(&self) -> &SharedState {
+        &self.ctx.shared
+    }
+
+    /// The metrics registry with every thread's profile.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.ctx.metrics
+    }
+
+    /// Instantaneous sizes of (RequestQueue, ProposalQueue,
+    /// DispatcherQueue) — the Table I quantities.
+    pub fn queue_lengths(&self) -> (usize, usize, usize) {
+        (self.ctx.request_q.len(), self.ctx.proposal_q.len(), self.ctx.dispatcher_q.len())
+    }
+
+    /// Frames dropped on full SendQueues so far.
+    pub fn send_drops(&self) -> u64 {
+        self.ctx.send_drops.get()
+    }
+
+    /// Stops every thread and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(threads) = self.threads.take() else { return };
+        self.ctx.shutdown.store(true, Ordering::Release);
+        self.ctx.request_q.close();
+        self.ctx.proposal_q.close();
+        self.ctx.dispatcher_q.close();
+        self.ctx.decision_q.close();
+        for q in &self.ctx.send_qs {
+            q.close();
+        }
+        for q in &self.ctx.reply_qs {
+            q.close();
+        }
+        for q in &self.ctx.intake_qs {
+            q.close();
+        }
+        self.ctx.timers.close();
+        self.ctx.network.shutdown();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

@@ -1,0 +1,43 @@
+//! The ServiceManager module (§V-D): the "Replica" thread of the paper's
+//! per-thread profiles.
+
+use smr_wire::Reply;
+
+use crate::reply_cache::ExecuteOutcome;
+use crate::service::Service;
+
+use super::Ctx;
+
+/// Executes decided batches in log order, updates the reply cache, and
+/// hands each reply to the ClientIO thread owning the client's
+/// connection.
+pub(crate) fn run_service_manager(ctx: &Ctx, mut service: Box<dyn Service>) {
+    let handle = ctx.metrics.register_thread("Replica");
+    loop {
+        match ctx.decision_q.pop_with(&handle) {
+            Ok((_slot, batch)) => {
+                for request in batch.requests {
+                    let reply_payload = match ctx.cache.check_execute(request.id) {
+                        ExecuteOutcome::Fresh => {
+                            let reply = service.execute(&request.payload);
+                            ctx.cache.record(request.id, reply.clone());
+                            Some(reply)
+                        }
+                        // Ordered twice (client retry raced the pipeline):
+                        // do not re-execute; resend the cached reply.
+                        ExecuteOutcome::Duplicate(cached) => cached,
+                    };
+                    let Some(payload) = reply_payload else { continue };
+                    let Some((cio, conn)) = ctx.shared.client_route(request.id.client) else {
+                        continue; // client gone or connected elsewhere
+                    };
+                    let reply = Reply::new(request.id, payload);
+                    if ctx.reply_qs[cio].push_with((conn, reply), &handle).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The replicated service abstraction and ready-made services.
+//!
+//! The paper evaluates with a *null service* ("discards the payload of the
+//! request and sends back a byte array of the size required") to isolate
+//! the ordering path; real deployments replicate things like lock servers
+//! (Chubby [1]) and coordination kernels (ZooKeeper [2]) — small,
+//! CPU-light services for which the replication layer is the bottleneck.
+//! This module ships all of those shapes.
+
+use std::collections::HashMap;
+
+/// A deterministic state machine replicated by the cluster.
+///
+/// Implementations must be deterministic: the reply and the state change
+/// may depend only on the current state and the request payload, never on
+/// time, randomness, or thread identity — every replica executes the same
+/// sequence and must stay identical.
+pub trait Service: Send + 'static {
+    /// Executes one request and returns the reply payload.
+    fn execute(&mut self, request: &[u8]) -> Vec<u8>;
+}
+
+impl<F> Service for F
+where
+    F: FnMut(&[u8]) -> Vec<u8> + Send + 'static,
+{
+    fn execute(&mut self, request: &[u8]) -> Vec<u8> {
+        self(request)
+    }
+}
+
+/// The paper's evaluation service: ignores the request, replies with a
+/// fixed-size byte array (8 bytes in the paper's workload).
+#[derive(Debug, Clone)]
+pub struct NullService {
+    reply: Vec<u8>,
+}
+
+impl NullService {
+    /// Creates a null service replying with `reply_size` zero bytes.
+    pub fn new(reply_size: usize) -> Self {
+        NullService { reply: vec![0u8; reply_size] }
+    }
+}
+
+impl Default for NullService {
+    fn default() -> Self {
+        NullService::new(8)
+    }
+}
+
+impl Service for NullService {
+    fn execute(&mut self, _request: &[u8]) -> Vec<u8> {
+        self.reply.clone()
+    }
+}
+
+/// A replicated key-value store with a tiny binary command format.
+///
+/// Commands: `P <klen u16> key value` (put, replies previous value or
+/// empty), `G <klen u16> key` (get), `D <klen u16> key` (delete).
+/// Replies: `1 value` when a value is present, `0` otherwise.
+#[derive(Debug, Default)]
+pub struct KvService {
+    map: HashMap<Vec<u8>, Vec<u8>>,
+}
+
+impl KvService {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvService::default()
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Encodes a put command.
+    pub fn put(key: &[u8], value: &[u8]) -> Vec<u8> {
+        let mut cmd = vec![b'P'];
+        cmd.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        cmd.extend_from_slice(key);
+        cmd.extend_from_slice(value);
+        cmd
+    }
+
+    /// Encodes a get command.
+    pub fn get(key: &[u8]) -> Vec<u8> {
+        let mut cmd = vec![b'G'];
+        cmd.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        cmd.extend_from_slice(key);
+        cmd
+    }
+
+    /// Encodes a delete command.
+    pub fn delete(key: &[u8]) -> Vec<u8> {
+        let mut cmd = vec![b'D'];
+        cmd.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        cmd.extend_from_slice(key);
+        cmd
+    }
+
+    /// Decodes a reply into the value it carries, if any.
+    pub fn decode_value(reply: &[u8]) -> Option<Vec<u8>> {
+        match reply.first() {
+            Some(1) => Some(reply[1..].to_vec()),
+            _ => None,
+        }
+    }
+
+    fn parse(request: &[u8]) -> Option<(u8, &[u8], &[u8])> {
+        if request.len() < 3 {
+            return None;
+        }
+        let op = request[0];
+        let klen = u16::from_le_bytes([request[1], request[2]]) as usize;
+        if request.len() < 3 + klen {
+            return None;
+        }
+        let key = &request[3..3 + klen];
+        let rest = &request[3 + klen..];
+        Some((op, key, rest))
+    }
+
+    fn found(value: &[u8]) -> Vec<u8> {
+        let mut r = vec![1u8];
+        r.extend_from_slice(value);
+        r
+    }
+}
+
+impl Service for KvService {
+    fn execute(&mut self, request: &[u8]) -> Vec<u8> {
+        match Self::parse(request) {
+            Some((b'P', key, value)) => match self.map.insert(key.to_vec(), value.to_vec()) {
+                Some(old) => Self::found(&old),
+                None => vec![0u8],
+            },
+            Some((b'G', key, _)) => match self.map.get(key) {
+                Some(v) => Self::found(v),
+                None => vec![0u8],
+            },
+            Some((b'D', key, _)) => match self.map.remove(key) {
+                Some(old) => Self::found(&old),
+                None => vec![0u8],
+            },
+            _ => vec![0u8],
+        }
+    }
+}
+
+/// A Chubby-style replicated lock service.
+///
+/// Commands: `A <name>` acquire, `R <name>` release, `Q <name>` query.
+/// The owner is the requesting client id, embedded in the command by
+/// [`LockService::acquire`]. Replies: `1` success / lock held by you,
+/// `0` failure / free.
+#[derive(Debug, Default)]
+pub struct LockService {
+    /// lock name → owner token.
+    locks: HashMap<Vec<u8>, u64>,
+}
+
+impl LockService {
+    /// Creates a lock service with no locks held.
+    pub fn new() -> Self {
+        LockService::default()
+    }
+
+    /// Encodes an acquire command for `owner`.
+    pub fn acquire(name: &[u8], owner: u64) -> Vec<u8> {
+        let mut cmd = vec![b'A'];
+        cmd.extend_from_slice(&owner.to_le_bytes());
+        cmd.extend_from_slice(name);
+        cmd
+    }
+
+    /// Encodes a release command for `owner`.
+    pub fn release(name: &[u8], owner: u64) -> Vec<u8> {
+        let mut cmd = vec![b'R'];
+        cmd.extend_from_slice(&owner.to_le_bytes());
+        cmd.extend_from_slice(name);
+        cmd
+    }
+
+    /// Encodes a query command.
+    pub fn query(name: &[u8]) -> Vec<u8> {
+        let mut cmd = vec![b'Q'];
+        cmd.extend_from_slice(&0u64.to_le_bytes());
+        cmd.extend_from_slice(name);
+        cmd
+    }
+
+    /// Whether a reply indicates success.
+    pub fn granted(reply: &[u8]) -> bool {
+        reply.first() == Some(&1)
+    }
+}
+
+impl Service for LockService {
+    fn execute(&mut self, request: &[u8]) -> Vec<u8> {
+        if request.len() < 9 {
+            return vec![0u8];
+        }
+        let op = request[0];
+        let owner = u64::from_le_bytes(request[1..9].try_into().expect("8 bytes"));
+        let name = request[9..].to_vec();
+        let ok = match op {
+            b'A' => match self.locks.get(&name) {
+                None => {
+                    self.locks.insert(name, owner);
+                    true
+                }
+                Some(current) => *current == owner, // re-entrant
+            },
+            b'R' => match self.locks.get(&name) {
+                Some(current) if *current == owner => {
+                    self.locks.remove(&name);
+                    true
+                }
+                _ => false,
+            },
+            b'Q' => self.locks.contains_key(&name),
+            _ => false,
+        };
+        vec![u8::from(ok)]
+    }
+}
+
+/// A coordination-kernel primitive: named monotone sequencers
+/// (ZooKeeper's sequential znodes in miniature).
+///
+/// Command: the sequencer name; reply: the next value (u64 LE), unique
+/// and gap-free per name across the whole cluster.
+#[derive(Debug, Default)]
+pub struct SequencerService {
+    counters: HashMap<Vec<u8>, u64>,
+}
+
+impl SequencerService {
+    /// Creates a sequencer service with all counters at zero.
+    pub fn new() -> Self {
+        SequencerService::default()
+    }
+
+    /// Decodes a reply into the assigned sequence number.
+    pub fn decode(reply: &[u8]) -> Option<u64> {
+        reply.try_into().ok().map(u64::from_le_bytes)
+    }
+}
+
+impl Service for SequencerService {
+    fn execute(&mut self, request: &[u8]) -> Vec<u8> {
+        let counter = self.counters.entry(request.to_vec()).or_insert(0);
+        let value = *counter;
+        *counter += 1;
+        value.to_le_bytes().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_service_fixed_reply() {
+        let mut s = NullService::new(8);
+        assert_eq!(s.execute(b"whatever").len(), 8);
+        assert_eq!(s.execute(b"").len(), 8);
+    }
+
+    #[test]
+    fn closure_is_a_service() {
+        let mut s = |req: &[u8]| req.to_vec();
+        assert_eq!(Service::execute(&mut s, b"echo"), b"echo");
+    }
+
+    #[test]
+    fn kv_put_get_delete() {
+        let mut kv = KvService::new();
+        assert_eq!(kv.execute(&KvService::put(b"k", b"v1")), vec![0]);
+        assert_eq!(kv.execute(&KvService::get(b"k")), KvService::found(b"v1"));
+        assert_eq!(kv.execute(&KvService::put(b"k", b"v2")), KvService::found(b"v1"));
+        assert_eq!(kv.execute(&KvService::delete(b"k")), KvService::found(b"v2"));
+        assert_eq!(kv.execute(&KvService::get(b"k")), vec![0]);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn kv_decode_value() {
+        assert_eq!(KvService::decode_value(&[1, b'x']), Some(vec![b'x']));
+        assert_eq!(KvService::decode_value(&[0]), None);
+        assert_eq!(KvService::decode_value(&[]), None);
+    }
+
+    #[test]
+    fn kv_garbage_request_is_harmless() {
+        let mut kv = KvService::new();
+        assert_eq!(kv.execute(b""), vec![0]);
+        assert_eq!(kv.execute(&[b'P', 255, 255, 0]), vec![0]);
+    }
+
+    #[test]
+    fn lock_lifecycle() {
+        let mut s = LockService::new();
+        assert!(LockService::granted(&s.execute(&LockService::acquire(b"L", 1))));
+        assert!(LockService::granted(&s.execute(&LockService::acquire(b"L", 1))), "re-entrant");
+        assert!(!LockService::granted(&s.execute(&LockService::acquire(b"L", 2))));
+        assert!(!LockService::granted(&s.execute(&LockService::release(b"L", 2))));
+        assert!(LockService::granted(&s.execute(&LockService::release(b"L", 1))));
+        assert!(LockService::granted(&s.execute(&LockService::acquire(b"L", 2))));
+    }
+
+    #[test]
+    fn lock_query() {
+        let mut s = LockService::new();
+        assert!(!LockService::granted(&s.execute(&LockService::query(b"L"))));
+        s.execute(&LockService::acquire(b"L", 7));
+        assert!(LockService::granted(&s.execute(&LockService::query(b"L"))));
+    }
+
+    #[test]
+    fn sequencer_is_gap_free_per_name() {
+        let mut s = SequencerService::new();
+        assert_eq!(SequencerService::decode(&s.execute(b"a")), Some(0));
+        assert_eq!(SequencerService::decode(&s.execute(b"a")), Some(1));
+        assert_eq!(SequencerService::decode(&s.execute(b"b")), Some(0));
+        assert_eq!(SequencerService::decode(&s.execute(b"a")), Some(2));
+    }
+}

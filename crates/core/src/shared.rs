@@ -1,0 +1,175 @@
+//! Lock-free state shared between modules.
+//!
+//! The paper's no-lock rule (§V-C): cross-module coordination happens
+//! through queues, or through shared variables only when they can be read
+//! and written atomically without exposing inconsistent state. This
+//! module collects exactly those variables:
+//!
+//! * the current view / leader / leadership flag, written by the Protocol
+//!   thread, read by ClientIO (redirects) and the FailureDetector;
+//! * the decided frontier, written by the Protocol thread, read by the
+//!   FailureDetector (to stamp heartbeats);
+//! * per-peer last-send / last-receive timestamps, written by ReplicaIO
+//!   threads, read by the FailureDetector (§V-C3: timestamps only grow,
+//!   so the detector can re-check after the original delay without locks
+//!   or wakeups);
+//! * the client connection table, written by ClientIO threads, read by
+//!   the ServiceManager to route replies (sharded like the reply cache).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use smr_types::{ClientId, ReplicaId, Slot, View};
+
+/// Atomically readable replica state.
+#[derive(Debug)]
+pub struct SharedState {
+    view: AtomicU64,
+    leader: AtomicU16,
+    is_leader: AtomicBool,
+    decided_upto: AtomicU64,
+    last_recv_ns: Vec<AtomicU64>,
+    last_send_ns: Vec<AtomicU64>,
+    start: Instant,
+    client_table: Vec<Mutex<HashMap<u64, (usize, u64)>>>,
+}
+
+impl SharedState {
+    /// Creates shared state for a cluster of `n` replicas.
+    pub fn new(n: usize) -> Self {
+        SharedState {
+            view: AtomicU64::new(0),
+            leader: AtomicU16::new(0),
+            is_leader: AtomicBool::new(false),
+            decided_upto: AtomicU64::new(0),
+            last_recv_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            last_send_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            start: Instant::now(),
+            client_table: (0..64).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Monotonic nanoseconds since this replica started.
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Publishes a view change (Protocol thread only).
+    pub fn set_view(&self, view: View, leader: ReplicaId, me: ReplicaId) {
+        self.view.store(view.0, Ordering::Release);
+        self.leader.store(leader.0, Ordering::Release);
+        self.is_leader.store(leader == me, Ordering::Release);
+    }
+
+    /// Current view.
+    pub fn view(&self) -> View {
+        View(self.view.load(Ordering::Acquire))
+    }
+
+    /// Best-known leader.
+    pub fn leader(&self) -> ReplicaId {
+        ReplicaId(self.leader.load(Ordering::Acquire))
+    }
+
+    /// Whether this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader.load(Ordering::Acquire)
+    }
+
+    /// Publishes the decided frontier (Protocol thread only).
+    pub fn set_decided_upto(&self, slot: Slot) {
+        self.decided_upto.store(slot.0, Ordering::Release);
+    }
+
+    /// The decided frontier.
+    pub fn decided_upto(&self) -> Slot {
+        Slot(self.decided_upto.load(Ordering::Acquire))
+    }
+
+    /// Stamps a receive from `peer` (ReplicaIORcv threads).
+    pub fn note_recv(&self, peer: ReplicaId) {
+        self.last_recv_ns[peer.index()].store(self.now_ns().max(1), Ordering::Release);
+    }
+
+    /// Stamps a send to `peer` (ReplicaIOSnd threads).
+    pub fn note_send(&self, peer: ReplicaId) {
+        self.last_send_ns[peer.index()].store(self.now_ns().max(1), Ordering::Release);
+    }
+
+    /// Last receive timestamp from `peer` (0 = never).
+    pub fn last_recv_ns(&self, peer: ReplicaId) -> u64 {
+        self.last_recv_ns[peer.index()].load(Ordering::Acquire)
+    }
+
+    /// Last send timestamp to `peer` (0 = never).
+    pub fn last_send_ns(&self, peer: ReplicaId) -> u64 {
+        self.last_send_ns[peer.index()].load(Ordering::Acquire)
+    }
+
+    /// Records that `client` is served by ClientIO thread `cio` over
+    /// connection `conn` (ClientIO threads).
+    pub fn bind_client(&self, client: ClientId, cio: usize, conn: u64) {
+        let shard = client.0 as usize % self.client_table.len();
+        self.client_table[shard].lock().insert(client.0, (cio, conn));
+    }
+
+    /// Looks up the route to `client` (ServiceManager thread).
+    pub fn client_route(&self, client: ClientId) -> Option<(usize, u64)> {
+        let shard = client.0 as usize % self.client_table.len();
+        self.client_table[shard].lock().get(&client.0).copied()
+    }
+
+    /// Forgets a client route (on disconnect).
+    pub fn unbind_client(&self, client: ClientId) {
+        let shard = client.0 as usize % self.client_table.len();
+        self.client_table[shard].lock().remove(&client.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_roundtrip() {
+        let s = SharedState::new(3);
+        s.set_view(View(4), ReplicaId(1), ReplicaId(1));
+        assert_eq!(s.view(), View(4));
+        assert_eq!(s.leader(), ReplicaId(1));
+        assert!(s.is_leader());
+        s.set_view(View(5), ReplicaId(2), ReplicaId(1));
+        assert!(!s.is_leader());
+    }
+
+    #[test]
+    fn timestamps_grow() {
+        let s = SharedState::new(2);
+        assert_eq!(s.last_recv_ns(ReplicaId(1)), 0, "never heard from peer");
+        s.note_recv(ReplicaId(1));
+        let t1 = s.last_recv_ns(ReplicaId(1));
+        assert!(t1 > 0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        s.note_recv(ReplicaId(1));
+        assert!(s.last_recv_ns(ReplicaId(1)) >= t1);
+    }
+
+    #[test]
+    fn client_routes() {
+        let s = SharedState::new(1);
+        assert_eq!(s.client_route(ClientId(9)), None);
+        s.bind_client(ClientId(9), 2, 77);
+        assert_eq!(s.client_route(ClientId(9)), Some((2, 77)));
+        s.unbind_client(ClientId(9));
+        assert_eq!(s.client_route(ClientId(9)), None);
+    }
+
+    #[test]
+    fn decided_upto_roundtrip() {
+        let s = SharedState::new(1);
+        s.set_decided_upto(Slot(42));
+        assert_eq!(s.decided_upto(), Slot(42));
+    }
+}

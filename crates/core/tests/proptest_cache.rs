@@ -1,0 +1,114 @@
+//! Property tests for the reply cache: both implementations agree with a
+//! sequential model, and at-most-once semantics hold under arbitrary
+//! interleavings of lookups, executions, and retries.
+
+use proptest::prelude::*;
+
+use smr_core::{CacheOutcome, CoarseReplyCache, ExecuteOutcome, ReplyCache, ShardedReplyCache};
+use smr_types::{ClientId, RequestId, SeqNum};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup { client: u8, seq: u8 },
+    Execute { client: u8, seq: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0u8..16).prop_map(|(c, s)| Op::Lookup { client: c % 4, seq: s }),
+        (any::<u8>(), 0u8..16).prop_map(|(c, s)| Op::Execute { client: c % 4, seq: s }),
+    ]
+}
+
+/// Reference model: per client, the highest executed seq and its reply.
+#[derive(Default)]
+struct Model {
+    last: std::collections::HashMap<u64, (u64, Vec<u8>)>,
+}
+
+impl Model {
+    fn lookup(&self, client: u64, seq: u64) -> CacheOutcome {
+        match self.last.get(&client) {
+            Some((l, r)) if seq == *l => CacheOutcome::Hit(r.clone()),
+            Some((l, _)) if seq < *l => CacheOutcome::Stale,
+            _ => CacheOutcome::Miss,
+        }
+    }
+
+    fn execute(&mut self, client: u64, seq: u64) -> ExecuteOutcome {
+        match self.last.get(&client) {
+            Some((l, r)) if seq == *l => ExecuteOutcome::Duplicate(Some(r.clone())),
+            Some((l, _)) if seq < *l => ExecuteOutcome::Duplicate(None),
+            _ => {
+                let reply = vec![client as u8, seq as u8];
+                self.last.insert(client, (seq, reply));
+                ExecuteOutcome::Fresh
+            }
+        }
+    }
+}
+
+fn check_against_model(cache: &dyn ReplyCache, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut model = Model::default();
+    for op in ops {
+        match op {
+            Op::Lookup { client, seq } => {
+                let id = RequestId::new(ClientId(*client as u64), SeqNum(*seq as u64));
+                prop_assert_eq!(
+                    cache.lookup(id),
+                    model.lookup(*client as u64, *seq as u64),
+                    "lookup {:?}",
+                    op
+                );
+            }
+            Op::Execute { client, seq } => {
+                let id = RequestId::new(ClientId(*client as u64), SeqNum(*seq as u64));
+                let expected = model.execute(*client as u64, *seq as u64);
+                let actual = cache.check_execute(id);
+                prop_assert_eq!(&actual, &expected, "execute {:?}", op);
+                if matches!(actual, ExecuteOutcome::Fresh) {
+                    cache.record(id, vec![*client, *seq]);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sharded_matches_model(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        check_against_model(&ShardedReplyCache::new(8), &ops)?;
+    }
+
+    #[test]
+    fn coarse_matches_model(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        check_against_model(&CoarseReplyCache::new(), &ops)?;
+    }
+
+    #[test]
+    fn implementations_agree(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let sharded = ShardedReplyCache::new(4);
+        let coarse = CoarseReplyCache::new();
+        for op in &ops {
+            match op {
+                Op::Lookup { client, seq } => {
+                    let id = RequestId::new(ClientId(*client as u64), SeqNum(*seq as u64));
+                    prop_assert_eq!(sharded.lookup(id), coarse.lookup(id));
+                }
+                Op::Execute { client, seq } => {
+                    let id = RequestId::new(ClientId(*client as u64), SeqNum(*seq as u64));
+                    let a = sharded.check_execute(id);
+                    let b = coarse.check_execute(id);
+                    prop_assert_eq!(&a, &b);
+                    if matches!(a, ExecuteOutcome::Fresh) {
+                        sharded.record(id, vec![1]);
+                        coarse.record(id, vec![1]);
+                    }
+                }
+            }
+        }
+    }
+}

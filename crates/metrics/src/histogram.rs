@@ -1,0 +1,124 @@
+//! Log-scaled latency histogram.
+
+/// A power-of-two bucketed histogram for latencies in nanoseconds.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` ns; precise enough for the
+/// millisecond-scale instance latencies of Figs. 10b/11b while staying
+/// allocation-free on the hot path.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram covering 1ns .. ~584 years.
+    pub fn new() -> Self {
+        Histogram { buckets: vec![0; 64], count: 0, sum: 0 }
+    }
+
+    /// Records a latency in nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        let idx = if nanos == 0 { 0 } else { 63 - nanos.leading_zeros() as usize };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds, or 0 if empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) in nanoseconds using the
+    /// geometric midpoint of the containing bucket.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let lo = (1u128 << i) as f64;
+                return lo * std::f64::consts::SQRT_2;
+            }
+        }
+        (1u128 << 63) as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_means() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.count(), 2);
+        assert!((h.mean_ns() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_is_accepted() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..1000u64 {
+            h.record(i * 1000);
+        }
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        assert!(p50 <= p99);
+        assert!(p50 > 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean_ns() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        assert_eq!(Histogram::new().quantile_ns(0.5), 0.0);
+    }
+}

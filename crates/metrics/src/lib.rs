@@ -1,0 +1,47 @@
+//! Per-thread time accounting and lightweight metrics.
+//!
+//! The paper's evaluation methodology relies on classifying, for each
+//! thread, where its wall-clock time goes (§VI, Figs. 1b, 8, 14):
+//!
+//! * **busy** — executing application work;
+//! * **blocked** — stalled trying to acquire a lock (contention);
+//! * **waiting** — parked on a condition variable, i.e. idle because an
+//!   input queue is empty or an output queue is full;
+//! * **other** — everything else (sleeping, blocked in a system call,
+//!   runnable but waiting to be scheduled).
+//!
+//! The JVM exposes this through `ThreadMXBean`; this crate is the Rust
+//! analogue for our own runtime: threads register with a
+//! [`MetricsRegistry`], obtain a [`ThreadHandle`], and the queue/lock
+//! wrappers in `smr-queue` mark state transitions through RAII guards.
+//!
+//! The crate also provides named [`Counter`]s, [`RunningStats`] (mean ±
+//! std-dev accumulators used for Table I-style queue statistics), and
+//! simple latency [`Histogram`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use smr_metrics::{MetricsRegistry, ThreadState};
+//!
+//! let registry = MetricsRegistry::new();
+//! let handle = registry.register_thread("Batcher");
+//! {
+//!     let _wait = handle.enter(ThreadState::Waiting);
+//!     // ... park on a queue ...
+//! }
+//! let profile = registry.snapshot();
+//! assert_eq!(profile.threads[0].name, "Batcher");
+//! ```
+
+mod counters;
+mod histogram;
+mod running;
+mod thread_state;
+
+pub use counters::{Counter, Gauge};
+pub use histogram::Histogram;
+pub use running::RunningStats;
+pub use thread_state::{
+    MetricsRegistry, ProfileSnapshot, StateGuard, ThreadHandle, ThreadProfile, ThreadState,
+};

@@ -1,0 +1,333 @@
+//! Thread-state accounting: the `ThreadMXBean` analogue.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// The four thread states distinguished by the paper's profiling
+/// methodology (§VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadState {
+    /// Executing application work.
+    Busy,
+    /// Stalled acquiring a contended lock.
+    Blocked,
+    /// Parked on a condition variable (empty input / full output queue).
+    Waiting,
+    /// Sleeping, in a system call, or runnable but unscheduled.
+    Other,
+}
+
+impl ThreadState {
+    /// All states, in the order the paper's figures present them.
+    pub const ALL: [ThreadState; 4] =
+        [ThreadState::Busy, ThreadState::Blocked, ThreadState::Waiting, ThreadState::Other];
+
+    fn index(self) -> usize {
+        match self {
+            ThreadState::Busy => 0,
+            ThreadState::Blocked => 1,
+            ThreadState::Waiting => 2,
+            ThreadState::Other => 3,
+        }
+    }
+}
+
+impl fmt::Display for ThreadState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ThreadState::Busy => "busy",
+            ThreadState::Blocked => "blocked",
+            ThreadState::Waiting => "waiting",
+            ThreadState::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug)]
+struct ThreadRecord {
+    name: String,
+    /// Accumulated nanoseconds per state.
+    nanos: [AtomicU64; 4],
+    /// State the thread is currently in.
+    current: Mutex<(ThreadState, Instant)>,
+    started: Instant,
+}
+
+impl ThreadRecord {
+    fn transition(&self, to: ThreadState) -> ThreadState {
+        let mut cur = self.current.lock();
+        let now = Instant::now();
+        let (from, since) = *cur;
+        let elapsed = now.duration_since(since).as_nanos() as u64;
+        self.nanos[from.index()].fetch_add(elapsed, Ordering::Relaxed);
+        *cur = (to, now);
+        from
+    }
+}
+
+/// Handle owned by a registered thread; records its state transitions.
+///
+/// Cloneable so helper structures (queues, locks) can keep a copy.
+#[derive(Debug, Clone)]
+pub struct ThreadHandle {
+    record: Arc<ThreadRecord>,
+}
+
+impl ThreadHandle {
+    /// Enters `state`, returning a guard that restores the previous state
+    /// when dropped.
+    pub fn enter(&self, state: ThreadState) -> StateGuard {
+        let prev = self.record.transition(state);
+        StateGuard { record: Arc::clone(&self.record), prev }
+    }
+
+    /// Switches to `state` without automatic restoration.
+    pub fn set_state(&self, state: ThreadState) {
+        self.record.transition(state);
+    }
+
+    /// The registered thread name.
+    pub fn name(&self) -> &str {
+        &self.record.name
+    }
+}
+
+/// RAII guard produced by [`ThreadHandle::enter`]; restores the previous
+/// thread state on drop.
+#[derive(Debug)]
+pub struct StateGuard {
+    record: Arc<ThreadRecord>,
+    prev: ThreadState,
+}
+
+impl Drop for StateGuard {
+    fn drop(&mut self) {
+        self.record.transition(self.prev);
+    }
+}
+
+/// Per-thread profile: total time spent in each state since registration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadProfile {
+    /// Thread name as registered (e.g. `"ClientIO-0"`, `"Protocol"`).
+    pub name: String,
+    /// Nanoseconds spent busy.
+    pub busy_ns: u64,
+    /// Nanoseconds spent blocked on locks.
+    pub blocked_ns: u64,
+    /// Nanoseconds spent waiting on condition variables.
+    pub waiting_ns: u64,
+    /// Nanoseconds spent in other states.
+    pub other_ns: u64,
+    /// Wall-clock nanoseconds since the thread registered.
+    pub wall_ns: u64,
+}
+
+impl ThreadProfile {
+    /// Fraction of wall time in the given state, in `[0, 1]`.
+    pub fn fraction(&self, state: ThreadState) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        let ns = match state {
+            ThreadState::Busy => self.busy_ns,
+            ThreadState::Blocked => self.blocked_ns,
+            ThreadState::Waiting => self.waiting_ns,
+            ThreadState::Other => self.other_ns,
+        };
+        ns as f64 / self.wall_ns as f64
+    }
+}
+
+/// Snapshot of every registered thread's profile.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSnapshot {
+    /// One entry per registered thread, in registration order.
+    pub threads: Vec<ThreadProfile>,
+}
+
+impl ProfileSnapshot {
+    /// Sum of blocked time across all threads, in nanoseconds — the paper's
+    /// "total blocked time" contention metric (Figs. 5b/5d, 7, 13b).
+    pub fn total_blocked_ns(&self) -> u64 {
+        self.threads.iter().map(|t| t.blocked_ns).sum()
+    }
+
+    /// Sum of busy time across all threads, in nanoseconds — proportional
+    /// to the paper's CPU-utilization metric.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.threads.iter().map(|t| t.busy_ns).sum()
+    }
+
+    /// Renders the snapshot as a per-thread percentage table, one line per
+    /// thread, mimicking Figs. 1b/8/14.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>8} {:>8} {:>7}\n",
+            "thread", "busy%", "blocked%", "waiting%", "other%"
+        ));
+        for t in &self.threads {
+            out.push_str(&format!(
+                "{:<18} {:>6.1} {:>8.1} {:>8.1} {:>7.1}\n",
+                t.name,
+                100.0 * t.fraction(ThreadState::Busy),
+                100.0 * t.fraction(ThreadState::Blocked),
+                100.0 * t.fraction(ThreadState::Waiting),
+                100.0 * t.fraction(ThreadState::Other),
+            ));
+        }
+        out
+    }
+}
+
+/// Registry of all instrumented threads of a replica process.
+///
+/// Cheap to clone (shared internally).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Vec<Arc<ThreadRecord>>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers the calling thread under `name`; it starts in the
+    /// [`ThreadState::Busy`] state.
+    pub fn register_thread(&self, name: impl Into<String>) -> ThreadHandle {
+        let record = Arc::new(ThreadRecord {
+            name: name.into(),
+            nanos: Default::default(),
+            current: Mutex::new((ThreadState::Busy, Instant::now())),
+            started: Instant::now(),
+        });
+        self.inner.lock().push(Arc::clone(&record));
+        ThreadHandle { record }
+    }
+
+    /// Takes a profile snapshot of every registered thread.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let records = self.inner.lock();
+        let threads = records
+            .iter()
+            .map(|r| {
+                // Fold the in-progress interval into the totals without
+                // disturbing the thread.
+                let (state, since) = *r.current.lock();
+                let now = Instant::now();
+                let in_progress = now.duration_since(since).as_nanos() as u64;
+                let mut ns = [0u64; 4];
+                for (i, slot) in r.nanos.iter().enumerate() {
+                    ns[i] = slot.load(Ordering::Relaxed);
+                }
+                ns[state.index()] += in_progress;
+                ThreadProfile {
+                    name: r.name.clone(),
+                    busy_ns: ns[0],
+                    blocked_ns: ns[1],
+                    waiting_ns: ns[2],
+                    other_ns: ns[3],
+                    wall_ns: now.duration_since(r.started).as_nanos() as u64,
+                }
+            })
+            .collect();
+        ProfileSnapshot { threads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn registers_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        let h = reg.register_thread("Protocol");
+        assert_eq!(h.name(), "Protocol");
+        std::thread::sleep(Duration::from_millis(5));
+        let snap = reg.snapshot();
+        assert_eq!(snap.threads.len(), 1);
+        assert!(snap.threads[0].busy_ns > 0, "time accrues to the current state");
+    }
+
+    #[test]
+    fn guard_restores_previous_state() {
+        let reg = MetricsRegistry::new();
+        let h = reg.register_thread("t");
+        {
+            let _g = h.enter(ThreadState::Waiting);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        let snap = reg.snapshot();
+        let t = &snap.threads[0];
+        assert!(t.waiting_ns > 0);
+        assert!(t.busy_ns > 0);
+    }
+
+    #[test]
+    fn nested_guards() {
+        let reg = MetricsRegistry::new();
+        let h = reg.register_thread("t");
+        {
+            let _w = h.enter(ThreadState::Waiting);
+            {
+                let _b = h.enter(ThreadState::Blocked);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = reg.snapshot();
+        let t = &snap.threads[0];
+        assert!(t.blocked_ns > 0);
+        assert!(t.waiting_ns > 0);
+    }
+
+    #[test]
+    fn fractions_sum_to_about_one() {
+        let reg = MetricsRegistry::new();
+        let h = reg.register_thread("t");
+        {
+            let _g = h.enter(ThreadState::Other);
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        let snap = reg.snapshot();
+        let t = &snap.threads[0];
+        let sum: f64 = ThreadState::ALL.iter().map(|s| t.fraction(*s)).sum();
+        assert!((sum - 1.0).abs() < 0.05, "fractions sum to ~1, got {sum}");
+    }
+
+    #[test]
+    fn total_blocked_aggregates() {
+        let reg = MetricsRegistry::new();
+        let a = reg.register_thread("a");
+        let b = reg.register_thread("b");
+        {
+            let _g1 = a.enter(ThreadState::Blocked);
+            let _g2 = b.enter(ThreadState::Blocked);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = reg.snapshot();
+        assert!(snap.total_blocked_ns() >= 2 * 1_000_000);
+    }
+
+    #[test]
+    fn render_table_contains_thread_names() {
+        let reg = MetricsRegistry::new();
+        reg.register_thread("ClientIO-0");
+        reg.register_thread("Batcher");
+        let table = reg.snapshot().render_table();
+        assert!(table.contains("ClientIO-0"));
+        assert!(table.contains("Batcher"));
+        assert!(table.contains("busy%"));
+    }
+}

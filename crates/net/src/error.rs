@@ -1,0 +1,50 @@
+//! Transport errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by transport operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The endpoint or fabric has been shut down.
+    Closed,
+    /// An I/O failure (connection refused/reset, etc.).
+    Io(String),
+    /// A frame failed validation (length/CRC).
+    BadFrame(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Closed => f.write_str("transport closed"),
+            NetError::Io(m) => write!(f, "transport i/o error: {m}"),
+            NetError::BadFrame(m) => write!(f, "bad frame: {m}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        assert_eq!(NetError::Closed.to_string(), "transport closed");
+        assert!(NetError::Io("refused".into()).to_string().contains("refused"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: NetError = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset").into();
+        assert!(matches!(e, NetError::Io(_)));
+    }
+}

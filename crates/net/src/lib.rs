@@ -1,0 +1,29 @@
+//! Transport substrate: how replicas talk to each other and to clients.
+//!
+//! Two implementations of the same traits:
+//!
+//! * [`memory`] — an in-process fabric with fault injection (loss,
+//!   partitions, delay), used by tests, examples, and benches. It mirrors
+//!   the paper's deployment shape: a small number of replica↔replica
+//!   links carrying bulk traffic, and many client connections carrying
+//!   small messages.
+//! * [`tcp`] — a real TCP transport with length-prefixed CRC framing
+//!   ([`smr_wire::Frame`]), reconnection, and the connection roles of
+//!   §V-B: one socket per peer per direction, a reader and a writer
+//!   thread each (the threads live in `smr-core`; this crate provides the
+//!   blocking endpoints they drive).
+//!
+//! The traits deliberately expose *blocking* per-peer operations
+//! ([`ReplicaNetwork::send_to`] / [`ReplicaNetwork::recv_from`]) because
+//! the paper's ReplicaIO module is built from dedicated blocking
+//! send/receive threads per peer, and *non-blocking* reads for client
+//! connections ([`ClientConn::try_recv`]) because the ClientIO module
+//! multiplexes thousands of connections over a small thread pool.
+
+mod error;
+pub mod memory;
+pub mod tcp;
+mod traits;
+
+pub use error::NetError;
+pub use traits::{ClientConn, ClientEndpoint, ClientListener, ReplicaNetwork};

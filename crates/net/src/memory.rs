@@ -1,0 +1,390 @@
+//! In-process transport with fault injection.
+//!
+//! A [`MemoryHub`] owns the full fabric of a simulated deployment: an
+//! `n × n` matrix of bounded frame queues for replica links, plus
+//! per-connection queue pairs for clients. Tests use the fault-injection
+//! switches ([`MemoryHub::set_loss`], [`MemoryHub::partition`],
+//! [`MemoryHub::isolate`]) to exercise retransmission, failure detection
+//! and catch-up.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use smr_queue::{BoundedQueue, PopError, PushError};
+use smr_types::ReplicaId;
+
+use crate::error::NetError;
+use crate::traits::{ClientConn, ClientEndpoint, ClientListener, ReplicaNetwork};
+
+/// Capacity of each directed replica link, in frames. Roughly models the
+/// socket buffer: when full, senders block (TCP backpressure analogue).
+const LINK_CAPACITY: usize = 4096;
+
+/// Capacity of each client connection direction, in frames.
+const CLIENT_CAPACITY: usize = 64;
+
+struct Fault {
+    /// Probability in [0,1] that a replica-link frame is dropped.
+    loss: Mutex<f64>,
+    /// `blocked[a][b]` — frames from a to b are silently dropped.
+    blocked: Vec<Vec<AtomicBool>>,
+    rng: Mutex<SmallRng>,
+}
+
+struct HubInner {
+    n: usize,
+    /// `links[from][to]`: directed frame queues between replicas.
+    links: Vec<Vec<BoundedQueue<Vec<u8>>>>,
+    /// Pending client connections per replica.
+    pending_conns: Vec<BoundedQueue<MemoryServerConn>>,
+    fault: Fault,
+    next_conn_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// The in-memory fabric of one simulated deployment.
+///
+/// # Examples
+///
+/// ```
+/// use smr_net::memory::MemoryHub;
+/// use smr_net::ReplicaNetwork;
+/// use smr_types::ReplicaId;
+///
+/// let hub = MemoryHub::new(3, 42);
+/// let net0 = hub.replica_network(ReplicaId(0));
+/// let net1 = hub.replica_network(ReplicaId(1));
+/// net0.send_to(ReplicaId(1), b"hello".to_vec())?;
+/// assert_eq!(net1.recv_from(ReplicaId(0))?, b"hello");
+/// # Ok::<(), smr_net::NetError>(())
+/// ```
+#[derive(Clone)]
+pub struct MemoryHub {
+    inner: Arc<HubInner>,
+}
+
+impl std::fmt::Debug for MemoryHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryHub").field("n", &self.inner.n).finish()
+    }
+}
+
+impl MemoryHub {
+    /// Creates a fabric for `n` replicas; `seed` drives loss injection.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let links = (0..n)
+            .map(|from| {
+                (0..n).map(|to| BoundedQueue::new(format!("link-{from}-{to}"), LINK_CAPACITY)).collect()
+            })
+            .collect();
+        let pending_conns =
+            (0..n).map(|r| BoundedQueue::new(format!("accept-{r}"), 1024)).collect();
+        let blocked = (0..n)
+            .map(|_| (0..n).map(|_| AtomicBool::new(false)).collect())
+            .collect();
+        MemoryHub {
+            inner: Arc::new(HubInner {
+                n,
+                links,
+                pending_conns,
+                fault: Fault {
+                    loss: Mutex::new(0.0),
+                    blocked,
+                    rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+                },
+                next_conn_id: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.inner.n
+    }
+
+    /// The [`ReplicaNetwork`] endpoint of `replica`.
+    pub fn replica_network(&self, replica: ReplicaId) -> MemoryReplicaNetwork {
+        assert!(replica.index() < self.inner.n, "unknown replica {replica}");
+        MemoryReplicaNetwork { hub: self.clone(), me: replica }
+    }
+
+    /// The [`ClientListener`] of `replica`.
+    pub fn client_listener(&self, replica: ReplicaId) -> MemoryClientListener {
+        assert!(replica.index() < self.inner.n, "unknown replica {replica}");
+        MemoryClientListener { hub: self.clone(), replica }
+    }
+
+    /// Opens a client connection to `replica`, returning the client-side
+    /// endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] after shutdown.
+    pub fn connect_client(&self, replica: ReplicaId) -> Result<MemoryClientEndpoint, NetError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        let id = self.inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let c2s = BoundedQueue::new(format!("conn-{id}-c2s"), CLIENT_CAPACITY);
+        let s2c = BoundedQueue::new(format!("conn-{id}-s2c"), CLIENT_CAPACITY);
+        let server =
+            MemoryServerConn { id, incoming: c2s.clone(), outgoing: s2c.clone() };
+        self.inner.pending_conns[replica.index()]
+            .push(server)
+            .map_err(|_| NetError::Closed)?;
+        Ok(MemoryClientEndpoint { outgoing: c2s, incoming: s2c })
+    }
+
+    /// Sets the probability that any replica-link frame is dropped.
+    pub fn set_loss(&self, probability: f64) {
+        *self.inner.fault.loss.lock() = probability.clamp(0.0, 1.0);
+    }
+
+    /// Blocks (or unblocks) both directions between `a` and `b`.
+    pub fn partition(&self, a: ReplicaId, b: ReplicaId, blocked: bool) {
+        self.inner.fault.blocked[a.index()][b.index()].store(blocked, Ordering::Release);
+        self.inner.fault.blocked[b.index()][a.index()].store(blocked, Ordering::Release);
+    }
+
+    /// Blocks (or unblocks) all links to and from `replica` — a crash
+    /// from the network's point of view.
+    pub fn isolate(&self, replica: ReplicaId, blocked: bool) {
+        for other in 0..self.inner.n {
+            if other != replica.index() {
+                self.inner.fault.blocked[replica.index()][other].store(blocked, Ordering::Release);
+                self.inner.fault.blocked[other][replica.index()].store(blocked, Ordering::Release);
+            }
+        }
+    }
+
+    /// Closes every link touching `replica` and its client accept queue —
+    /// a permanent, replica-local shutdown (the rest of the fabric keeps
+    /// working).
+    pub fn close_replica(&self, replica: ReplicaId) {
+        for other in 0..self.inner.n {
+            self.inner.links[replica.index()][other].close();
+            self.inner.links[other][replica.index()].close();
+        }
+        self.inner.pending_conns[replica.index()].close();
+    }
+
+    /// Shuts the whole fabric down.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for row in &self.inner.links {
+            for q in row {
+                q.close();
+            }
+        }
+        for q in &self.inner.pending_conns {
+            q.close();
+        }
+    }
+
+    fn should_drop(&self, from: ReplicaId, to: ReplicaId) -> bool {
+        if self.inner.fault.blocked[from.index()][to.index()].load(Ordering::Acquire) {
+            return true;
+        }
+        let loss = *self.inner.fault.loss.lock();
+        loss > 0.0 && self.inner.fault.rng.lock().gen_bool(loss)
+    }
+}
+
+/// One replica's endpoint into a [`MemoryHub`].
+#[derive(Clone)]
+pub struct MemoryReplicaNetwork {
+    hub: MemoryHub,
+    me: ReplicaId,
+}
+
+impl std::fmt::Debug for MemoryReplicaNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryReplicaNetwork").field("me", &self.me).finish()
+    }
+}
+
+impl ReplicaNetwork for MemoryReplicaNetwork {
+    fn send_to(&self, peer: ReplicaId, frame: Vec<u8>) -> Result<(), NetError> {
+        if self.hub.should_drop(self.me, peer) {
+            return Ok(()); // lost in transit, like UDP under a dead link
+        }
+        match self.hub.inner.links[self.me.index()][peer.index()].push(frame) {
+            Ok(()) => Ok(()),
+            Err(PushError::Closed(_)) | Err(PushError::Full(_)) => Err(NetError::Closed),
+        }
+    }
+
+    fn recv_from(&self, peer: ReplicaId) -> Result<Vec<u8>, NetError> {
+        match self.hub.inner.links[peer.index()][self.me.index()].pop() {
+            Ok(frame) => Ok(frame),
+            Err(PopError::Closed) | Err(PopError::Empty) => Err(NetError::Closed),
+        }
+    }
+
+    fn shutdown(&self) {
+        self.hub.close_replica(self.me);
+    }
+}
+
+/// Server side of an in-memory client connection.
+#[derive(Debug)]
+pub struct MemoryServerConn {
+    id: u64,
+    incoming: BoundedQueue<Vec<u8>>,
+    outgoing: BoundedQueue<Vec<u8>>,
+}
+
+impl ClientConn for MemoryServerConn {
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        match self.incoming.try_pop() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(PopError::Empty) => Ok(None),
+            Err(PopError::Closed) => Err(NetError::Closed),
+        }
+    }
+
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        self.outgoing.push(frame).map_err(|_| NetError::Closed)
+    }
+
+    fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Listener handing out the server halves of client connections.
+#[derive(Debug)]
+pub struct MemoryClientListener {
+    hub: MemoryHub,
+    replica: ReplicaId,
+}
+
+impl ClientListener for MemoryClientListener {
+    fn accept_timeout(&self, timeout: Duration) -> Result<Option<Box<dyn ClientConn>>, NetError> {
+        match self.hub.inner.pending_conns[self.replica.index()].pop_timeout(timeout) {
+            Ok(conn) => Ok(Some(Box::new(conn))),
+            Err(PopError::Empty) => Ok(None),
+            Err(PopError::Closed) => Err(NetError::Closed),
+        }
+    }
+}
+
+/// Client side of an in-memory connection.
+#[derive(Debug)]
+pub struct MemoryClientEndpoint {
+    outgoing: BoundedQueue<Vec<u8>>,
+    incoming: BoundedQueue<Vec<u8>>,
+}
+
+impl ClientEndpoint for MemoryClientEndpoint {
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        self.outgoing.push(frame).map_err(|_| NetError::Closed)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError> {
+        match self.incoming.pop_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(PopError::Empty) => Ok(None),
+            Err(PopError::Closed) => Err(NetError::Closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_travel_between_replicas() {
+        let hub = MemoryHub::new(3, 1);
+        let n0 = hub.replica_network(ReplicaId(0));
+        let n2 = hub.replica_network(ReplicaId(2));
+        n0.send_to(ReplicaId(2), vec![1, 2, 3]).unwrap();
+        assert_eq!(n2.recv_from(ReplicaId(0)).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn links_are_directed_and_fifo() {
+        let hub = MemoryHub::new(2, 1);
+        let n0 = hub.replica_network(ReplicaId(0));
+        let n1 = hub.replica_network(ReplicaId(1));
+        n0.send_to(ReplicaId(1), vec![1]).unwrap();
+        n0.send_to(ReplicaId(1), vec![2]).unwrap();
+        assert_eq!(n1.recv_from(ReplicaId(0)).unwrap(), vec![1]);
+        assert_eq!(n1.recv_from(ReplicaId(0)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn partition_drops_frames() {
+        let hub = MemoryHub::new(2, 1);
+        let n0 = hub.replica_network(ReplicaId(0));
+        hub.partition(ReplicaId(0), ReplicaId(1), true);
+        n0.send_to(ReplicaId(1), vec![9]).unwrap();
+        hub.partition(ReplicaId(0), ReplicaId(1), false);
+        n0.send_to(ReplicaId(1), vec![10]).unwrap();
+        let n1 = hub.replica_network(ReplicaId(1));
+        assert_eq!(n1.recv_from(ReplicaId(0)).unwrap(), vec![10], "partitioned frame was lost");
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let hub = MemoryHub::new(2, 7);
+        hub.set_loss(1.0);
+        let n0 = hub.replica_network(ReplicaId(0));
+        for _ in 0..10 {
+            n0.send_to(ReplicaId(1), vec![0]).unwrap();
+        }
+        assert_eq!(hub.inner.links[0][1].len(), 0);
+    }
+
+    #[test]
+    fn client_roundtrip() {
+        let hub = MemoryHub::new(1, 1);
+        let listener = hub.client_listener(ReplicaId(0));
+        let mut client = hub.connect_client(ReplicaId(0)).unwrap();
+        client.send(b"ping".to_vec()).unwrap();
+        let mut server =
+            listener.accept_timeout(Duration::from_secs(1)).unwrap().expect("connection pending");
+        assert_eq!(server.try_recv().unwrap().unwrap(), b"ping");
+        server.send(b"pong".to_vec()).unwrap();
+        assert_eq!(
+            client.recv_timeout(Duration::from_secs(1)).unwrap().unwrap(),
+            b"pong"
+        );
+    }
+
+    #[test]
+    fn accept_times_out_when_no_clients() {
+        let hub = MemoryHub::new(1, 1);
+        let listener = hub.client_listener(ReplicaId(0));
+        assert!(listener.accept_timeout(Duration::from_millis(10)).unwrap().is_none());
+    }
+
+    #[test]
+    fn shutdown_unblocks_receivers() {
+        let hub = MemoryHub::new(2, 1);
+        let n1 = hub.replica_network(ReplicaId(1));
+        let h = std::thread::spawn(move || n1.recv_from(ReplicaId(0)));
+        std::thread::sleep(Duration::from_millis(20));
+        hub.shutdown();
+        assert_eq!(h.join().unwrap(), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn isolate_blocks_both_directions() {
+        let hub = MemoryHub::new(3, 1);
+        hub.isolate(ReplicaId(1), true);
+        let n0 = hub.replica_network(ReplicaId(0));
+        n0.send_to(ReplicaId(1), vec![1]).unwrap();
+        assert_eq!(hub.inner.links[0][1].len(), 0);
+        // 0 <-> 2 unaffected.
+        n0.send_to(ReplicaId(2), vec![2]).unwrap();
+        assert_eq!(hub.inner.links[0][2].len(), 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Transport traits implemented by the in-memory and TCP backends.
+
+use std::time::Duration;
+
+use smr_types::ReplicaId;
+
+use crate::error::NetError;
+
+/// Replica-to-replica fabric seen from one replica.
+///
+/// One ReplicaIOSnd thread calls [`ReplicaNetwork::send_to`] per peer, and
+/// one ReplicaIORcv thread blocks in [`ReplicaNetwork::recv_from`] per
+/// peer (§V-B: two threads per socket).
+pub trait ReplicaNetwork: Send + Sync + 'static {
+    /// Sends one frame to `peer`, blocking for flow control.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] after shutdown; [`NetError::Io`] when the link
+    /// is irrecoverably broken (the caller may retry later — transports
+    /// reconnect internally where possible).
+    fn send_to(&self, peer: ReplicaId, frame: Vec<u8>) -> Result<(), NetError>;
+
+    /// Blocks until the next frame from `peer` arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] after shutdown.
+    fn recv_from(&self, peer: ReplicaId) -> Result<Vec<u8>, NetError>;
+
+    /// Shuts the fabric down, unblocking all senders and receivers.
+    fn shutdown(&self);
+}
+
+/// Server side of one client connection, owned by a ClientIO thread.
+pub trait ClientConn: Send + 'static {
+    /// Non-blocking read of the next complete frame, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] when the client disconnected.
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError>;
+
+    /// Sends one frame to the client.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] when the client disconnected.
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError>;
+
+    /// Stable identifier for logs.
+    fn id(&self) -> u64;
+}
+
+/// Accepts incoming client connections (driven by the acceptor thread,
+/// which hands connections to ClientIO threads round-robin, §V-A).
+pub trait ClientListener: Send + 'static {
+    /// Waits up to `timeout` for a connection.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] after shutdown.
+    fn accept_timeout(&self, timeout: Duration) -> Result<Option<Box<dyn ClientConn>>, NetError>;
+}
+
+/// Client side of a connection to one replica.
+pub trait ClientEndpoint: Send + 'static {
+    /// Sends one frame to the replica.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] / [`NetError::Io`] when the connection broke.
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError>;
+
+    /// Waits up to `timeout` for the next frame from the replica.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] when the connection broke.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError>;
+}

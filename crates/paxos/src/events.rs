@@ -1,0 +1,150 @@
+//! Events consumed and actions produced by the protocol state machine.
+
+use smr_types::{ReplicaId, Slot, View};
+use smr_wire::{Batch, ProtocolMsg};
+
+/// An input to [`crate::PaxosReplica::handle`] — one item popped from the
+/// Protocol thread's DispatcherQueue (or ProposalQueue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Emitted once at startup, before any other event.
+    Init,
+    /// A batch produced by the Batcher, ready to be proposed. Callers
+    /// should only submit proposals while [`crate::PaxosReplica::window_open`]
+    /// returns true (flow control); the core buffers a small number of
+    /// excess proposals and drops the rest when not leading.
+    Proposal(Batch),
+    /// A protocol message received from a peer.
+    Message {
+        /// The sending replica.
+        from: ReplicaId,
+        /// The message.
+        msg: ProtocolMsg,
+    },
+    /// The failure detector suspects the leader of `view`. Stale
+    /// suspicions (of older views) are ignored.
+    Suspect {
+        /// The view whose leader is suspected.
+        view: View,
+    },
+    /// Periodic housekeeping tick (catch-up re-issue, …). The real
+    /// runtime delivers one every few tens of milliseconds.
+    Tick,
+}
+
+/// Destination of an outgoing message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Every peer (all replicas except the sender).
+    All,
+    /// A single replica.
+    One(ReplicaId),
+}
+
+/// Identifies a retransmittable message for cancellation (§V-C4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetransmitKey {
+    /// The Phase 1a message of a view being prepared.
+    Prepare {
+        /// The view.
+        view: View,
+    },
+    /// The Phase 2a message of one instance.
+    Propose {
+        /// The proposing view.
+        view: View,
+        /// The instance.
+        slot: Slot,
+    },
+    /// An outstanding catch-up query.
+    Catchup {
+        /// First slot requested.
+        from: Slot,
+    },
+}
+
+/// An output of the protocol state machine, to be effected by the caller
+/// (send a message, deliver a decision, manage retransmission timers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send `msg` to `to`.
+    Send {
+        /// Destination.
+        to: Target,
+        /// The message.
+        msg: ProtocolMsg,
+    },
+    /// Deliver the decided `batch` of `slot` to the service. Emitted in
+    /// strictly increasing, gap-free slot order.
+    Deliver {
+        /// The decided slot.
+        slot: Slot,
+        /// The decided value.
+        batch: Batch,
+    },
+    /// Register `msg` for periodic retransmission to `to` until cancelled.
+    ScheduleRetransmit {
+        /// Cancellation key.
+        key: RetransmitKey,
+        /// Destination.
+        to: Target,
+        /// The message to retransmit.
+        msg: ProtocolMsg,
+    },
+    /// Cancel a previously scheduled retransmission.
+    CancelRetransmit {
+        /// The key to cancel.
+        key: RetransmitKey,
+    },
+    /// Cancel every outstanding retransmission (on view change).
+    CancelAllRetransmits,
+    /// The view changed; the failure detector should start monitoring (or
+    /// heartbeating, if this replica leads) `view`.
+    LeaderChanged {
+        /// The new view.
+        view: View,
+        /// Its leader.
+        leader: ReplicaId,
+    },
+}
+
+impl Action {
+    /// Short name of the action kind, for logs and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Action::Send { .. } => "Send",
+            Action::Deliver { .. } => "Deliver",
+            Action::ScheduleRetransmit { .. } => "ScheduleRetransmit",
+            Action::CancelRetransmit { .. } => "CancelRetransmit",
+            Action::CancelAllRetransmits => "CancelAllRetransmits",
+            Action::LeaderChanged { .. } => "LeaderChanged",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_kind_names() {
+        assert_eq!(Action::CancelAllRetransmits.kind(), "CancelAllRetransmits");
+        assert_eq!(
+            Action::LeaderChanged { view: View(1), leader: ReplicaId(1) }.kind(),
+            "LeaderChanged"
+        );
+    }
+
+    #[test]
+    fn retransmit_keys_are_distinct() {
+        use std::collections::HashSet;
+        let keys = [
+            RetransmitKey::Prepare { view: View(1) },
+            RetransmitKey::Propose { view: View(1), slot: Slot(0) },
+            RetransmitKey::Propose { view: View(1), slot: Slot(1) },
+            RetransmitKey::Catchup { from: Slot(0) },
+        ];
+        let set: HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
+    }
+}

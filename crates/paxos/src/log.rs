@@ -1,0 +1,328 @@
+//! The replicated log: per-instance consensus state and the decided /
+//! delivered frontiers.
+
+use std::collections::BTreeMap;
+
+use smr_types::{ReplicaId, Slot, View};
+use smr_wire::Batch;
+
+/// Consensus state of one instance (one slot of the log).
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    /// View in which `value` was accepted locally, if any.
+    pub accepted_view: Option<View>,
+    /// The value accepted locally (or learned via catch-up / decision).
+    pub value: Option<Batch>,
+    /// The view whose Phase 2b votes are being counted.
+    vote_view: View,
+    /// Bitmask of replicas known to have accepted in `vote_view`.
+    votes: u64,
+    /// Whether the instance is decided.
+    pub decided: bool,
+}
+
+impl Instance {
+    /// Records that `replica` accepted in `view`; votes of older views are
+    /// discarded when a newer view appears.
+    pub fn record_vote(&mut self, replica: ReplicaId, view: View) {
+        debug_assert!(replica.index() < 64, "vote bitmask supports up to 64 replicas");
+        if view > self.vote_view {
+            self.vote_view = view;
+            self.votes = 0;
+        }
+        if view == self.vote_view {
+            self.votes |= 1 << replica.index();
+        }
+    }
+
+    /// Number of recorded votes for `view`.
+    pub fn votes_in(&self, view: View) -> usize {
+        if view == self.vote_view {
+            self.votes.count_ones() as usize
+        } else {
+            0
+        }
+    }
+
+    /// Whether the locally held value can be declared decided with
+    /// `majority` votes: the value must have been accepted in the voted
+    /// view.
+    pub fn decidable(&self, majority: usize) -> bool {
+        !self.decided
+            && self.value.is_some()
+            && self.accepted_view == Some(self.vote_view)
+            && self.votes.count_ones() as usize >= majority
+    }
+}
+
+/// The replicated log of a single replica.
+///
+/// Maintains three monotone frontiers:
+///
+/// * `first_gap` — lowest slot not known decided (the paper's
+///   `decided_upto`, sent in heartbeats and promises);
+/// * `delivered_upto` — lowest slot not yet handed to the service
+///   (`delivered_upto <= first_gap`);
+/// * `truncated_below` — slots below this have been garbage collected and
+///   can no longer serve catch-up.
+#[derive(Debug, Default)]
+pub struct Log {
+    entries: BTreeMap<u64, Instance>,
+    first_gap: Slot,
+    delivered_upto: Slot,
+    truncated_below: Slot,
+}
+
+impl Log {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Log::default()
+    }
+
+    /// Lowest slot not known decided.
+    pub fn first_gap(&self) -> Slot {
+        self.first_gap
+    }
+
+    /// Lowest slot not yet delivered to the service.
+    pub fn delivered_upto(&self) -> Slot {
+        self.delivered_upto
+    }
+
+    /// Slots below this have been garbage collected.
+    pub fn truncated_below(&self) -> Slot {
+        self.truncated_below
+    }
+
+    /// Number of instances currently materialized.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no instances are materialized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Read access to a slot's instance, if materialized.
+    pub fn get(&self, slot: Slot) -> Option<&Instance> {
+        self.entries.get(&slot.0)
+    }
+
+    /// Mutable access to a slot's instance, materializing it.
+    pub fn entry(&mut self, slot: Slot) -> &mut Instance {
+        self.entries.entry(slot.0).or_default()
+    }
+
+    /// Marks `slot` decided (value must already be present). Returns true
+    /// if the flag changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the instance has no value.
+    pub fn mark_decided(&mut self, slot: Slot) -> bool {
+        let inst = self.entries.entry(slot.0).or_default();
+        debug_assert!(inst.value.is_some(), "deciding a slot without a value");
+        if inst.decided {
+            return false;
+        }
+        inst.decided = true;
+        // Advance the decided frontier over contiguous decided slots.
+        while self
+            .entries
+            .get(&self.first_gap.0)
+            .map_or(false, |i| i.decided)
+        {
+            self.first_gap = self.first_gap.next();
+        }
+        true
+    }
+
+    /// Pops the next deliverable `(slot, batch)` pairs: every decided slot
+    /// from `delivered_upto` up to the decided frontier, in order.
+    pub fn take_deliverable(&mut self) -> Vec<(Slot, Batch)> {
+        let mut out = Vec::new();
+        while self.delivered_upto < self.first_gap {
+            let slot = self.delivered_upto;
+            let inst = self.entries.get(&slot.0).expect("decided slot is materialized");
+            let batch = inst.value.clone().expect("decided slot has a value");
+            out.push((slot, batch));
+            self.delivered_upto = slot.next();
+        }
+        out
+    }
+
+    /// Decided `(slot, value)` pairs in `[from, to)` that are still
+    /// retained, for serving catch-up queries.
+    pub fn decided_range(&self, from: Slot, to: Slot, limit: usize) -> Vec<(Slot, Batch)> {
+        self.entries
+            .range(from.0..to.0)
+            .filter(|(_, i)| i.decided)
+            .take(limit)
+            .filter_map(|(s, i)| i.value.clone().map(|b| (Slot(*s), b)))
+            .collect()
+    }
+
+    /// Accepted-but-relevant entries at or above `from`, for Phase 1b
+    /// promises.
+    pub fn accepted_from(&self, from: Slot) -> Vec<(Slot, View, Batch)> {
+        self.entries
+            .range(from.0..)
+            .filter_map(|(s, i)| match (&i.accepted_view, &i.value) {
+                (Some(v), Some(b)) => Some((Slot(*s), *v, b.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Highest materialized slot, if any.
+    pub fn max_slot(&self) -> Option<Slot> {
+        self.entries.keys().next_back().map(|s| Slot(*s))
+    }
+
+    /// Garbage-collects delivered slots below `keep_from` (clamped to the
+    /// delivered frontier — undelivered entries are never dropped).
+    pub fn truncate_below(&mut self, keep_from: Slot) {
+        let limit = keep_from.min(self.delivered_upto);
+        if limit <= self.truncated_below {
+            return;
+        }
+        let keys: Vec<u64> = self.entries.range(..limit.0).map(|(s, _)| *s).collect();
+        for k in keys {
+            self.entries.remove(&k);
+        }
+        self.truncated_below = limit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_types::{ClientId, RequestId, SeqNum};
+    use smr_wire::Request;
+
+    fn batch(tag: u64) -> Batch {
+        Batch::new(vec![Request::new(RequestId::new(ClientId(tag), SeqNum(0)), vec![])])
+    }
+
+    #[test]
+    fn votes_count_per_view() {
+        let mut inst = Instance::default();
+        inst.record_vote(ReplicaId(0), View(1));
+        inst.record_vote(ReplicaId(1), View(1));
+        assert_eq!(inst.votes_in(View(1)), 2);
+        assert_eq!(inst.votes_in(View(0)), 0);
+    }
+
+    #[test]
+    fn newer_view_resets_votes() {
+        let mut inst = Instance::default();
+        inst.record_vote(ReplicaId(0), View(1));
+        inst.record_vote(ReplicaId(1), View(2));
+        assert_eq!(inst.votes_in(View(1)), 0);
+        assert_eq!(inst.votes_in(View(2)), 1);
+    }
+
+    #[test]
+    fn duplicate_votes_count_once() {
+        let mut inst = Instance::default();
+        inst.record_vote(ReplicaId(2), View(1));
+        inst.record_vote(ReplicaId(2), View(1));
+        assert_eq!(inst.votes_in(View(1)), 1);
+    }
+
+    #[test]
+    fn decidable_requires_value_in_vote_view() {
+        let mut inst = Instance::default();
+        inst.record_vote(ReplicaId(0), View(1));
+        inst.record_vote(ReplicaId(1), View(1));
+        assert!(!inst.decidable(2), "no value yet");
+        inst.value = Some(batch(1));
+        inst.accepted_view = Some(View(0));
+        assert!(!inst.decidable(2), "value from older view");
+        inst.accepted_view = Some(View(1));
+        assert!(inst.decidable(2));
+    }
+
+    #[test]
+    fn frontier_advances_contiguously() {
+        let mut log = Log::new();
+        for s in [1u64, 2] {
+            let e = log.entry(Slot(s));
+            e.value = Some(batch(s));
+            e.accepted_view = Some(View(0));
+        }
+        log.mark_decided(Slot(1));
+        log.mark_decided(Slot(2));
+        assert_eq!(log.first_gap(), Slot(0), "slot 0 missing blocks the frontier");
+        let e = log.entry(Slot(0));
+        e.value = Some(batch(0));
+        e.accepted_view = Some(View(0));
+        log.mark_decided(Slot(0));
+        assert_eq!(log.first_gap(), Slot(3));
+    }
+
+    #[test]
+    fn take_deliverable_in_order_once() {
+        let mut log = Log::new();
+        for s in 0..3u64 {
+            let e = log.entry(Slot(s));
+            e.value = Some(batch(s));
+            e.accepted_view = Some(View(0));
+            log.mark_decided(Slot(s));
+        }
+        let delivered = log.take_deliverable();
+        assert_eq!(delivered.len(), 3);
+        assert_eq!(delivered[0].0, Slot(0));
+        assert_eq!(delivered[2].0, Slot(2));
+        assert!(log.take_deliverable().is_empty(), "delivery is exactly-once");
+    }
+
+    #[test]
+    fn decided_range_serves_catchup() {
+        let mut log = Log::new();
+        for s in 0..5u64 {
+            let e = log.entry(Slot(s));
+            e.value = Some(batch(s));
+            e.accepted_view = Some(View(0));
+            log.mark_decided(Slot(s));
+        }
+        let got = log.decided_range(Slot(1), Slot(4), 10);
+        assert_eq!(got.iter().map(|(s, _)| s.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        let limited = log.decided_range(Slot(0), Slot(5), 2);
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn truncation_respects_delivery_frontier() {
+        let mut log = Log::new();
+        for s in 0..4u64 {
+            let e = log.entry(Slot(s));
+            e.value = Some(batch(s));
+            e.accepted_view = Some(View(0));
+            log.mark_decided(Slot(s));
+        }
+        // Nothing delivered yet: truncation is clamped to 0.
+        log.truncate_below(Slot(4));
+        assert_eq!(log.len(), 4);
+        let _ = log.take_deliverable();
+        log.truncate_below(Slot(2));
+        assert_eq!(log.truncated_below(), Slot(2));
+        assert_eq!(log.len(), 2);
+        assert!(log.get(Slot(1)).is_none());
+    }
+
+    #[test]
+    fn accepted_from_reports_suffix() {
+        let mut log = Log::new();
+        for s in [3u64, 5] {
+            let e = log.entry(Slot(s));
+            e.value = Some(batch(s));
+            e.accepted_view = Some(View(2));
+        }
+        log.entry(Slot(4)); // materialized but nothing accepted
+        let acc = log.accepted_from(Slot(4));
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc[0].0, Slot(5));
+    }
+}

@@ -1,0 +1,968 @@
+//! The protocol state machine driven by the Protocol thread.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use smr_types::{ClusterConfig, ReplicaId, Slot, View};
+use smr_wire::{AcceptedEntry, Batch, ProtocolMsg};
+
+use crate::events::{Action, Event, RetransmitKey, Target};
+use crate::log::Log;
+
+/// Role of a replica with respect to the current view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Accepting proposals from the view's leader.
+    Follower,
+    /// This replica leads the view and is running Phase 1.
+    Preparing,
+    /// This replica leads the view and is in the Phase 2 steady state.
+    Leading,
+}
+
+/// Maximum slots per catch-up query/reply, bounding message size.
+const CATCHUP_CHUNK: u64 = 256;
+
+/// How long (ns) to wait for a catch-up reply before re-issuing.
+const CATCHUP_TIMEOUT_NS: u64 = 200_000_000;
+
+/// The MultiPaxos state machine of one replica.
+///
+/// Feed it [`Event`]s via [`PaxosReplica::handle`]; it appends [`Action`]s
+/// for the caller to carry out. See the crate docs for the protocol
+/// sketch and the division of labour with the failure detector and the
+/// retransmitter.
+#[derive(Debug)]
+pub struct PaxosReplica {
+    me: ReplicaId,
+    config: ClusterConfig,
+    view: View,
+    role: ReplicaRole,
+    log: Log,
+    /// Peers' Phase 1b responses while preparing.
+    promises: HashMap<ReplicaId, Vec<AcceptedEntry>>,
+    prepare_first_unstable: Slot,
+    /// Next slot this leader will assign.
+    next_slot: Slot,
+    /// Slots proposed in the current view and not yet decided (the
+    /// paper's "parallel ballots in execution", bounded by `WND`).
+    my_inflight: BTreeSet<Slot>,
+    /// Proposals buffered while preparing or while the window is full.
+    pending_proposals: VecDeque<Batch>,
+    dropped_proposals: u64,
+    /// Outstanding catch-up query: (first slot asked, issue time ns).
+    catchup_inflight: Option<(Slot, u64)>,
+    /// Highest `decided_upto` heard from each replica.
+    peer_decided_upto: Vec<Slot>,
+    /// How many delivered slots to retain for serving catch-up.
+    retention: u64,
+}
+
+impl PaxosReplica {
+    /// Creates the state machine for replica `me` of `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not a member of `config`.
+    pub fn new(me: ReplicaId, config: ClusterConfig) -> Self {
+        assert!(config.contains(me), "replica {me} not in cluster of {}", config.n());
+        let n = config.n();
+        PaxosReplica {
+            me,
+            config,
+            view: View::ZERO,
+            role: ReplicaRole::Follower,
+            log: Log::new(),
+            promises: HashMap::new(),
+            prepare_first_unstable: Slot::ZERO,
+            next_slot: Slot::ZERO,
+            my_inflight: BTreeSet::new(),
+            pending_proposals: VecDeque::new(),
+            dropped_proposals: 0,
+            catchup_inflight: None,
+            peer_decided_upto: vec![Slot::ZERO; n],
+            retention: 4096,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Current role.
+    pub fn role(&self) -> ReplicaRole {
+        self.role
+    }
+
+    /// Leader of the current view.
+    pub fn leader(&self) -> ReplicaId {
+        self.view.leader(self.config.n())
+    }
+
+    /// Whether this replica leads the current view (preparing or leading).
+    pub fn is_leader(&self) -> bool {
+        self.leader() == self.me
+    }
+
+    /// Number of parallel ballots currently executing (Table I's
+    /// "avg parallel ballots" samples this).
+    pub fn in_flight(&self) -> usize {
+        self.my_inflight.len()
+    }
+
+    /// Whether a new proposal would be admitted immediately (pipelining
+    /// window `WND` not exhausted).
+    pub fn window_open(&self) -> bool {
+        self.role == ReplicaRole::Leading && self.my_inflight.len() < self.config.window()
+    }
+
+    /// First slot not known decided.
+    pub fn decided_upto(&self) -> Slot {
+        self.log.first_gap()
+    }
+
+    /// Proposals buffered awaiting leadership/window.
+    pub fn pending_proposals(&self) -> usize {
+        self.pending_proposals.len()
+    }
+
+    /// Proposals dropped because this replica was not leading.
+    pub fn dropped_proposals(&self) -> u64 {
+        self.dropped_proposals
+    }
+
+    /// Read access to the log (tests, catch-up serving, snapshots).
+    pub fn log(&self) -> &Log {
+        &self.log
+    }
+
+    /// Sets how many delivered slots are retained for catch-up.
+    pub fn set_retention(&mut self, slots: u64) {
+        self.retention = slots;
+    }
+
+    /// Processes one event, appending resulting actions to `out`.
+    ///
+    /// `now_ns` is a monotonic timestamp supplied by the caller (real or
+    /// virtual time).
+    pub fn handle(&mut self, event: Event, now_ns: u64, out: &mut Vec<Action>) {
+        match event {
+            Event::Init => self.on_init(out),
+            Event::Proposal(batch) => self.on_proposal(batch, out),
+            Event::Message { from, msg } => self.on_message(from, msg, now_ns, out),
+            Event::Suspect { view } => self.on_suspect(view, out),
+            Event::Tick => self.maybe_catchup(None, now_ns, out),
+        }
+    }
+
+    fn on_init(&mut self, out: &mut Vec<Action>) {
+        // View 0 is prepared by convention: nothing can have been accepted
+        // in an earlier view, so Phase 1 is vacuous.
+        if self.is_leader() {
+            self.role = ReplicaRole::Leading;
+        }
+        out.push(Action::LeaderChanged { view: self.view, leader: self.leader() });
+    }
+
+    fn on_proposal(&mut self, batch: Batch, out: &mut Vec<Action>) {
+        match self.role {
+            ReplicaRole::Leading if self.window_open() => self.propose(batch, out),
+            ReplicaRole::Leading | ReplicaRole::Preparing => {
+                if self.pending_proposals.len() < 2 * self.config.window() {
+                    self.pending_proposals.push_back(batch);
+                } else {
+                    self.dropped_proposals += 1;
+                }
+            }
+            ReplicaRole::Follower => {
+                // Not our job to order this; the client will retransmit to
+                // the real leader and the reply cache deduplicates.
+                self.dropped_proposals += 1;
+            }
+        }
+    }
+
+    fn propose(&mut self, batch: Batch, out: &mut Vec<Action>) {
+        let slot = self.next_slot;
+        self.next_slot = slot.next();
+        let view = self.view;
+        let inst = self.log.entry(slot);
+        debug_assert!(!inst.decided, "proposing into a decided slot");
+        inst.value = Some(batch.clone());
+        inst.accepted_view = Some(view);
+        inst.record_vote(self.me, view);
+        self.my_inflight.insert(slot);
+        let msg = ProtocolMsg::Propose { view, slot, batch };
+        out.push(Action::Send { to: Target::All, msg: msg.clone() });
+        out.push(Action::ScheduleRetransmit {
+            key: RetransmitKey::Propose { view, slot },
+            to: Target::All,
+            msg,
+        });
+        self.try_decide(slot, out);
+    }
+
+    fn on_suspect(&mut self, suspected: View, out: &mut Vec<Action>) {
+        if suspected != self.view {
+            return; // stale suspicion
+        }
+        let next = self.view.next();
+        self.advance_view(next, out);
+        if self.is_leader() {
+            self.start_prepare(out);
+        } else {
+            // Nudge the natural next leader in case its own detector is
+            // slower than ours.
+            out.push(Action::Send {
+                to: Target::One(next.leader(self.config.n())),
+                msg: ProtocolMsg::Suspect { view: suspected, from: self.me },
+            });
+        }
+    }
+
+    /// Moves to `view` (strictly higher), resetting per-view state.
+    fn advance_view(&mut self, view: View, out: &mut Vec<Action>) {
+        debug_assert!(view > self.view);
+        self.view = view;
+        self.role = ReplicaRole::Follower;
+        self.my_inflight.clear();
+        self.promises.clear();
+        out.push(Action::CancelAllRetransmits);
+        out.push(Action::LeaderChanged { view, leader: self.leader() });
+    }
+
+    fn start_prepare(&mut self, out: &mut Vec<Action>) {
+        debug_assert!(self.is_leader());
+        self.role = ReplicaRole::Preparing;
+        self.promises.clear();
+        self.prepare_first_unstable = self.log.first_gap();
+        let msg =
+            ProtocolMsg::Prepare { view: self.view, first_unstable: self.prepare_first_unstable };
+        out.push(Action::Send { to: Target::All, msg: msg.clone() });
+        out.push(Action::ScheduleRetransmit {
+            key: RetransmitKey::Prepare { view: self.view },
+            to: Target::All,
+            msg,
+        });
+        // A single-replica cluster has its majority already.
+        if 1 + self.promises.len() >= self.config.majority() {
+            self.finish_prepare(out);
+        }
+    }
+
+    fn finish_prepare(&mut self, out: &mut Vec<Action>) {
+        self.role = ReplicaRole::Leading;
+        out.push(Action::CancelRetransmit { key: RetransmitKey::Prepare { view: self.view } });
+        let fu = self.prepare_first_unstable;
+
+        // Choose, per slot, the value accepted in the highest view among
+        // the quorum's reports and our own log.
+        let mut best: HashMap<u64, (View, Batch)> = HashMap::new();
+        for (slot, view, batch) in self.log.accepted_from(fu) {
+            best.insert(slot.0, (view, batch));
+        }
+        for entries in self.promises.values() {
+            for e in entries {
+                if e.slot < fu {
+                    continue;
+                }
+                match best.get(&e.slot.0) {
+                    Some((v, _)) if *v >= e.view => {}
+                    _ => {
+                        best.insert(e.slot.0, (e.view, e.batch.clone()));
+                    }
+                }
+            }
+        }
+        let max_slot = best.keys().max().copied().map(Slot);
+        let stop = max_slot.map_or(fu, |m| m.next());
+        self.next_slot = stop.max(fu);
+        // Re-propose every unstable slot; holes become no-ops so the log
+        // stays gap-free and later decisions can execute.
+        let mut slot = fu;
+        while slot < stop {
+            if self.log.get(slot).map_or(false, |i| i.decided) {
+                slot = slot.next();
+                continue;
+            }
+            let batch = best.get(&slot.0).map(|(_, b)| b.clone()).unwrap_or_else(Batch::empty);
+            let view = self.view;
+            let inst = self.log.entry(slot);
+            inst.value = Some(batch.clone());
+            inst.accepted_view = Some(view);
+            inst.record_vote(self.me, view);
+            self.my_inflight.insert(slot);
+            let msg = ProtocolMsg::Propose { view, slot, batch };
+            out.push(Action::Send { to: Target::All, msg: msg.clone() });
+            out.push(Action::ScheduleRetransmit {
+                key: RetransmitKey::Propose { view, slot },
+                to: Target::All,
+                msg,
+            });
+            self.try_decide(slot, out);
+            slot = slot.next();
+        }
+        self.drain_pending(out);
+    }
+
+    fn drain_pending(&mut self, out: &mut Vec<Action>) {
+        while self.window_open() {
+            match self.pending_proposals.pop_front() {
+                Some(batch) => self.propose(batch, out),
+                None => break,
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ReplicaId,
+        msg: ProtocolMsg,
+        now_ns: u64,
+        out: &mut Vec<Action>,
+    ) {
+        if !self.config.contains(from) {
+            return;
+        }
+        match msg {
+            ProtocolMsg::Prepare { view, first_unstable } => {
+                self.on_prepare(from, view, first_unstable, out)
+            }
+            ProtocolMsg::Promise { view, decided_upto, accepted } => {
+                self.on_promise(from, view, decided_upto, accepted, now_ns, out)
+            }
+            ProtocolMsg::Propose { view, slot, batch } => {
+                self.on_propose_msg(from, view, slot, batch, now_ns, out)
+            }
+            ProtocolMsg::Accept { view, slot } => self.on_accept(from, view, slot, now_ns, out),
+            ProtocolMsg::CatchupQuery { from: lo, to } => self.on_catchup_query(from, lo, to, out),
+            ProtocolMsg::CatchupReply { decided_upto, entries } => {
+                self.on_catchup_reply(from, decided_upto, entries, now_ns, out)
+            }
+            ProtocolMsg::Heartbeat { view, decided_upto } => {
+                self.on_heartbeat(from, view, decided_upto, now_ns, out)
+            }
+            ProtocolMsg::Suspect { view, from: reporter } => {
+                // A peer suspects `view`'s leader and we are next in line.
+                if view == self.view
+                    && reporter != self.me
+                    && self.view.next().leader(self.config.n()) == self.me
+                {
+                    self.on_suspect(view, out);
+                }
+            }
+        }
+    }
+
+    fn on_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        first_unstable: Slot,
+        out: &mut Vec<Action>,
+    ) {
+        if view < self.view || view.leader(self.config.n()) != from {
+            return;
+        }
+        if view > self.view {
+            self.advance_view(view, out);
+        }
+        // (view == self.view case: duplicate Prepare → idempotent re-promise.)
+        let accepted = self
+            .log
+            .accepted_from(first_unstable)
+            .into_iter()
+            .map(|(slot, view, batch)| AcceptedEntry { slot, view, batch })
+            .collect();
+        out.push(Action::Send {
+            to: Target::One(from),
+            msg: ProtocolMsg::Promise { view, decided_upto: self.log.first_gap(), accepted },
+        });
+    }
+
+    fn on_promise(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        decided_upto: Slot,
+        accepted: Vec<AcceptedEntry>,
+        now_ns: u64,
+        out: &mut Vec<Action>,
+    ) {
+        self.note_peer_progress(from, decided_upto);
+        if view != self.view || self.role != ReplicaRole::Preparing {
+            return;
+        }
+        self.promises.entry(from).or_insert(accepted);
+        if 1 + self.promises.len() >= self.config.majority() {
+            self.finish_prepare(out);
+            self.maybe_catchup(None, now_ns, out);
+        }
+    }
+
+    fn on_propose_msg(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        slot: Slot,
+        batch: Batch,
+        now_ns: u64,
+        out: &mut Vec<Action>,
+    ) {
+        if view < self.view || view.leader(self.config.n()) != from {
+            return;
+        }
+        if view > self.view {
+            self.advance_view(view, out);
+        }
+        if slot < self.log.truncated_below() {
+            // Long decided and garbage collected; tell the sender it can
+            // stop retransmitting.
+            out.push(Action::Send { to: Target::One(from), msg: ProtocolMsg::Accept { view, slot } });
+            return;
+        }
+        let me = self.me;
+        let inst = self.log.entry(slot);
+        if inst.decided {
+            debug_assert!(
+                inst.value.as_ref() == Some(&batch),
+                "paxos safety: decided value re-proposed differently"
+            );
+            out.push(Action::Send { to: Target::One(from), msg: ProtocolMsg::Accept { view, slot } });
+            return;
+        }
+        // Accept: record our vote and the proposer's implicit vote.
+        inst.value = Some(batch);
+        inst.accepted_view = Some(view);
+        inst.record_vote(me, view);
+        inst.record_vote(from, view);
+        out.push(Action::Send { to: Target::All, msg: ProtocolMsg::Accept { view, slot } });
+        self.try_decide(slot, out);
+        // A slot far beyond our decided frontier implies we missed traffic.
+        if slot.0 > self.log.first_gap().0 + 2 * self.config.window() as u64 {
+            self.maybe_catchup(Some(slot), now_ns, out);
+        }
+    }
+
+    fn on_accept(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        slot: Slot,
+        now_ns: u64,
+        out: &mut Vec<Action>,
+    ) {
+        if view < self.view {
+            return;
+        }
+        if view > self.view {
+            // Someone accepted in a higher view; follow along.
+            self.advance_view(view, out);
+        }
+        if slot < self.log.truncated_below() {
+            return;
+        }
+        let majority = self.config.majority();
+        let inst = self.log.entry(slot);
+        inst.record_vote(from, view);
+        let missing_value = inst.value.is_none() && inst.votes_in(view) >= majority;
+        self.try_decide(slot, out);
+        if missing_value {
+            // A majority accepted a proposal we never saw: fetch it.
+            self.maybe_catchup(Some(slot.next()), now_ns, out);
+        }
+    }
+
+    fn try_decide(&mut self, slot: Slot, out: &mut Vec<Action>) {
+        let majority = self.config.majority();
+        let decidable = self.log.get(slot).map_or(false, |i| i.decidable(majority));
+        if !decidable {
+            return;
+        }
+        self.log.mark_decided(slot);
+        if self.my_inflight.remove(&slot) {
+            out.push(Action::CancelRetransmit {
+                key: RetransmitKey::Propose { view: self.view, slot },
+            });
+        }
+        for (slot, batch) in self.log.take_deliverable() {
+            out.push(Action::Deliver { slot, batch });
+        }
+        // Keep a bounded history for catch-up.
+        let keep_from = Slot(self.log.first_gap().0.saturating_sub(self.retention));
+        self.log.truncate_below(keep_from);
+        if self.role == ReplicaRole::Leading {
+            self.drain_pending(out);
+        }
+    }
+
+    fn on_heartbeat(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        decided_upto: Slot,
+        now_ns: u64,
+        out: &mut Vec<Action>,
+    ) {
+        if view > self.view && view.leader(self.config.n()) == from {
+            self.advance_view(view, out);
+        }
+        self.note_peer_progress(from, decided_upto);
+        if decided_upto > self.log.first_gap() {
+            self.maybe_catchup(None, now_ns, out);
+        }
+    }
+
+    fn on_catchup_query(&mut self, from: ReplicaId, lo: Slot, to: Slot, out: &mut Vec<Action>) {
+        let to = Slot(to.0.min(lo.0.saturating_add(CATCHUP_CHUNK)));
+        let entries = self.log.decided_range(lo, to, CATCHUP_CHUNK as usize);
+        out.push(Action::Send {
+            to: Target::One(from),
+            msg: ProtocolMsg::CatchupReply { decided_upto: self.log.first_gap(), entries },
+        });
+    }
+
+    fn on_catchup_reply(
+        &mut self,
+        from: ReplicaId,
+        decided_upto: Slot,
+        entries: Vec<(Slot, Batch)>,
+        now_ns: u64,
+        out: &mut Vec<Action>,
+    ) {
+        self.catchup_inflight = None;
+        self.note_peer_progress(from, decided_upto);
+        for (slot, batch) in entries {
+            if slot < self.log.truncated_below() {
+                continue;
+            }
+            let inst = self.log.entry(slot);
+            if inst.decided {
+                continue;
+            }
+            inst.value = Some(batch);
+            if inst.accepted_view.is_none() {
+                inst.accepted_view = Some(View::ZERO);
+            }
+            self.log.mark_decided(slot);
+        }
+        for (slot, batch) in self.log.take_deliverable() {
+            out.push(Action::Deliver { slot, batch });
+        }
+        if decided_upto > self.log.first_gap() {
+            self.catchup_now(now_ns, out);
+        }
+    }
+
+    fn note_peer_progress(&mut self, peer: ReplicaId, decided_upto: Slot) {
+        let entry = &mut self.peer_decided_upto[peer.index()];
+        *entry = (*entry).max(decided_upto);
+    }
+
+    /// Issues a catch-up query if we are behind and none is outstanding
+    /// (or the outstanding one timed out).
+    fn maybe_catchup(&mut self, hint: Option<Slot>, now_ns: u64, out: &mut Vec<Action>) {
+        let known_best =
+            self.peer_decided_upto.iter().copied().max().unwrap_or(Slot::ZERO);
+        let target = hint.map_or(known_best, |h| h.max(known_best));
+        if target <= self.log.first_gap() {
+            return;
+        }
+        if let Some((_, issued)) = self.catchup_inflight {
+            if now_ns.saturating_sub(issued) < CATCHUP_TIMEOUT_NS {
+                return;
+            }
+        }
+        self.catchup_now(now_ns, out);
+    }
+
+    fn catchup_now(&mut self, now_ns: u64, out: &mut Vec<Action>) {
+        let from = self.log.first_gap();
+        let known_best = self.peer_decided_upto.iter().copied().max().unwrap_or(Slot::ZERO);
+        let to = Slot(known_best.0.max(from.0 + 1).min(from.0 + CATCHUP_CHUNK));
+        // Ask the most advanced peer; ties go to the lowest id.
+        let peer = self
+            .config
+            .peers(self.me)
+            .max_by_key(|p| (self.peer_decided_upto[p.index()], std::cmp::Reverse(p.0)))
+            .unwrap_or(self.leader());
+        if peer == self.me {
+            return;
+        }
+        self.catchup_inflight = Some((from, now_ns));
+        out.push(Action::Send {
+            to: Target::One(peer),
+            msg: ProtocolMsg::CatchupQuery { from, to },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_types::{ClientId, RequestId, SeqNum};
+    use smr_wire::Request;
+
+    fn batch(tag: u64) -> Batch {
+        Batch::new(vec![Request::new(
+            RequestId::new(ClientId(tag), SeqNum(tag)),
+            tag.to_le_bytes().to_vec(),
+        )])
+    }
+
+    /// In-memory cluster that synchronously pumps every Send action.
+    struct TestNet {
+        replicas: Vec<PaxosReplica>,
+        delivered: Vec<Vec<(Slot, Batch)>>,
+        now: u64,
+    }
+
+    impl TestNet {
+        fn new(n: usize) -> Self {
+            let config = ClusterConfig::new(n);
+            let mut replicas: Vec<PaxosReplica> =
+                (0..n as u16).map(|i| PaxosReplica::new(ReplicaId(i), config.clone())).collect();
+            let mut net = TestNet { replicas: Vec::new(), delivered: vec![Vec::new(); n], now: 0 };
+            let mut inbox = Vec::new();
+            for r in replicas.iter_mut() {
+                let mut acts = Vec::new();
+                r.handle(Event::Init, 0, &mut acts);
+                inbox.push(acts);
+            }
+            net.replicas = replicas;
+            for (i, acts) in inbox.into_iter().enumerate() {
+                net.route(ReplicaId(i as u16), acts);
+            }
+            net
+        }
+
+        fn event(&mut self, to: ReplicaId, event: Event) {
+            self.now += 1;
+            let mut acts = Vec::new();
+            self.replicas[to.index()].handle(event, self.now, &mut acts);
+            self.route(to, acts);
+        }
+
+        fn route(&mut self, from: ReplicaId, actions: Vec<Action>) {
+            let n = self.replicas.len();
+            for action in actions {
+                match action {
+                    Action::Send { to, msg } => {
+                        let targets: Vec<ReplicaId> = match to {
+                            Target::All => {
+                                (0..n as u16).map(ReplicaId).filter(|r| *r != from).collect()
+                            }
+                            Target::One(r) => vec![r],
+                        };
+                        for t in targets {
+                            self.event(t, Event::Message { from, msg: msg.clone() });
+                        }
+                    }
+                    Action::Deliver { slot, batch } => {
+                        self.delivered[from.index()].push((slot, batch));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        fn leader(&self) -> ReplicaId {
+            self.replicas[0].leader()
+        }
+    }
+
+    #[test]
+    fn three_replicas_order_and_deliver() {
+        let mut net = TestNet::new(3);
+        let leader = net.leader();
+        assert_eq!(leader, ReplicaId(0));
+        for i in 0..5 {
+            net.event(leader, Event::Proposal(batch(i)));
+        }
+        for r in 0..3 {
+            assert_eq!(net.delivered[r].len(), 5, "replica {r} delivered everything");
+            for (i, (slot, b)) in net.delivered[r].iter().enumerate() {
+                assert_eq!(slot.0, i as u64);
+                assert_eq!(b, &batch(i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_agree_pairwise() {
+        let mut net = TestNet::new(5);
+        for i in 0..10 {
+            net.event(ReplicaId(0), Event::Proposal(batch(i)));
+        }
+        let reference = net.delivered[0].clone();
+        assert_eq!(reference.len(), 10);
+        for r in 1..5 {
+            assert_eq!(net.delivered[r], reference);
+        }
+    }
+
+    #[test]
+    fn single_replica_decides_alone() {
+        let mut net = TestNet::new(1);
+        net.event(ReplicaId(0), Event::Proposal(batch(9)));
+        assert_eq!(net.delivered[0], vec![(Slot(0), batch(9))]);
+    }
+
+    #[test]
+    fn follower_drops_proposals() {
+        let mut net = TestNet::new(3);
+        net.event(ReplicaId(1), Event::Proposal(batch(1)));
+        assert_eq!(net.replicas[1].dropped_proposals(), 1);
+        assert!(net.delivered.iter().all(|d| d.is_empty()));
+    }
+
+    #[test]
+    fn window_limits_inflight() {
+        let config = ClusterConfig::builder(3).window(2).build().unwrap();
+        let mut leader = PaxosReplica::new(ReplicaId(0), config);
+        let mut out = Vec::new();
+        leader.handle(Event::Init, 0, &mut out);
+        for i in 0..5 {
+            leader.handle(Event::Proposal(batch(i)), 0, &mut out);
+        }
+        // No accepts arrive, so only WND=2 proposals go out.
+        assert_eq!(leader.in_flight(), 2);
+        assert!(!leader.window_open());
+        assert_eq!(leader.pending_proposals(), 3);
+        let proposes = out
+            .iter()
+            .filter(|a| {
+                matches!(a, Action::Send { msg: ProtocolMsg::Propose { .. }, to: Target::All })
+            })
+            .count();
+        assert_eq!(proposes, 2);
+    }
+
+    #[test]
+    fn view_change_elects_next_replica() {
+        let mut net = TestNet::new(3);
+        for i in 0..3 {
+            net.event(ReplicaId(0), Event::Proposal(batch(i)));
+        }
+        // Replica 1 suspects the leader of view 0 and takes over.
+        net.event(ReplicaId(1), Event::Suspect { view: View(0) });
+        assert_eq!(net.replicas[1].view(), View(1));
+        assert_eq!(net.replicas[1].role(), ReplicaRole::Leading);
+        assert_eq!(net.replicas[2].view(), View(1));
+        // The new leader keeps ordering.
+        for i in 3..6 {
+            net.event(ReplicaId(1), Event::Proposal(batch(i)));
+        }
+        for r in [1usize, 2] {
+            let tags: Vec<u64> =
+                net.delivered[r].iter().map(|(_, b)| b.requests[0].id.client.0).collect();
+            assert_eq!(tags, vec![0, 1, 2, 3, 4, 5], "replica {r} order preserved across views");
+        }
+    }
+
+    #[test]
+    fn view_change_preserves_decided_values() {
+        // Decide slots under leader 0, change view, verify leader 1
+        // re-proposals do not overwrite them.
+        let mut net = TestNet::new(3);
+        for i in 0..4 {
+            net.event(ReplicaId(0), Event::Proposal(batch(i)));
+        }
+        let before = net.delivered[2].clone();
+        net.event(ReplicaId(2), Event::Suspect { view: View(0) });
+        net.event(ReplicaId(1), Event::Suspect { view: View(0) });
+        for i in 4..6 {
+            net.event(ReplicaId(1), Event::Proposal(batch(i)));
+        }
+        assert_eq!(&net.delivered[2][..before.len()], &before[..]);
+        for r in 1..3 {
+            assert_eq!(net.delivered[r].len(), 6);
+        }
+    }
+
+    #[test]
+    fn suspect_message_triggers_next_leader() {
+        let mut net = TestNet::new(3);
+        // Replica 2 suspects; it is not next in line (1 is), so it sends a
+        // Suspect message that makes replica 1 take over.
+        net.event(ReplicaId(2), Event::Suspect { view: View(0) });
+        assert_eq!(net.replicas[1].role(), ReplicaRole::Leading);
+        assert_eq!(net.replicas[1].view(), View(1));
+    }
+
+    #[test]
+    fn stale_suspicion_ignored() {
+        let mut net = TestNet::new(3);
+        net.event(ReplicaId(1), Event::Suspect { view: View(0) });
+        let v = net.replicas[1].view();
+        net.event(ReplicaId(1), Event::Suspect { view: View(0) });
+        assert_eq!(net.replicas[1].view(), v, "second suspicion of view 0 is stale");
+    }
+
+    #[test]
+    fn heartbeat_triggers_catchup() {
+        let config = ClusterConfig::new(3);
+        let mut straggler = PaxosReplica::new(ReplicaId(2), config);
+        let mut out = Vec::new();
+        straggler.handle(Event::Init, 0, &mut out);
+        out.clear();
+        straggler.handle(
+            Event::Message {
+                from: ReplicaId(0),
+                msg: ProtocolMsg::Heartbeat { view: View(0), decided_upto: Slot(10) },
+            },
+            1,
+            &mut out,
+        );
+        assert!(
+            out.iter().any(|a| matches!(
+                a,
+                Action::Send { msg: ProtocolMsg::CatchupQuery { .. }, .. }
+            )),
+            "straggler asks for missing slots: {out:?}"
+        );
+    }
+
+    #[test]
+    fn catchup_roundtrip_fills_gap() {
+        let mut net = TestNet::new(3);
+        for i in 0..4 {
+            net.event(ReplicaId(0), Event::Proposal(batch(i)));
+        }
+        // Build a detached straggler that saw nothing.
+        let mut straggler = PaxosReplica::new(ReplicaId(2), net.replicas[0].config().clone());
+        let mut acts = Vec::new();
+        straggler.handle(Event::Init, 0, &mut acts);
+        acts.clear();
+        straggler.handle(
+            Event::Message {
+                from: ReplicaId(0),
+                msg: ProtocolMsg::Heartbeat { view: View(0), decided_upto: Slot(4) },
+            },
+            1,
+            &mut acts,
+        );
+        let query = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { to: Target::One(p), msg: ProtocolMsg::CatchupQuery { from, to } } => {
+                    Some((*p, *from, *to))
+                }
+                _ => None,
+            })
+            .expect("catch-up query issued");
+        // Serve the query from replica 0's real log.
+        let mut serve = Vec::new();
+        net.replicas[0].handle(
+            Event::Message {
+                from: ReplicaId(2),
+                msg: ProtocolMsg::CatchupQuery { from: query.1, to: query.2 },
+            },
+            2,
+            &mut serve,
+        );
+        let reply = serve
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { msg: m @ ProtocolMsg::CatchupReply { .. }, .. } => Some(m.clone()),
+                _ => None,
+            })
+            .expect("catch-up reply produced");
+        let mut final_acts = Vec::new();
+        straggler.handle(Event::Message { from: query.0, msg: reply }, 3, &mut final_acts);
+        let delivered: Vec<Slot> = final_acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![Slot(0), Slot(1), Slot(2), Slot(3)]);
+    }
+
+    #[test]
+    fn decide_cancels_retransmission() {
+        let mut net = TestNet::new(3);
+        // Capture leader actions directly for one proposal.
+        net.now += 1;
+        let mut acts = Vec::new();
+        net.replicas[0].handle(Event::Proposal(batch(0)), net.now, &mut acts);
+        let scheduled = acts
+            .iter()
+            .any(|a| matches!(a, Action::ScheduleRetransmit { key: RetransmitKey::Propose { .. }, .. }));
+        assert!(scheduled);
+        net.route(ReplicaId(0), acts.clone());
+        // After routing, accepts came back and the slot decided.
+        assert_eq!(net.replicas[0].in_flight(), 0);
+    }
+
+    #[test]
+    fn duplicate_propose_is_idempotent() {
+        let mut net = TestNet::new(3);
+        net.event(ReplicaId(0), Event::Proposal(batch(0)));
+        let delivered_before = net.delivered[1].len();
+        // Re-deliver the same Propose (retransmission after decide).
+        net.event(
+            ReplicaId(1),
+            Event::Message {
+                from: ReplicaId(0),
+                msg: ProtocolMsg::Propose { view: View(0), slot: Slot(0), batch: batch(0) },
+            },
+        );
+        assert_eq!(net.delivered[1].len(), delivered_before, "no double delivery");
+    }
+
+    #[test]
+    fn old_view_messages_ignored() {
+        let mut net = TestNet::new(3);
+        net.event(ReplicaId(1), Event::Suspect { view: View(0) });
+        assert_eq!(net.replicas[2].view(), View(1));
+        // A stale propose from deposed leader 0 in view 0.
+        let before = net.delivered[2].len();
+        net.event(
+            ReplicaId(2),
+            Event::Message {
+                from: ReplicaId(0),
+                msg: ProtocolMsg::Propose { view: View(0), slot: Slot(99), batch: batch(9) },
+            },
+        );
+        assert_eq!(net.delivered[2].len(), before);
+        assert!(net.replicas[2].log().get(Slot(99)).is_none());
+    }
+
+    #[test]
+    fn non_leader_prepare_rejected() {
+        let mut net = TestNet::new(3);
+        // Replica 2 claims a Prepare for view 1, but view 1 is led by 1.
+        net.event(
+            ReplicaId(0),
+            Event::Message {
+                from: ReplicaId(2),
+                msg: ProtocolMsg::Prepare { view: View(1), first_unstable: Slot(0) },
+            },
+        );
+        assert_eq!(net.replicas[0].view(), View(0), "bogus prepare ignored");
+    }
+
+    #[test]
+    fn init_reports_leader() {
+        let mut r = PaxosReplica::new(ReplicaId(1), ClusterConfig::new(3));
+        let mut out = Vec::new();
+        r.handle(Event::Init, 0, &mut out);
+        assert_eq!(
+            out,
+            vec![Action::LeaderChanged { view: View(0), leader: ReplicaId(0) }]
+        );
+        assert_eq!(r.role(), ReplicaRole::Follower);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based safety tests: under arbitrary message delivery order,
+//! duplication, loss, and leader churn, Paxos must never let two replicas
+//! deliver different values for the same slot, and delivered sequences
+//! must be prefix-consistent.
+
+use proptest::prelude::*;
+
+use smr_paxos::{Action, Event, PaxosReplica, Target};
+use smr_types::{ClientId, ClusterConfig, ReplicaId, RequestId, SeqNum, Slot, View};
+use smr_wire::{Batch, ProtocolMsg, Request};
+
+fn batch(tag: u64) -> Batch {
+    Batch::new(vec![Request::new(
+        RequestId::new(ClientId(tag), SeqNum(tag)),
+        tag.to_le_bytes().to_vec(),
+    )])
+}
+
+/// A chaotic scheduler: applies a script of operations to a cluster,
+/// buffering messages in a pool delivered in arbitrary (script-chosen)
+/// order, with duplication and loss.
+struct Chaos {
+    replicas: Vec<PaxosReplica>,
+    /// (to, from, msg) triples awaiting delivery.
+    pool: Vec<(ReplicaId, ReplicaId, ProtocolMsg)>,
+    delivered: Vec<Vec<(Slot, Batch)>>,
+    now: u64,
+    next_tag: u64,
+}
+
+impl Chaos {
+    fn new(n: usize) -> Self {
+        let config = ClusterConfig::builder(n).window(4).build().unwrap();
+        let mut chaos = Chaos {
+            replicas: (0..n as u16)
+                .map(|i| PaxosReplica::new(ReplicaId(i), config.clone()))
+                .collect(),
+            pool: Vec::new(),
+            delivered: vec![Vec::new(); n],
+            now: 0,
+            next_tag: 0,
+        };
+        for i in 0..n {
+            chaos.apply(ReplicaId(i as u16), Event::Init);
+        }
+        chaos
+    }
+
+    fn apply(&mut self, at: ReplicaId, event: Event) {
+        self.now += 1;
+        let mut actions = Vec::new();
+        self.replicas[at.index()].handle(event, self.now, &mut actions);
+        let n = self.replicas.len();
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => match to {
+                    Target::All => {
+                        for r in 0..n as u16 {
+                            if ReplicaId(r) != at {
+                                self.pool.push((ReplicaId(r), at, msg.clone()));
+                            }
+                        }
+                    }
+                    Target::One(r) => self.pool.push((r, at, msg)),
+                },
+                Action::Deliver { slot, batch } => {
+                    self.delivered[at.index()].push((slot, batch));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn step(&mut self, op: u8, pick: usize) {
+        let n = self.replicas.len();
+        match op % 10 {
+            // Deliver a pooled message (and remove it).
+            0..=4 => {
+                if self.pool.is_empty() {
+                    return;
+                }
+                let idx = pick % self.pool.len();
+                let (to, from, msg) = self.pool.swap_remove(idx);
+                self.apply(to, Event::Message { from, msg });
+            }
+            // Deliver a duplicate (keep the original in the pool).
+            5 => {
+                if self.pool.is_empty() {
+                    return;
+                }
+                let idx = pick % self.pool.len();
+                let (to, from, msg) = self.pool[idx].clone();
+                self.apply(to, Event::Message { from, msg });
+            }
+            // Drop a message.
+            6 => {
+                if self.pool.is_empty() {
+                    return;
+                }
+                let idx = pick % self.pool.len();
+                self.pool.swap_remove(idx);
+            }
+            // Propose at whichever replica currently thinks it leads.
+            7 | 8 => {
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                let at = ReplicaId((pick % n) as u16);
+                self.apply(at, Event::Proposal(batch(tag)));
+            }
+            // Suspect the current leader at a random replica.
+            9 => {
+                let at = ReplicaId((pick % n) as u16);
+                let view = self.replicas[at.index()].view();
+                self.apply(at, Event::Suspect { view });
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn check_safety(&self) {
+        // Pairwise prefix consistency of delivered sequences.
+        for a in 0..self.delivered.len() {
+            for b in (a + 1)..self.delivered.len() {
+                let (da, db) = (&self.delivered[a], &self.delivered[b]);
+                let common = da.len().min(db.len());
+                assert_eq!(
+                    &da[..common],
+                    &db[..common],
+                    "replicas {a} and {b} diverge within their common prefix"
+                );
+            }
+        }
+        // Delivered slots are consecutive from 0 at each replica.
+        for (r, seq) in self.delivered.iter().enumerate() {
+            for (i, (slot, _)) in seq.iter().enumerate() {
+                assert_eq!(slot.0, i as u64, "replica {r} delivered slots out of order");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chaotic_schedules_preserve_agreement_n3(
+        script in proptest::collection::vec((any::<u8>(), any::<usize>()), 0..400)
+    ) {
+        let mut chaos = Chaos::new(3);
+        for (op, pick) in script {
+            chaos.step(op, pick);
+        }
+        chaos.check_safety();
+    }
+
+    #[test]
+    fn chaotic_schedules_preserve_agreement_n5(
+        script in proptest::collection::vec((any::<u8>(), any::<usize>()), 0..400)
+    ) {
+        let mut chaos = Chaos::new(5);
+        for (op, pick) in script {
+            chaos.step(op, pick);
+        }
+        chaos.check_safety();
+    }
+
+    #[test]
+    fn draining_the_pool_reaches_agreement(
+        script in proptest::collection::vec((any::<u8>(), any::<usize>()), 0..200)
+    ) {
+        // After arbitrary chaos (without drops), drain every message:
+        // replicas that share the highest view must converge on a common
+        // delivered prefix; all must stay consistent.
+        let mut chaos = Chaos::new(3);
+        for (op, pick) in script {
+            let op = if op % 10 == 6 { 0 } else { op }; // no drops
+            chaos.step(op, pick);
+        }
+        let mut budget = 100_000;
+        while !chaos.pool.is_empty() && budget > 0 {
+            chaos.step(0, 0);
+            budget -= 1;
+        }
+        prop_assert!(budget > 0, "message pool drained");
+        chaos.check_safety();
+    }
+}
+
+#[test]
+fn long_seeded_chaos_run() {
+    // A long deterministic pseudo-random run as a cheap regression net.
+    let mut chaos = Chaos::new(3);
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for _ in 0..20_000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let op = (state >> 33) as u8;
+        let pick = (state >> 17) as usize;
+        chaos.step(op, pick);
+    }
+    chaos.check_safety();
+    assert!(
+        chaos.delivered.iter().any(|d| !d.is_empty()),
+        "chaos run should still make progress"
+    );
+}

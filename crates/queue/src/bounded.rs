@@ -1,0 +1,514 @@
+//! Bounded MPMC queue with waiting/blocked time accounting.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use smr_metrics::{Counter, ThreadHandle, ThreadState};
+
+/// Error returned by non-blocking/timed pushes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was at capacity.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+/// Error returned by pops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopError {
+    /// The queue was empty (non-blocking/timed variants only).
+    Empty,
+    /// The queue was closed and drained.
+    Closed,
+}
+
+impl fmt::Display for PopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopError::Empty => f.write_str("queue is empty"),
+            PopError::Closed => f.write_str("queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for PopError {}
+
+/// Cumulative statistics of one queue.
+#[derive(Debug, Clone, Default)]
+pub struct QueueStats {
+    /// Items pushed over the queue's lifetime.
+    pub pushed: u64,
+    /// Items popped over the queue's lifetime.
+    pub popped: u64,
+    /// Number of pushes that had to wait for space.
+    pub push_waits: u64,
+    /// Number of pops that had to wait for an item.
+    pub pop_waits: u64,
+}
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    closed: Mutex<bool>,
+    name: String,
+    pushed: Counter,
+    popped: Counter,
+    push_waits: Counter,
+    pop_waits: Counter,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+///
+/// Cloning shares the queue. Blocking operations come in untracked
+/// (`push`/`pop`) and tracked (`push_with`/`pop_with`) flavours; tracked
+/// variants charge wait time to the calling thread's profile as
+/// [`ThreadState::Waiting`] — exactly what the JVM's `ThreadMXBean`
+/// reports for a thread parked on a `Condition`.
+///
+/// # Examples
+///
+/// ```
+/// use smr_queue::BoundedQueue;
+///
+/// let q = BoundedQueue::new("RequestQueue", 1000);
+/// q.push(42).unwrap();
+/// assert_eq!(q.pop().unwrap(), 42);
+/// ```
+pub struct BoundedQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        BoundedQueue { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("name", &self.inner.name)
+            .field("capacity", &self.inner.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue with the given diagnostic name and capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Arc::new(Inner {
+                queue: Mutex::new(VecDeque::with_capacity(capacity.min(65_536))),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                capacity,
+                closed: Mutex::new(false),
+                name: name.into(),
+                pushed: Counter::new(),
+                popped: Counter::new(),
+                push_waits: Counter::new(),
+                pop_waits: Counter::new(),
+            }),
+        }
+    }
+
+    /// The queue's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Maximum number of items the queue holds.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        *self.inner.closed.lock()
+    }
+
+    /// Closes the queue: subsequent pushes fail, pops drain remaining
+    /// items and then report [`PopError::Closed`]. All waiters wake.
+    pub fn close(&self) {
+        *self.inner.closed.lock() = true;
+        let _guard = self.inner.queue.lock();
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.inner.pushed.get(),
+            popped: self.inner.popped.get(),
+            push_waits: self.inner.push_waits.get(),
+            pop_waits: self.inner.pop_waits.get(),
+        }
+    }
+
+    /// Blocking push without metrics attribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] if the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        self.push_impl(item, None)
+    }
+
+    /// Blocking push; wait time is charged to `handle` as `Waiting`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] if the queue is closed.
+    pub fn push_with(&self, item: T, handle: &ThreadHandle) -> Result<(), PushError<T>> {
+        self.push_impl(item, Some(handle))
+    }
+
+    fn push_impl(&self, item: T, handle: Option<&ThreadHandle>) -> Result<(), PushError<T>> {
+        if self.is_closed() {
+            return Err(PushError::Closed(item));
+        }
+        let mut q = self.inner.queue.lock();
+        if q.len() >= self.inner.capacity {
+            self.inner.push_waits.inc();
+            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            while q.len() >= self.inner.capacity {
+                if self.is_closed_locked() {
+                    drop(q);
+                    return Err(PushError::Closed(item));
+                }
+                self.inner.not_full.wait(&mut q);
+            }
+        }
+        if self.is_closed_locked() {
+            drop(q);
+            return Err(PushError::Closed(item));
+        }
+        q.push_back(item);
+        self.inner.pushed.inc();
+        drop(q);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    fn is_closed_locked(&self) -> bool {
+        // `closed` uses its own lock so readers need not contend with the
+        // queue mutex on the fast path; both orders are taken consistently.
+        *self.inner.closed.lock()
+    }
+
+    /// Non-blocking push.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Full`] or [`PushError::Closed`], handing the
+    /// item back.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        if self.is_closed() {
+            return Err(PushError::Closed(item));
+        }
+        let mut q = self.inner.queue.lock();
+        if q.len() >= self.inner.capacity {
+            return Err(PushError::Full(item));
+        }
+        q.push_back(item);
+        self.inner.pushed.inc();
+        drop(q);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop without metrics attribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopError::Closed`] once the queue is closed and drained.
+    pub fn pop(&self) -> Result<T, PopError> {
+        self.pop_impl(None)
+    }
+
+    /// Blocking pop; wait time is charged to `handle` as `Waiting`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopError::Closed`] once the queue is closed and drained.
+    pub fn pop_with(&self, handle: &ThreadHandle) -> Result<T, PopError> {
+        self.pop_impl(Some(handle))
+    }
+
+    fn pop_impl(&self, handle: Option<&ThreadHandle>) -> Result<T, PopError> {
+        let mut q = self.inner.queue.lock();
+        if q.is_empty() {
+            self.inner.pop_waits.inc();
+            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            while q.is_empty() {
+                if self.is_closed_locked() {
+                    return Err(PopError::Closed);
+                }
+                self.inner.not_empty.wait(&mut q);
+            }
+        }
+        let item = q.pop_front().expect("queue is non-empty");
+        self.inner.popped.inc();
+        drop(q);
+        self.inner.not_full.notify_one();
+        Ok(item)
+    }
+
+    /// Non-blocking pop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopError::Empty`] when nothing is queued, or
+    /// [`PopError::Closed`] when closed and drained.
+    pub fn try_pop(&self) -> Result<T, PopError> {
+        let mut q = self.inner.queue.lock();
+        match q.pop_front() {
+            Some(item) => {
+                self.inner.popped.inc();
+                drop(q);
+                self.inner.not_full.notify_one();
+                Ok(item)
+            }
+            None => {
+                if self.is_closed_locked() {
+                    Err(PopError::Closed)
+                } else {
+                    Err(PopError::Empty)
+                }
+            }
+        }
+    }
+
+    /// Pop with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Empty`] on timeout, [`PopError::Closed`] when closed
+    /// and drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<T, PopError> {
+        self.pop_timeout_impl(timeout, None)
+    }
+
+    /// Pop with a timeout; wait time is charged to `handle` as `Waiting`.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Empty`] on timeout, [`PopError::Closed`] when closed
+    /// and drained.
+    pub fn pop_timeout_with(&self, timeout: Duration, handle: &ThreadHandle) -> Result<T, PopError> {
+        self.pop_timeout_impl(timeout, Some(handle))
+    }
+
+    fn pop_timeout_impl(
+        &self,
+        timeout: Duration,
+        handle: Option<&ThreadHandle>,
+    ) -> Result<T, PopError> {
+        let mut q = self.inner.queue.lock();
+        let _guard = if q.is_empty() { handle.map(|h| h.enter(ThreadState::Waiting)) } else { None };
+        if q.is_empty() {
+            self.inner.pop_waits.inc();
+            let deadline = std::time::Instant::now() + timeout;
+            while q.is_empty() {
+                if self.is_closed_locked() {
+                    return Err(PopError::Closed);
+                }
+                if self.inner.not_empty.wait_until(&mut q, deadline).timed_out() {
+                    return if q.is_empty() { Err(PopError::Empty) } else { break };
+                }
+            }
+        }
+        let item = q.pop_front().expect("queue is non-empty");
+        self.inner.popped.inc();
+        drop(q);
+        self.inner.not_full.notify_one();
+        Ok(item)
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        let mut q = self.inner.queue.lock();
+        let items: Vec<T> = q.drain(..).collect();
+        self.inner.popped.add(items.len() as u64);
+        drop(q);
+        self.inner.not_full.notify_all();
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new("t", 10);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn try_push_full() {
+        let q = BoundedQueue::new("t", 2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+    }
+
+    #[test]
+    fn try_pop_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new("t", 2);
+        assert_eq!(q.try_pop(), Err(PopError::Empty));
+    }
+
+    #[test]
+    fn close_wakes_and_drains() {
+        let q: BoundedQueue<u32> = BoundedQueue::new("t", 2);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.pop().unwrap(), 7);
+        assert_eq!(q.pop(), Err(PopError::Closed));
+        assert!(matches!(q.push(1), Err(PushError::Closed(1))));
+    }
+
+    #[test]
+    fn close_unblocks_waiting_popper() {
+        let q: BoundedQueue<u32> = BoundedQueue::new("t", 2);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(PopError::Closed));
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = BoundedQueue::new("t", 1);
+        q.push(1).unwrap();
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.push(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop().unwrap(), 1);
+        h.join().unwrap().unwrap();
+        assert_eq!(q.pop().unwrap(), 2);
+        assert_eq!(q.stats().push_waits, 1);
+    }
+
+    #[test]
+    fn pop_timeout_times_out() {
+        let q: BoundedQueue<u32> = BoundedQueue::new("t", 2);
+        let start = std::time::Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(30)), Err(PopError::Empty));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn pop_timeout_returns_item() {
+        let q = BoundedQueue::new("t", 2);
+        let q2 = q.clone();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            q2.push(9).unwrap();
+        });
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)).unwrap(), 9);
+    }
+
+    #[test]
+    fn mpmc_no_loss_no_duplication() {
+        let q = BoundedQueue::new("t", 64);
+        let producers = 4;
+        let per = 2_500u64;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = q.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..per {
+                    q.push(p as u64 * per + i).unwrap();
+                }
+            }));
+        }
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..producers as u64 * per).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn tracked_waiting_is_accounted() {
+        use smr_metrics::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let q: BoundedQueue<u32> = BoundedQueue::new("t", 2);
+        let q2 = q.clone();
+        let reg2 = reg.clone();
+        let h = thread::spawn(move || {
+            let handle = reg2.register_thread("consumer");
+            q2.pop_with(&handle)
+        });
+        thread::sleep(Duration::from_millis(30));
+        q.push(5).unwrap();
+        assert_eq!(h.join().unwrap().unwrap(), 5);
+        let snap = reg.snapshot();
+        assert!(snap.threads[0].waiting_ns >= 20_000_000, "waiting time was recorded");
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let q = BoundedQueue::new("t", 10);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.drain(), vec![0, 1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: BoundedQueue<u32> = BoundedQueue::new("t", 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Deadline-ordered queue with lock-free cancellation, for the
+//! Retransmitter thread.
+//!
+//! §V-C4 of the paper: the Protocol thread schedules a retransmission
+//! whenever it first sends a message, and cancels it when the instance
+//! decides. Cancellation is the common case (it happens for *every*
+//! message under normal operation), so it must not take locks or wake the
+//! Retransmitter: the Protocol thread merely sets an atomic flag, and the
+//! Retransmitter drops the entry when its deadline expires.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Handle for cancelling a scheduled entry without locking.
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelHandle {
+    /// Marks the entry cancelled. Never blocks, never wakes the timer
+    /// thread (the paper's volatile-flag technique).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the entry has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// An expired, non-cancelled timer entry.
+#[derive(Debug)]
+pub struct TimerEntry<V> {
+    /// The value scheduled.
+    pub value: V,
+    /// The deadline that expired.
+    pub deadline: Instant,
+}
+
+struct Scheduled<V> {
+    deadline: Instant,
+    seq: u64,
+    value: V,
+    flag: Arc<AtomicBool>,
+}
+
+impl<V> PartialEq for Scheduled<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl<V> Eq for Scheduled<V> {}
+impl<V> PartialOrd for Scheduled<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V> Ord for Scheduled<V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct Inner<V> {
+    heap: Mutex<(BinaryHeap<Reverse<Scheduled<V>>>, u64, bool)>,
+    changed: Condvar,
+}
+
+/// Deadline-ordered queue of pending retransmissions.
+///
+/// Multiple threads may [`TimerQueue::schedule`]; one thread (the
+/// Retransmitter) repeatedly calls [`TimerQueue::next_expired`].
+///
+/// # Examples
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use smr_queue::TimerQueue;
+///
+/// let timers = TimerQueue::new();
+/// let cancel = timers.schedule(Instant::now(), "retransmit propose s3");
+/// assert!(!cancel.is_cancelled());
+/// let fired = timers.next_expired(Duration::from_millis(100)).unwrap();
+/// assert_eq!(fired.value, "retransmit propose s3");
+/// ```
+pub struct TimerQueue<V> {
+    inner: Arc<Inner<V>>,
+}
+
+impl<V> Clone for TimerQueue<V> {
+    fn clone(&self) -> Self {
+        TimerQueue { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<V> Default for TimerQueue<V> {
+    fn default() -> Self {
+        TimerQueue::new()
+    }
+}
+
+impl<V> std::fmt::Debug for TimerQueue<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerQueue").field("len", &self.len()).finish()
+    }
+}
+
+impl<V> TimerQueue<V> {
+    /// Creates an empty timer queue.
+    pub fn new() -> Self {
+        TimerQueue {
+            inner: Arc::new(Inner {
+                heap: Mutex::new((BinaryHeap::new(), 0, false)),
+                changed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Number of scheduled (possibly cancelled-but-unreaped) entries.
+    pub fn len(&self) -> usize {
+        self.inner.heap.lock().0.len()
+    }
+
+    /// Whether no entries are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `value` to fire at `deadline`; returns a cancel handle.
+    ///
+    /// Wakes the timer thread only if the new entry becomes the earliest —
+    /// the common case (appending a later deadline) is wake-free.
+    pub fn schedule(&self, deadline: Instant, value: V) -> CancelHandle {
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut guard = self.inner.heap.lock();
+        let seq = guard.1;
+        guard.1 += 1;
+        let earliest_before = guard.0.peek().map(|Reverse(s)| s.deadline);
+        guard.0.push(Reverse(Scheduled { deadline, seq, value, flag: Arc::clone(&flag) }));
+        let wake = earliest_before.map_or(true, |e| deadline < e);
+        drop(guard);
+        if wake {
+            self.inner.changed.notify_one();
+        }
+        CancelHandle { flag }
+    }
+
+    /// Closes the queue: `next_expired` returns `None` once no expired
+    /// entries remain to deliver.
+    pub fn close(&self) {
+        self.inner.heap.lock().2 = true;
+        self.inner.changed.notify_all();
+    }
+
+    /// Blocks until the earliest non-cancelled entry expires, up to
+    /// `max_wait`, and returns it. Returns `None` on timeout or when the
+    /// queue is closed.
+    ///
+    /// Cancelled entries are silently reaped as their deadlines pass.
+    pub fn next_expired(&self, max_wait: Duration) -> Option<TimerEntry<V>> {
+        let give_up = Instant::now() + max_wait;
+        let mut guard = self.inner.heap.lock();
+        loop {
+            if guard.2 {
+                return None;
+            }
+            let now = Instant::now();
+            // Reap cancelled/expired heads.
+            while let Some(Reverse(head)) = guard.0.peek() {
+                if head.deadline <= now {
+                    let Reverse(entry) = guard.0.pop().expect("peeked entry exists");
+                    if !entry.flag.load(Ordering::Acquire) {
+                        return Some(TimerEntry { value: entry.value, deadline: entry.deadline });
+                    }
+                } else {
+                    break;
+                }
+            }
+            let wait_until = match guard.0.peek() {
+                Some(Reverse(head)) => head.deadline.min(give_up),
+                None => give_up,
+            };
+            if wait_until <= now {
+                if Instant::now() >= give_up {
+                    return None;
+                }
+                continue;
+            }
+            if self.inner.changed.wait_until(&mut guard, wait_until).timed_out()
+                && wait_until >= give_up
+            {
+                // One more reap pass before giving up, in case something
+                // expired exactly at the deadline.
+                let now = Instant::now();
+                while let Some(Reverse(head)) = guard.0.peek() {
+                    if head.deadline <= now {
+                        let Reverse(entry) = guard.0.pop().expect("peeked entry exists");
+                        if !entry.flag.load(Ordering::Acquire) {
+                            return Some(TimerEntry {
+                                value: entry.value,
+                                deadline: entry.deadline,
+                            });
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let t = TimerQueue::new();
+        let now = Instant::now();
+        t.schedule(now + Duration::from_millis(20), "b");
+        t.schedule(now + Duration::from_millis(5), "a");
+        t.schedule(now + Duration::from_millis(40), "c");
+        assert_eq!(t.next_expired(Duration::from_secs(1)).unwrap().value, "a");
+        assert_eq!(t.next_expired(Duration::from_secs(1)).unwrap().value, "b");
+        assert_eq!(t.next_expired(Duration::from_secs(1)).unwrap().value, "c");
+    }
+
+    #[test]
+    fn cancelled_entries_are_dropped() {
+        let t = TimerQueue::new();
+        let now = Instant::now();
+        let c1 = t.schedule(now + Duration::from_millis(5), "cancelled");
+        t.schedule(now + Duration::from_millis(10), "kept");
+        c1.cancel();
+        assert!(c1.is_cancelled());
+        assert_eq!(t.next_expired(Duration::from_secs(1)).unwrap().value, "kept");
+    }
+
+    #[test]
+    fn times_out_when_empty() {
+        let t: TimerQueue<u32> = TimerQueue::new();
+        let start = Instant::now();
+        assert!(t.next_expired(Duration::from_millis(30)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn earlier_schedule_wakes_waiter() {
+        let t = TimerQueue::new();
+        t.schedule(Instant::now() + Duration::from_secs(60), "late");
+        let t2 = t.clone();
+        let h = thread::spawn(move || t2.next_expired(Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(20));
+        t.schedule(Instant::now() + Duration::from_millis(5), "early");
+        let fired = h.join().unwrap().unwrap();
+        assert_eq!(fired.value, "early");
+    }
+
+    #[test]
+    fn close_unblocks() {
+        let t: TimerQueue<u32> = TimerQueue::new();
+        let t2 = t.clone();
+        let h = thread::spawn(move || t2.next_expired(Duration::from_secs(30)));
+        thread::sleep(Duration::from_millis(20));
+        t.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn cancel_all_then_timeout() {
+        let t = TimerQueue::new();
+        let now = Instant::now();
+        let handles: Vec<_> =
+            (0..10).map(|i| t.schedule(now + Duration::from_millis(i), i)).collect();
+        for h in &handles {
+            h.cancel();
+        }
+        assert!(t.next_expired(Duration::from_millis(50)).is_none());
+        assert!(t.is_empty(), "cancelled entries were reaped");
+    }
+
+    #[test]
+    fn concurrent_schedulers() {
+        let t = TimerQueue::new();
+        let now = Instant::now();
+        let mut handles = Vec::new();
+        for p in 0..4 {
+            let t = t.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..100u64 {
+                    t.schedule(now + Duration::from_micros(i * 10), p * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut count = 0;
+        while t.next_expired(Duration::from_millis(100)).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 400);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the bounded queue: conservation (nothing lost,
+//! nothing duplicated) and per-producer FIFO order under concurrency.
+
+use std::collections::HashMap;
+use std::thread;
+
+use proptest::prelude::*;
+
+use smr_queue::BoundedQueue;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn conservation_and_per_producer_fifo(
+        producers in 1usize..5,
+        per_producer in 1usize..200,
+        capacity in 1usize..64,
+    ) {
+        let q: BoundedQueue<(usize, usize)> = BoundedQueue::new("prop", capacity);
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..per_producer {
+                        q.push((p, i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        // Conservation.
+        prop_assert_eq!(got.len(), producers * per_producer);
+        // Per-producer FIFO.
+        let mut next: HashMap<usize, usize> = HashMap::new();
+        for (p, i) in got {
+            let expected = next.entry(p).or_insert(0);
+            prop_assert_eq!(i, *expected, "producer {}'s items in order", p);
+            *expected += 1;
+        }
+    }
+
+    #[test]
+    fn drain_plus_pops_account_for_everything(
+        pushes in 0usize..100,
+        pops in 0usize..100,
+    ) {
+        let q: BoundedQueue<usize> = BoundedQueue::new("prop", 128);
+        for i in 0..pushes {
+            q.push(i).unwrap();
+        }
+        let mut popped = 0;
+        for _ in 0..pops.min(pushes) {
+            if q.try_pop().is_ok() {
+                popped += 1;
+            }
+        }
+        let drained = q.drain().len();
+        prop_assert_eq!(popped + drained, pushes);
+        prop_assert!(q.is_empty());
+    }
+}

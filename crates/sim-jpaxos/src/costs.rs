@@ -1,0 +1,120 @@
+//! The calibrated cost model: where CPU time goes in a JPaxos replica.
+//!
+//! Calibration targets, all from the paper (parapluie, n=3, 128-byte
+//! requests, BSZ=1300 ⇒ 8 requests/batch):
+//!
+//! * 1-core throughput ≈ 15K requests/s (100K peak / 6.5 speedup,
+//!   Fig. 4);
+//! * at peak (~100K/s): ClientIO threads 30–60% busy each (Fig. 8b),
+//!   Batcher ~50% ("can exceed 50% of a CPU", §V-C1), ServiceManager
+//!   ("Replica") the busiest single thread (~60%, Fig. 8b/8d),
+//!   ReplicaIO under 40% (§VI-B);
+//! * ClientIO = 1 thread caps at ~40K/s (Fig. 9a) ⇒ ~25µs per request
+//!   on the client path;
+//! * leader softirq saturates at ~300K frames/s combined (Table III) ⇒
+//!   3.35µs per frame.
+
+use smr_sim::NetConfig;
+
+/// Per-stage CPU costs in nanoseconds (at the parapluie reference core;
+/// node speed scales them).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// ClientIO: read + decode + reply-cache probe, per request.
+    pub client_io_request_ns: u64,
+    /// ClientIO: encode + write reply, per request.
+    pub client_io_reply_ns: u64,
+    /// Batcher: copy a request into the batch under construction.
+    pub batcher_per_request_ns: u64,
+    /// Batcher: close a batch and enqueue the proposal.
+    pub batcher_per_batch_ns: u64,
+    /// Protocol: start a ballot (assign slot, build Propose), per batch.
+    pub protocol_per_batch_ns: u64,
+    /// Protocol: handle one incoming protocol message.
+    pub protocol_per_msg_ns: u64,
+    /// ServiceManager: execute one request + cache update + reply
+    /// hand-over.
+    pub service_per_request_ns: u64,
+    /// ReplicaIOSnd: serialize + write one replica message.
+    pub replica_io_snd_ns: u64,
+    /// ReplicaIORcv: read + deserialize one replica message.
+    pub replica_io_rcv_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            client_io_request_ns: 15_000,
+            client_io_reply_ns: 10_000,
+            batcher_per_request_ns: 4_000,
+            batcher_per_batch_ns: 5_000,
+            protocol_per_batch_ns: 18_000,
+            protocol_per_msg_ns: 5_000,
+            service_per_request_ns: 7_000,
+            replica_io_snd_ns: 12_000,
+            replica_io_rcv_ns: 10_000,
+        }
+    }
+}
+
+/// A hardware profile: one of the paper's two Grid5000 clusters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterProfile {
+    /// Cluster name as in the paper.
+    pub name: &'static str,
+    /// Physical cores per node.
+    pub max_cores: usize,
+    /// Per-core speed relative to the parapluie reference (AMD Opteron
+    /// 6164 HE @ 1.7GHz).
+    pub speed: f64,
+    /// Kernel/NIC model (Linux 2.6.26 on GbE for both clusters).
+    pub net: NetConfig,
+}
+
+impl ClusterProfile {
+    /// The 24-core AMD cluster (Rennes) — the main evaluation platform.
+    pub fn parapluie() -> Self {
+        ClusterProfile { name: "parapluie", max_cores: 24, speed: 1.0, net: NetConfig::default() }
+    }
+
+    /// The 8-core Xeon cluster (Grenoble). Although its clock is higher,
+    /// the paper's measured per-request cost is *larger* (1-core ≈ 11K/s
+    /// vs ~15K/s; 80K at speedup 7) — we encode that measured ratio
+    /// rather than the nominal GHz.
+    pub fn edel() -> Self {
+        ClusterProfile { name: "edel", max_cores: 8, speed: 0.62, net: NetConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_hit_headline_budgets() {
+        let c = CostModel::default();
+        // Client path ≈ 25µs ⇒ one ClientIO thread ⇒ ~40K/s (Fig. 9a).
+        assert_eq!(c.client_io_request_ns + c.client_io_reply_ns, 25_000);
+        // Leader-side total per request (batch of 8, n=3) ≈ 45µs:
+        // the 1-core oversubscribed throughput lands near 15K/s.
+        let per_batch = c.protocol_per_batch_ns
+            + 2 * c.protocol_per_msg_ns
+            + c.batcher_per_batch_ns
+            + 2 * (c.replica_io_snd_ns + c.replica_io_rcv_ns);
+        let per_req = c.client_io_request_ns
+            + c.client_io_reply_ns
+            + c.batcher_per_request_ns
+            + c.service_per_request_ns
+            + per_batch / 8;
+        assert!((40_000..52_000).contains(&per_req), "per-request budget: {per_req}");
+    }
+
+    #[test]
+    fn profiles_differ_as_measured() {
+        let p = ClusterProfile::parapluie();
+        let e = ClusterProfile::edel();
+        assert_eq!(p.max_cores, 24);
+        assert_eq!(e.max_cores, 8);
+        assert!(e.speed < p.speed, "edel's measured per-request cost is higher");
+    }
+}

@@ -1,0 +1,664 @@
+//! The deterministic single-threaded executor: virtual clock, event heap,
+//! tasks-as-threads, and the multi-core CPU model.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+/// Index of a simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Index of a simulated thread (task).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(pub usize);
+
+/// The four thread states of the paper's profiling methodology, in
+/// virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimThreadState {
+    /// Holding a core inside [`SimCtx::cpu`].
+    Busy = 0,
+    /// Parked on a contended [`crate::SimMutex`].
+    Blocked = 1,
+    /// Parked on an empty/full [`crate::SimQueue`].
+    Waiting = 2,
+    /// Sleeping, in the ready queue waiting for a core, or in I/O.
+    Other = 3,
+}
+
+/// Profile of one simulated thread.
+#[derive(Debug, Clone)]
+pub struct SimTaskProfile {
+    /// Thread name.
+    pub name: String,
+    /// The node it runs on.
+    pub node: NodeId,
+    /// Nanoseconds per state, indexed by [`SimThreadState`] as usize.
+    pub ns: [u64; 4],
+    /// Virtual nanoseconds since the thread was spawned.
+    pub wall_ns: u64,
+}
+
+impl SimTaskProfile {
+    /// Fraction of wall time in `state`.
+    pub fn fraction(&self, state: SimThreadState) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.ns[state as usize] as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CpuState {
+    Init,
+    Pending,
+    Done,
+}
+
+struct CpuWait {
+    task: TaskId,
+    cost: u64,
+    cell: Rc<Cell<CpuState>>,
+}
+
+struct Node {
+    #[allow(dead_code)]
+    name: String,
+    cores: usize,
+    cores_free: usize,
+    speed: f64,
+    ready: VecDeque<CpuWait>,
+}
+
+struct Task {
+    name: String,
+    node: NodeId,
+    fut: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    state: SimThreadState,
+    state_since: u64,
+    ns: [u64; 4],
+    started: u64,
+    done: bool,
+}
+
+enum EventKind {
+    Poll(TaskId),
+    Run(Box<dyn FnOnce(&mut Kernel)>),
+}
+
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+pub(crate) struct Kernel {
+    now: u64,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    tasks: Vec<Task>,
+    nodes: Vec<Node>,
+    /// Oversubscription cost model: `1 + alpha * excess/active` CPU-time
+    /// multiplier, plus a context-switch cost per burst under contention.
+    pub(crate) oversub_alpha: f64,
+    pub(crate) ctx_switch_ns: u64,
+    rng_state: u64,
+}
+
+thread_local! {
+    static CURRENT_TASK: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+impl Kernel {
+    pub(crate) fn now(&self) -> u64 {
+        self.now
+    }
+
+    pub(crate) fn schedule_poll(&mut self, at: u64, task: TaskId) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { at: at.max(self.now), seq, kind: EventKind::Poll(task) }));
+    }
+
+    pub(crate) fn schedule_run(
+        &mut self,
+        at: u64,
+        f: impl FnOnce(&mut Kernel) + 'static,
+    ) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events
+            .push(Reverse(Event { at: at.max(self.now), seq, kind: EventKind::Run(Box::new(f)) }));
+    }
+
+    pub(crate) fn set_task_state(&mut self, task: TaskId, state: SimThreadState) {
+        let now = self.now;
+        let t = &mut self.tasks[task.0];
+        t.ns[t.state as usize] += now - t.state_since;
+        t.state = state;
+        t.state_since = now;
+    }
+
+    pub(crate) fn current_task() -> TaskId {
+        let id = CURRENT_TASK.with(|c| c.get());
+        assert!(id != usize::MAX, "sim primitive used outside a sim task");
+        TaskId(id)
+    }
+
+    /// Requests `cost` ns of CPU on the task's node.
+    pub(crate) fn request_cpu(&mut self, task: TaskId, cost: u64, cell: Rc<Cell<CpuState>>) {
+        cell.set(CpuState::Pending);
+        let node = self.tasks[task.0].node;
+        if self.nodes[node.0].cores_free > 0 {
+            self.start_burst(node, CpuWait { task, cost, cell }, false);
+        } else {
+            self.set_task_state(task, SimThreadState::Other); // runnable, unscheduled
+            self.nodes[node.0].ready.push_back(CpuWait { task, cost, cell });
+        }
+    }
+
+    fn start_burst(&mut self, node: NodeId, wait: CpuWait, was_queued: bool) {
+        let n = &mut self.nodes[node.0];
+        n.cores_free -= 1;
+        let running = n.cores - n.cores_free;
+        let active = running + n.ready.len();
+        let excess = active.saturating_sub(n.cores);
+        let mult = if active > 0 {
+            1.0 + self.oversub_alpha * excess as f64 / active as f64
+        } else {
+            1.0
+        };
+        let mut actual = (wait.cost as f64 * mult / n.speed) as u64;
+        if was_queued || !n.ready.is_empty() {
+            actual += self.ctx_switch_ns;
+        }
+        self.set_task_state(wait.task, SimThreadState::Busy);
+        let task = wait.task;
+        let cell = wait.cell;
+        let at = self.now + actual.max(1);
+        self.schedule_run(at, move |k| {
+            cell.set(CpuState::Done);
+            k.schedule_poll(k.now, task);
+            let n = &mut k.nodes[node.0];
+            n.cores_free += 1;
+            if let Some(next) = n.ready.pop_front() {
+                k.start_burst(node, next, true);
+            }
+        });
+    }
+
+    /// Deterministic xorshift random (for jitter where needed).
+    pub(crate) fn rand_u64(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+}
+
+fn noop_waker() -> Waker {
+    fn clone(_: *const ()) -> RawWaker {
+        RawWaker::new(std::ptr::null(), &VTABLE)
+    }
+    fn noop(_: *const ()) {}
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, noop, noop, noop);
+    // SAFETY: all vtable functions are no-ops over a null pointer.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+}
+
+/// The simulation: owns the kernel, exposes construction and the run
+/// loop. Single-threaded; not `Send`.
+pub struct Sim {
+    k: Rc<RefCell<Kernel>>,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let k = self.k.borrow();
+        f.debug_struct("Sim").field("now", &k.now).field("tasks", &k.tasks.len()).finish()
+    }
+}
+
+impl Sim {
+    /// Creates a simulation; `seed` drives the deterministic RNG.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            k: Rc::new(RefCell::new(Kernel {
+                now: 0,
+                seq: 0,
+                events: BinaryHeap::new(),
+                tasks: Vec::new(),
+                nodes: Vec::new(),
+                oversub_alpha: 0.25,
+                ctx_switch_ns: 800,
+                rng_state: seed | 1,
+            })),
+        }
+    }
+
+    /// Tunes the oversubscription model (defaults: `alpha = 0.7`,
+    /// context switch 2µs).
+    pub fn set_oversubscription(&self, alpha: f64, ctx_switch_ns: u64) {
+        let mut k = self.k.borrow_mut();
+        k.oversub_alpha = alpha;
+        k.ctx_switch_ns = ctx_switch_ns;
+    }
+
+    /// Adds a machine with `cores` cores; `speed` scales per-core
+    /// performance (1.0 = the parapluie reference core).
+    pub fn add_node(&self, name: impl Into<String>, cores: usize, speed: f64) -> NodeId {
+        assert!(cores > 0, "a node needs at least one core");
+        let mut k = self.k.borrow_mut();
+        let id = NodeId(k.nodes.len());
+        k.nodes.push(Node {
+            name: name.into(),
+            cores,
+            cores_free: cores,
+            speed,
+            ready: VecDeque::new(),
+        });
+        id
+    }
+
+    /// A cloneable context handle for use inside tasks.
+    pub fn ctx(&self) -> SimCtx {
+        SimCtx { k: Rc::clone(&self.k) }
+    }
+
+    /// Spawns a simulated thread on `node`.
+    pub fn spawn(
+        &self,
+        node: NodeId,
+        name: impl Into<String>,
+        fut: impl Future<Output = ()> + 'static,
+    ) -> TaskId {
+        self.ctx().spawn(node, name, fut)
+    }
+
+    /// Current virtual time (ns).
+    pub fn now(&self) -> u64 {
+        self.k.borrow().now
+    }
+
+    /// Runs the event loop until virtual time `t_ns` (events at exactly
+    /// `t_ns` are processed).
+    pub fn run_until(&self, t_ns: u64) {
+        loop {
+            let (kind, at) = {
+                let mut k = self.k.borrow_mut();
+                match k.events.peek() {
+                    Some(Reverse(e)) if e.at <= t_ns => {
+                        let Reverse(e) = k.events.pop().expect("peeked event");
+                        k.now = e.at;
+                        (e.kind, e.at)
+                    }
+                    _ => {
+                        // Time never moves backwards: a shorter target
+                        // than the current clock is a no-op.
+                        k.now = k.now.max(t_ns);
+                        return;
+                    }
+                }
+            };
+            let _ = at;
+            match kind {
+                EventKind::Poll(task) => self.poll_task(task),
+                EventKind::Run(f) => {
+                    let mut k = self.k.borrow_mut();
+                    f(&mut k);
+                }
+            }
+        }
+    }
+
+    fn poll_task(&self, task: TaskId) {
+        let fut = {
+            let mut k = self.k.borrow_mut();
+            let t = &mut k.tasks[task.0];
+            if t.done {
+                return;
+            }
+            t.fut.take()
+        };
+        let Some(mut fut) = fut else { return };
+        let prev = CURRENT_TASK.with(|c| c.replace(task.0));
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        let result = fut.as_mut().poll(&mut cx);
+        CURRENT_TASK.with(|c| c.set(prev));
+        let mut k = self.k.borrow_mut();
+        match result {
+            Poll::Ready(()) => {
+                k.set_task_state(task, SimThreadState::Other);
+                k.tasks[task.0].done = true;
+            }
+            Poll::Pending => {
+                k.tasks[task.0].fut = Some(fut);
+            }
+        }
+    }
+
+    /// Profiles of every spawned thread, with in-progress state intervals
+    /// folded in.
+    pub fn thread_profiles(&self) -> Vec<SimTaskProfile> {
+        let k = self.k.borrow();
+        k.tasks
+            .iter()
+            .map(|t| {
+                let mut ns = t.ns;
+                ns[t.state as usize] += k.now - t.state_since;
+                SimTaskProfile {
+                    name: t.name.clone(),
+                    node: t.node,
+                    ns,
+                    wall_ns: k.now - t.started,
+                }
+            })
+            .collect()
+    }
+
+}
+
+/// Cloneable handle used inside tasks for time, CPU, sleeping, and
+/// spawning.
+#[derive(Clone)]
+pub struct SimCtx {
+    pub(crate) k: Rc<RefCell<Kernel>>,
+}
+
+impl std::fmt::Debug for SimCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SimCtx")
+    }
+}
+
+impl SimCtx {
+    /// Current virtual time (ns).
+    pub fn now(&self) -> u64 {
+        self.k.borrow().now
+    }
+
+    /// Consumes `cost_ns` of CPU time on the calling task's node
+    /// (queueing for a core if none is free).
+    pub fn cpu(&self, cost_ns: u64) -> CpuFuture {
+        CpuFuture { k: Rc::clone(&self.k), cost: cost_ns, cell: Rc::new(Cell::new(CpuState::Init)) }
+    }
+
+    /// Sleeps for `ns` of virtual time (state: other).
+    pub fn sleep(&self, ns: u64) -> SleepFuture {
+        SleepFuture { k: Rc::clone(&self.k), dur: ns, done: Rc::new(Cell::new(false)) }
+    }
+
+    /// Spawns a simulated thread on `node`.
+    pub fn spawn(
+        &self,
+        node: NodeId,
+        name: impl Into<String>,
+        fut: impl Future<Output = ()> + 'static,
+    ) -> TaskId {
+        let mut k = self.k.borrow_mut();
+        let id = TaskId(k.tasks.len());
+        let now = k.now;
+        k.tasks.push(Task {
+            name: name.into(),
+            node,
+            fut: Some(Box::pin(fut)),
+            state: SimThreadState::Other,
+            state_since: now,
+            ns: [0; 4],
+            started: now,
+            done: false,
+        });
+        k.schedule_poll(now, id);
+        id
+    }
+
+    /// Deterministic pseudo-random u64.
+    pub fn rand_u64(&self) -> u64 {
+        self.k.borrow_mut().rand_u64()
+    }
+}
+
+/// Future returned by [`SimCtx::cpu`].
+pub struct CpuFuture {
+    k: Rc<RefCell<Kernel>>,
+    cost: u64,
+    cell: Rc<Cell<CpuState>>,
+}
+
+impl Future for CpuFuture {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        match self.cell.get() {
+            CpuState::Init => {
+                let task = Kernel::current_task();
+                let mut k = self.k.borrow_mut();
+                k.request_cpu(task, self.cost, Rc::clone(&self.cell));
+                Poll::Pending
+            }
+            CpuState::Pending => Poll::Pending,
+            CpuState::Done => {
+                // The burst ended; the task resumes but is conceptually
+                // still on-CPU until it hits the next wait point. Leave
+                // the state as Busy — the next primitive will transition.
+                Poll::Ready(())
+            }
+        }
+    }
+}
+
+/// Future returned by [`SimCtx::sleep`].
+pub struct SleepFuture {
+    k: Rc<RefCell<Kernel>>,
+    dur: u64,
+    done: Rc<Cell<bool>>,
+}
+
+impl Future for SleepFuture {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.done.get() {
+            return Poll::Ready(());
+        }
+        let task = Kernel::current_task();
+        let mut k = self.k.borrow_mut();
+        k.set_task_state(task, SimThreadState::Other);
+        let done = Rc::clone(&self.done);
+        let at = k.now + self.dur;
+        k.schedule_run(at, move |k2| {
+            done.set(true);
+            k2.schedule_poll(k2.now, task);
+        });
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_time_advances_only_with_events() {
+        let sim = Sim::new(1);
+        sim.run_until(1_000_000);
+        assert_eq!(sim.now(), 1_000_000);
+    }
+
+    #[test]
+    fn cpu_burst_takes_virtual_time() {
+        let sim = Sim::new(1);
+        let node = sim.add_node("n", 1, 1.0);
+        let ctx = sim.ctx();
+        let done = Rc::new(Cell::new(0u64));
+        let done2 = Rc::clone(&done);
+        sim.spawn(node, "t", async move {
+            ctx.cpu(5_000).await;
+            done2.set(ctx.now());
+        });
+        sim.run_until(1_000_000);
+        assert_eq!(done.get(), 5_000);
+    }
+
+    #[test]
+    fn single_core_serializes_two_tasks() {
+        let sim = Sim::new(1);
+        let node = sim.add_node("n", 1, 1.0);
+        let finish: Rc<RefCell<Vec<(String, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for name in ["a", "b"] {
+            let ctx = sim.ctx();
+            let finish = Rc::clone(&finish);
+            let name = name.to_string();
+            sim.spawn(node, name.clone(), async move {
+                ctx.cpu(10_000).await;
+                finish.borrow_mut().push((name, ctx.now()));
+            });
+        }
+        sim.run_until(1_000_000);
+        let f = finish.borrow();
+        assert_eq!(f.len(), 2);
+        // With contention, total elapsed ≥ 20µs serial time; the second
+        // task ends strictly after the first.
+        assert!(f[1].1 >= f[0].1 + 10_000, "bursts serialized: {f:?}");
+    }
+
+    #[test]
+    fn two_cores_run_in_parallel() {
+        let sim = Sim::new(1);
+        let node = sim.add_node("n", 2, 1.0);
+        let finish: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for name in ["a", "b"] {
+            let ctx = sim.ctx();
+            let finish = Rc::clone(&finish);
+            sim.spawn(node, name, async move {
+                ctx.cpu(10_000).await;
+                finish.borrow_mut().push(ctx.now());
+            });
+        }
+        sim.run_until(1_000_000);
+        let f = finish.borrow();
+        assert_eq!(*f, vec![10_000, 10_000], "both bursts overlap fully");
+    }
+
+    #[test]
+    fn oversubscription_slows_bursts() {
+        // 4 threads on 1 core vs 4 threads on 4 cores.
+        let total_time = |cores: usize| {
+            let sim = Sim::new(1);
+            let node = sim.add_node("n", cores, 1.0);
+            let end = Rc::new(Cell::new(0u64));
+            for i in 0..4 {
+                let ctx = sim.ctx();
+                let end = Rc::clone(&end);
+                sim.spawn(node, format!("t{i}"), async move {
+                    for _ in 0..10 {
+                        ctx.cpu(1_000).await;
+                    }
+                    end.set(end.get().max(ctx.now()));
+                });
+            }
+            sim.run_until(10_000_000);
+            end.get()
+        };
+        let serial = total_time(1);
+        let parallel = total_time(4);
+        assert!(parallel <= 11_000, "uncontended: ~10 bursts of 1µs");
+        assert!(
+            serial > 4 * parallel,
+            "oversubscription adds context-switch + cache penalty: {serial} vs {parallel}"
+        );
+    }
+
+    #[test]
+    fn speed_scales_costs() {
+        let sim = Sim::new(1);
+        let fast = sim.add_node("fast", 1, 2.0);
+        let end = Rc::new(Cell::new(0u64));
+        let ctx = sim.ctx();
+        let end2 = Rc::clone(&end);
+        sim.spawn(fast, "t", async move {
+            ctx.cpu(10_000).await;
+            end2.set(ctx.now());
+        });
+        sim.run_until(1_000_000);
+        assert_eq!(end.get(), 5_000, "2x speed halves the burst");
+    }
+
+    #[test]
+    fn sleep_is_other_time() {
+        let sim = Sim::new(1);
+        let node = sim.add_node("n", 1, 1.0);
+        let ctx = sim.ctx();
+        sim.spawn(node, "sleeper", async move {
+            ctx.sleep(100_000).await;
+        });
+        sim.run_until(200_000);
+        let p = &sim.thread_profiles()[0];
+        assert!(p.ns[SimThreadState::Other as usize] >= 100_000);
+        assert_eq!(p.ns[SimThreadState::Busy as usize], 0);
+    }
+
+    #[test]
+    fn profiles_account_busy_time() {
+        let sim = Sim::new(1);
+        let node = sim.add_node("n", 1, 1.0);
+        let ctx = sim.ctx();
+        sim.spawn(node, "worker", async move {
+            loop {
+                ctx.cpu(1_000).await;
+                ctx.sleep(1_000).await;
+            }
+        });
+        sim.run_until(1_000_000);
+        let p = &sim.thread_profiles()[0];
+        let busy = p.fraction(SimThreadState::Busy);
+        assert!((busy - 0.5).abs() < 0.05, "50% duty cycle, got {busy}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let sim = Sim::new(7);
+            let node = sim.add_node("n", 2, 1.0);
+            for i in 0..5u64 {
+                let ctx = sim.ctx();
+                sim.spawn(node, format!("t{i}"), async move {
+                    for _ in 0..20 {
+                        ctx.cpu(100 + (ctx.rand_u64() % 500)).await;
+                        ctx.sleep(ctx.rand_u64() % 1000).await;
+                    }
+                });
+            }
+            sim.run_until(10_000_000);
+            sim.thread_profiles().iter().map(|p| p.ns).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "same seed, same trajectory");
+    }
+}

@@ -1,0 +1,700 @@
+//! The simulated network subsystem.
+//!
+//! Models what §VI-D of the paper identified as the real bottleneck: the
+//! kernel's packet processing path. Each node has a softirq stage — a
+//! single server in the pre-2.6.35 default (all NIC interrupts on one
+//! core), or `rss_channels` servers with RSS/RPS enabled (footnote 5:
+//! "in most cases the throughput doubled"). Every Ethernet frame, in
+//! either direction, costs `per_packet_ns` of softirq service; receive
+//! frames additionally wait for interrupt coalescing. Links add
+//! propagation delay and serialize at the configured bandwidth.
+//!
+//! Two TCP behaviours that shape the paper's results are modeled
+//! explicitly:
+//!
+//! * **Delayed ACKs** — streams that do not piggyback (the replica
+//!   connections) emit one pure-ACK frame per `ack_every` data frames;
+//!   client connections piggyback on replies and emit none. This is what
+//!   makes the leader's packet rates match Table III's 150K out / 145K in
+//!   split.
+//! * **Small-segment coalescing (Nagle / socket-buffer aggregation)** —
+//!   while a small frame of a connection is still waiting in the sender's
+//!   softirq queue, further small sends on the same connection merge into
+//!   it (up to the MTU). Deeper pipelining (larger `WND`) therefore packs
+//!   more Phase 2b messages per frame and *raises* the packet-limited
+//!   throughput ceiling — the mechanism behind Fig. 10a's rise from 100K
+//!   to 120K requests/s.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::{Rc, Weak};
+
+use crate::executor::{Kernel, NodeId, SimCtx};
+use crate::sync::SimQueue;
+
+/// Application-level addressing within a node.
+pub type Port = u32;
+
+/// Connection identifier (one per TCP-connection analogue); scopes ACK
+/// generation and segment coalescing.
+pub type ConnId = u64;
+
+/// A message delivered to an endpoint.
+#[derive(Debug, Clone)]
+pub struct Delivery<P> {
+    /// The sending node.
+    pub src: NodeId,
+    /// The connection it arrived on.
+    pub conn: ConnId,
+    /// The payload.
+    pub payload: P,
+}
+
+/// Per-node network configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Softirq service time per frame (ns). The paper's leader saturates
+    /// at ~150K pkts/s out + ~145K in ⇒ ~3.35µs per frame through one
+    /// core.
+    pub per_packet_ns: u64,
+    /// Interrupt coalescing delay for received frames (ns).
+    pub coalesce_ns: u64,
+    /// Coalescing packet threshold (interrupt fires early when reached).
+    pub coalesce_pkts: usize,
+    /// Wire propagation delay (ns); Grid5000 idle RTT was 0.06ms ⇒ ~30µs
+    /// each way.
+    pub propagation_ns: u64,
+    /// Link serialization bandwidth (bytes/s); effective 114MB/s on the
+    /// paper's GbE.
+    pub bandwidth_bps: u64,
+    /// Maximum frame payload (Ethernet MTU minus headers).
+    pub mtu: usize,
+    /// Emit one pure-ACK frame per `ack_every` acked data frames on a
+    /// connection (0 disables ACKs node-wide).
+    pub ack_every: u32,
+    /// Number of parallel softirq servers (1 = pre-2.6.35 kernel; >1 =
+    /// RSS/RPS enabled).
+    pub rss_channels: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            per_packet_ns: 3_350,
+            coalesce_ns: 60_000,
+            coalesce_pkts: 32,
+            propagation_ns: 30_000,
+            bandwidth_bps: 114_000_000,
+            mtu: 1448,
+            ack_every: 2,
+            rss_channels: 1,
+        }
+    }
+}
+
+/// Cumulative packet/byte counters of one node (Table III quantities).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeNetStats {
+    /// Frames sent (including pure ACKs).
+    pub tx_packets: u64,
+    /// Frames received (including pure ACKs).
+    pub rx_packets: u64,
+    /// Payload bytes sent.
+    pub tx_bytes: u64,
+    /// Payload bytes received.
+    pub rx_bytes: u64,
+}
+
+enum FrameKind<P> {
+    /// Data frame carrying zero or more complete messages (several when
+    /// coalesced; zero for non-final fragments of a large message).
+    Data(Vec<(Port, P)>),
+    /// Pure acknowledgement.
+    Ack,
+    /// Ping probe (kernel echo, no app CPU — like ICMP).
+    PingReq(u64),
+    /// Ping response.
+    PingReply(u64),
+}
+
+struct Frame<P> {
+    src: NodeId,
+    dst: NodeId,
+    conn: ConnId,
+    bytes: usize,
+    acked: bool,
+    /// Set once the softirq server starts on this frame: no more merging.
+    started: bool,
+    kind: FrameKind<P>,
+}
+
+enum Job<P> {
+    Tx(Rc<RefCell<Frame<P>>>),
+    Rx(Frame<P>),
+}
+
+struct NodeNet<P> {
+    cfg: NetConfig,
+    busy_servers: usize,
+    jobs: VecDeque<Job<P>>,
+    ring: VecDeque<Frame<P>>,
+    irq_scheduled: bool,
+    next_tx_free: u64,
+    stats: NodeNetStats,
+    ack_counters: HashMap<ConnId, u32>,
+    /// Last still-mergeable outgoing frame per connection.
+    pending_tx: HashMap<ConnId, Weak<RefCell<Frame<P>>>>,
+}
+
+struct NetInner<P> {
+    nodes: Vec<NodeNet<P>>,
+    endpoints: HashMap<(usize, Port), SimQueue<Delivery<P>>>,
+    pings: HashMap<u64, (u64, Rc<Cell<Option<u64>>>)>,
+    next_ping: u64,
+}
+
+/// The simulated fabric connecting every node.
+pub struct SimNet<P> {
+    k: Rc<RefCell<Kernel>>,
+    inner: Rc<RefCell<NetInner<P>>>,
+}
+
+impl<P> Clone for SimNet<P> {
+    fn clone(&self) -> Self {
+        SimNet { k: Rc::clone(&self.k), inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<P> std::fmt::Debug for SimNet<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SimNet")
+    }
+}
+
+impl<P: 'static> SimNet<P> {
+    /// Creates the fabric; `configs[i]` is node `i`'s kernel/NIC model
+    /// (indices must match the executor's node ids).
+    pub fn new(ctx: &SimCtx, configs: Vec<NetConfig>) -> Self {
+        SimNet {
+            k: Rc::clone(&ctx.k),
+            inner: Rc::new(RefCell::new(NetInner {
+                nodes: configs
+                    .into_iter()
+                    .map(|cfg| NodeNet {
+                        cfg,
+                        busy_servers: 0,
+                        jobs: VecDeque::new(),
+                        ring: VecDeque::new(),
+                        irq_scheduled: false,
+                        next_tx_free: 0,
+                        stats: NodeNetStats::default(),
+                        ack_counters: HashMap::new(),
+                        pending_tx: HashMap::new(),
+                    })
+                    .collect(),
+                endpoints: HashMap::new(),
+                pings: HashMap::new(),
+                next_ping: 0,
+            })),
+        }
+    }
+
+    /// Registers `queue` as the delivery endpoint `(node, port)`.
+    pub fn bind(&self, node: NodeId, port: Port, queue: SimQueue<Delivery<P>>) {
+        self.inner.borrow_mut().endpoints.insert((node.0, port), queue);
+    }
+
+    /// Sends `payload` (`bytes` long, fragmented at the MTU) from `src`
+    /// to `(dst, port)` over connection `conn`. `acked` marks streams
+    /// that do not piggyback ACKs (replica connections).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        conn: ConnId,
+        port: Port,
+        payload: P,
+        bytes: usize,
+        acked: bool,
+    ) {
+        let mut k = self.k.borrow_mut();
+        Self::send_inner(&self.inner, &mut k, src, dst, conn, port, payload, bytes, acked);
+    }
+
+    /// Sends a kernel-level ping probe; the returned cell is set to the
+    /// RTT (ns) when the echo returns.
+    pub fn ping(&self, src: NodeId, dst: NodeId) -> Rc<Cell<Option<u64>>> {
+        let mut k = self.k.borrow_mut();
+        let result = Rc::new(Cell::new(None));
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.next_ping;
+        inner.next_ping += 1;
+        inner.pings.insert(id, (k.now(), Rc::clone(&result)));
+        drop(inner);
+        let frame = Frame {
+            src,
+            dst,
+            conn: u64::MAX,
+            bytes: 64,
+            acked: false,
+            started: false,
+            kind: FrameKind::PingReq(id),
+        };
+        Self::enqueue_tx(&self.inner, &mut k, frame);
+        result
+    }
+
+    /// Counters of `node`.
+    pub fn stats(&self, node: NodeId) -> NodeNetStats {
+        self.inner.borrow().nodes[node.0].stats
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_inner(
+        inner: &Rc<RefCell<NetInner<P>>>,
+        k: &mut Kernel,
+        src: NodeId,
+        dst: NodeId,
+        conn: ConnId,
+        port: Port,
+        payload: P,
+        bytes: usize,
+        acked: bool,
+    ) {
+        let mtu = inner.borrow().nodes[src.0].cfg.mtu;
+        // Nagle-style merge: a small message rides along with a frame of
+        // the same connection still waiting for the softirq server.
+        if bytes <= mtu {
+            // Try to merge into a still-unserviced frame of this
+            // connection; hand the payload back if we cannot.
+            let payload = {
+                let mut ni = inner.borrow_mut();
+                let n = &mut ni.nodes[src.0];
+                match n.pending_tx.get(&conn).and_then(Weak::upgrade) {
+                    Some(frame_rc) => {
+                        let mut f = frame_rc.borrow_mut();
+                        if !f.started && f.dst == dst && f.bytes + bytes <= mtu {
+                            if let FrameKind::Data(deliveries) = &mut f.kind {
+                                deliveries.push((port, payload));
+                                f.bytes += bytes;
+                                None
+                            } else {
+                                unreachable!("pending_tx only holds data frames")
+                            }
+                        } else {
+                            Some(payload)
+                        }
+                    }
+                    None => Some(payload),
+                }
+            };
+            let Some(payload) = payload else { return };
+            let frame = Frame {
+                src,
+                dst,
+                conn,
+                bytes,
+                acked,
+                started: false,
+                kind: FrameKind::Data(vec![(port, payload)]),
+            };
+            Self::enqueue_tx(inner, k, frame);
+            return;
+        }
+        // Fragmentation: only the last fragment carries the delivery.
+        let frames = bytes.div_ceil(mtu);
+        let mut remaining = bytes;
+        let mut payload_opt = Some(payload);
+        for i in 0..frames {
+            let frame_bytes = remaining.min(mtu).max(1);
+            remaining = remaining.saturating_sub(frame_bytes);
+            let deliveries = if i + 1 == frames {
+                vec![(port, payload_opt.take().expect("payload moves once"))]
+            } else {
+                Vec::new()
+            };
+            let frame = Frame {
+                src,
+                dst,
+                conn,
+                bytes: frame_bytes,
+                acked,
+                started: false,
+                kind: FrameKind::Data(deliveries),
+            };
+            Self::enqueue_tx(inner, k, frame);
+        }
+    }
+
+    fn enqueue_tx(inner: &Rc<RefCell<NetInner<P>>>, k: &mut Kernel, frame: Frame<P>) {
+        let node = frame.src.0;
+        {
+            let mut ni = inner.borrow_mut();
+            let conn = frame.conn;
+            let mergeable = matches!(frame.kind, FrameKind::Data(_));
+            let rc = Rc::new(RefCell::new(frame));
+            if mergeable {
+                ni.nodes[node].pending_tx.insert(conn, Rc::downgrade(&rc));
+            }
+            ni.nodes[node].jobs.push_back(Job::Tx(rc));
+        }
+        Self::kick(inner, k, node);
+    }
+
+    /// Starts softirq servers while there are jobs and free servers.
+    fn kick(inner: &Rc<RefCell<NetInner<P>>>, k: &mut Kernel, node: usize) {
+        loop {
+            let (job, cost) = {
+                let mut ni = inner.borrow_mut();
+                let n = &mut ni.nodes[node];
+                if n.busy_servers >= n.cfg.rss_channels || n.jobs.is_empty() {
+                    return;
+                }
+                n.busy_servers += 1;
+                let job = n.jobs.pop_front().expect("job present");
+                if let Job::Tx(frame) = &job {
+                    frame.borrow_mut().started = true; // freeze merging
+                }
+                (job, n.cfg.per_packet_ns)
+            };
+            let inner2 = Rc::clone(inner);
+            let at = k.now() + cost;
+            k.schedule_run(at, move |k2| {
+                Self::complete_job(&inner2, k2, node, job);
+            });
+        }
+    }
+
+    fn complete_job(inner: &Rc<RefCell<NetInner<P>>>, k: &mut Kernel, node: usize, job: Job<P>) {
+        inner.borrow_mut().nodes[node].busy_servers -= 1;
+        match job {
+            Job::Tx(frame_rc) => {
+                let frame = Rc::try_unwrap(frame_rc)
+                    .unwrap_or_else(|rc| RefCell::new(rc.borrow_mut().take_inner()))
+                    .into_inner();
+                // Serialize onto the wire, then propagate.
+                let arrive = {
+                    let mut ni = inner.borrow_mut();
+                    let n = &mut ni.nodes[node];
+                    n.stats.tx_packets += 1;
+                    n.stats.tx_bytes += frame.bytes as u64;
+                    let wire_ns =
+                        frame.bytes as u64 * 1_000_000_000 / n.cfg.bandwidth_bps.max(1);
+                    let depart = n.next_tx_free.max(k.now()) + wire_ns;
+                    n.next_tx_free = depart;
+                    depart + n.cfg.propagation_ns
+                };
+                let inner2 = Rc::clone(inner);
+                k.schedule_run(arrive, move |k2| {
+                    Self::arrive_rx(&inner2, k2, frame);
+                });
+            }
+            Job::Rx(frame) => {
+                {
+                    let mut ni = inner.borrow_mut();
+                    let n = &mut ni.nodes[node];
+                    n.stats.rx_packets += 1;
+                    n.stats.rx_bytes += frame.bytes as u64;
+                }
+                Self::finish_rx(inner, k, frame);
+            }
+        }
+        Self::kick(inner, k, node);
+    }
+
+    fn arrive_rx(inner: &Rc<RefCell<NetInner<P>>>, k: &mut Kernel, frame: Frame<P>) {
+        let node = frame.dst.0;
+        let fire_now = {
+            let mut ni = inner.borrow_mut();
+            let n = &mut ni.nodes[node];
+            n.ring.push_back(frame);
+            if n.ring.len() >= n.cfg.coalesce_pkts {
+                true
+            } else if !n.irq_scheduled {
+                n.irq_scheduled = true;
+                false
+            } else {
+                return; // interrupt already pending
+            }
+        };
+        let delay = if fire_now { 0 } else { inner.borrow().nodes[node].cfg.coalesce_ns };
+        let inner2 = Rc::clone(inner);
+        let at = k.now() + delay;
+        k.schedule_run(at, move |k2| {
+            {
+                let mut ni = inner2.borrow_mut();
+                let n = &mut ni.nodes[node];
+                n.irq_scheduled = false;
+                while let Some(f) = n.ring.pop_front() {
+                    n.jobs.push_back(Job::Rx(f));
+                }
+            }
+            Self::kick(&inner2, k2, node);
+        });
+    }
+
+    fn finish_rx(inner: &Rc<RefCell<NetInner<P>>>, k: &mut Kernel, frame: Frame<P>) {
+        let node = frame.dst.0;
+        match frame.kind {
+            FrameKind::Data(deliveries) => {
+                // Delayed-ACK generation for non-piggybacking streams.
+                let ack_due = {
+                    let mut ni = inner.borrow_mut();
+                    let n = &mut ni.nodes[node];
+                    if !frame.acked || n.cfg.ack_every == 0 {
+                        false
+                    } else {
+                        let c = n.ack_counters.entry(frame.conn).or_insert(0);
+                        *c += 1;
+                        *c % n.cfg.ack_every == 0
+                    }
+                };
+                if ack_due {
+                    let ack = Frame {
+                        src: frame.dst,
+                        dst: frame.src,
+                        conn: frame.conn,
+                        bytes: 60,
+                        acked: false,
+                        started: false,
+                        kind: FrameKind::Ack,
+                    };
+                    Self::enqueue_tx(inner, k, ack);
+                }
+                for (port, payload) in deliveries {
+                    let queue = inner.borrow().endpoints.get(&(node, port)).cloned();
+                    if let Some(q) = queue {
+                        q.push_unbounded_kernel(
+                            k,
+                            Delivery { src: frame.src, conn: frame.conn, payload },
+                        );
+                    }
+                }
+            }
+            FrameKind::Ack => {}
+            FrameKind::PingReq(id) => {
+                let reply = Frame {
+                    src: frame.dst,
+                    dst: frame.src,
+                    conn: frame.conn,
+                    bytes: 64,
+                    acked: false,
+                    started: false,
+                    kind: FrameKind::PingReply(id),
+                };
+                Self::enqueue_tx(inner, k, reply);
+            }
+            FrameKind::PingReply(id) => {
+                let mut ni = inner.borrow_mut();
+                if let Some((sent, cell)) = ni.pings.remove(&id) {
+                    cell.set(Some(k.now() - sent));
+                }
+            }
+        }
+    }
+}
+
+impl<P> Frame<P> {
+    /// Used only in the unreachable multi-owner case of `Rc::try_unwrap`.
+    fn take_inner(&mut self) -> Frame<P> {
+        Frame {
+            src: self.src,
+            dst: self.dst,
+            conn: self.conn,
+            bytes: self.bytes,
+            acked: self.acked,
+            started: self.started,
+            kind: std::mem::replace(&mut self.kind, FrameKind::Data(Vec::new())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+
+    fn two_node_net(sim: &Sim, cfg: NetConfig) -> (SimNet<u64>, NodeId, NodeId) {
+        let a = sim.add_node("a", 1, 1.0);
+        let b = sim.add_node("b", 1, 1.0);
+        let net = SimNet::new(&sim.ctx(), vec![cfg, cfg]);
+        (net, a, b)
+    }
+
+    #[test]
+    fn message_is_delivered() {
+        let sim = Sim::new(1);
+        let (net, a, b) = two_node_net(&sim, NetConfig::default());
+        let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
+        net.bind(b, 7, q.clone());
+        let got = Rc::new(Cell::new(None));
+        {
+            let q = q.clone();
+            let got = Rc::clone(&got);
+            let ctx = sim.ctx();
+            sim.spawn(b, "receiver", async move {
+                let d = q.pop().await.expect("delivery");
+                got.set(Some((d.payload, ctx.now())));
+            });
+        }
+        net.send(a, b, 1, 7, 42u64, 128, false);
+        sim.run_until(10_000_000);
+        let (payload, at) = got.get().expect("delivered");
+        assert_eq!(payload, 42);
+        assert!(at > 30_000, "latency includes propagation: {at}");
+        assert!(at < 200_000, "single small frame arrives quickly: {at}");
+    }
+
+    #[test]
+    fn large_message_fragments_into_frames() {
+        let sim = Sim::new(1);
+        let (net, a, b) = two_node_net(&sim, NetConfig::default());
+        let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
+        net.bind(b, 7, q.clone());
+        net.send(a, b, 1, 7, 1u64, 5200, false);
+        sim.run_until(10_000_000);
+        let stats = net.stats(a);
+        assert_eq!(stats.tx_packets, 4, "5200B at MTU 1448 = 4 frames");
+        assert_eq!(net.stats(b).rx_packets, 4);
+        assert_eq!(q.len(), 1, "one message delivered");
+    }
+
+    #[test]
+    fn delayed_acks_only_for_acked_streams() {
+        let sim = Sim::new(1);
+        let (net, a, b) = two_node_net(&sim, NetConfig { ack_every: 2, ..NetConfig::default() });
+        let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
+        net.bind(b, 7, q.clone());
+        // Spread sends in time so they do not coalesce.
+        let ctx = sim.ctx();
+        let net2 = net.clone();
+        sim.spawn(a, "sender", async move {
+            for i in 0..10 {
+                net2.send(a, b, 1, 7, i, 128, true);
+                net2.send(a, b, 2, 7, 100 + i, 128, false); // piggybacked stream
+                ctx.sleep(1_000_000).await;
+            }
+        });
+        sim.run_until(50_000_000);
+        assert_eq!(net.stats(b).tx_packets, 5, "one ACK per two acked data frames");
+        assert_eq!(q.len(), 20);
+    }
+
+    #[test]
+    fn burst_sends_coalesce_like_nagle() {
+        let sim = Sim::new(1);
+        let (net, a, b) = two_node_net(&sim, NetConfig { ack_every: 0, ..NetConfig::default() });
+        let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
+        net.bind(b, 7, q.clone());
+        // 10 back-to-back 20-byte messages on one connection: the first
+        // frame is queued, the rest merge into it.
+        for i in 0..10 {
+            net.send(a, b, 1, 7, i, 20, false);
+        }
+        sim.run_until(10_000_000);
+        assert_eq!(q.len(), 10, "all messages delivered");
+        assert!(
+            net.stats(a).tx_packets <= 2,
+            "small burst coalesced into few frames: {:?}",
+            net.stats(a)
+        );
+    }
+
+    #[test]
+    fn coalescing_respects_mtu() {
+        let sim = Sim::new(1);
+        let (net, a, b) = two_node_net(&sim, NetConfig { ack_every: 0, ..NetConfig::default() });
+        let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
+        net.bind(b, 7, q.clone());
+        for i in 0..10 {
+            net.send(a, b, 1, 7, i, 400, false);
+        }
+        sim.run_until(10_000_000);
+        // 10 x 400B at MTU 1448: at most 3 per frame ⇒ ≥ 4 frames.
+        assert!(net.stats(a).tx_packets >= 4);
+        assert_eq!(q.len(), 10);
+    }
+
+    #[test]
+    fn softirq_is_a_shared_bottleneck() {
+        let sim = Sim::new(1);
+        let cfg = NetConfig { ack_every: 0, coalesce_ns: 10_000, ..NetConfig::default() };
+        let (net, a, b) = two_node_net(&sim, cfg);
+        let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
+        net.bind(b, 7, q.clone());
+        // Distinct connections ⇒ no coalescing ⇒ 10_000 frames of
+        // service on each side.
+        let ctx = sim.ctx();
+        let net2 = net.clone();
+        sim.spawn(a, "sender", async move {
+            for i in 0..10_000u64 {
+                net2.send(a, b, i, 7, i, 100, false);
+                if i % 8 == 7 {
+                    ctx.sleep(1).await;
+                }
+            }
+        });
+        sim.run_until(10_000_000_000);
+        assert_eq!(q.len(), 10_000);
+        assert_eq!(net.stats(b).rx_packets, 10_000);
+    }
+
+    #[test]
+    fn rss_doubles_throughput() {
+        let drain_time = |rss: usize| {
+            let sim = Sim::new(1);
+            let cfg = NetConfig { ack_every: 0, rss_channels: rss, ..NetConfig::default() };
+            let (net, a, b) = two_node_net(&sim, cfg);
+            let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
+            net.bind(b, 7, q.clone());
+            let done = Rc::new(Cell::new(0u64));
+            {
+                let q = q.clone();
+                let done = Rc::clone(&done);
+                let ctx = sim.ctx();
+                sim.spawn(b, "rcv", async move {
+                    for _ in 0..5_000 {
+                        q.pop().await;
+                    }
+                    done.set(ctx.now());
+                });
+            }
+            // Distinct connections: small frames, softirq-bound.
+            for i in 0..5_000u64 {
+                net.send(a, b, i, 7, i, 100, false);
+            }
+            sim.run_until(10_000_000_000);
+            done.get()
+        };
+        let single = drain_time(1);
+        let multi = drain_time(4);
+        assert!(
+            multi * 3 / 2 < single,
+            "RSS speeds up packet processing markedly: {multi} vs {single}"
+        );
+    }
+
+    #[test]
+    fn ping_measures_rtt() {
+        let sim = Sim::new(1);
+        let (net, a, b) = two_node_net(&sim, NetConfig::default());
+        let rtt = net.ping(a, b);
+        sim.run_until(10_000_000);
+        let measured = rtt.get().expect("echo returned");
+        assert!(measured > 2 * 30_000, "at least two propagation delays: {measured}");
+        assert!(measured < 500_000, "idle network answers fast: {measured}");
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let sim = Sim::new(1);
+        let (net, a, b) = two_node_net(&sim, NetConfig { ack_every: 0, ..NetConfig::default() });
+        let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
+        net.bind(b, 7, q);
+        net.send(a, b, 1, 7, 1, 128, false);
+        sim.run_until(10_000_000);
+        assert_eq!(net.stats(a).tx_bytes, 128);
+        assert_eq!(net.stats(b).rx_bytes, 128);
+    }
+}

@@ -1,0 +1,113 @@
+//! Profile-report helpers shared by the architecture models.
+
+use crate::executor::{NodeId, SimTaskProfile, SimThreadState};
+
+/// Per-thread time fractions over a measurement window.
+#[derive(Debug, Clone)]
+pub struct ThreadBreakdown {
+    /// Thread name.
+    pub name: String,
+    /// Fraction of the window spent executing.
+    pub busy: f64,
+    /// Fraction blocked on locks.
+    pub blocked: f64,
+    /// Fraction parked on queues/condvars.
+    pub waiting: f64,
+    /// Everything else.
+    pub other: f64,
+}
+
+/// Aggregate of one node's threads over a measurement window.
+#[derive(Debug, Clone)]
+pub struct NodeBreakdown {
+    /// Sum of busy time as % of one core (the paper's CPU-utilization
+    /// metric).
+    pub cpu_util_pct: f64,
+    /// Sum of blocked time as % of the run (the paper's contention
+    /// metric).
+    pub blocked_pct: f64,
+    /// Per-thread breakdown.
+    pub threads: Vec<ThreadBreakdown>,
+}
+
+/// Computes a node's breakdown from profile snapshots taken at the start
+/// and end of the measurement window. Threads spawned mid-window are
+/// skipped.
+pub fn node_breakdown(
+    before: &[SimTaskProfile],
+    after: &[SimTaskProfile],
+    node: NodeId,
+    window_ns: f64,
+) -> NodeBreakdown {
+    let mut threads = Vec::new();
+    let mut busy = 0.0;
+    let mut blocked = 0.0;
+    for (b, a) in before.iter().zip(after) {
+        if a.node != node {
+            continue;
+        }
+        let d = |s: SimThreadState| (a.ns[s as usize] - b.ns[s as usize]) as f64;
+        busy += d(SimThreadState::Busy);
+        blocked += d(SimThreadState::Blocked);
+        threads.push(ThreadBreakdown {
+            name: a.name.clone(),
+            busy: d(SimThreadState::Busy) / window_ns,
+            blocked: d(SimThreadState::Blocked) / window_ns,
+            waiting: d(SimThreadState::Waiting) / window_ns,
+            other: d(SimThreadState::Other) / window_ns,
+        });
+    }
+    NodeBreakdown {
+        cpu_util_pct: 100.0 * busy / window_ns,
+        blocked_pct: 100.0 * blocked / window_ns,
+        threads,
+    }
+}
+
+/// Renders per-thread breakdowns as the paper's profile bars, textually.
+pub fn render_breakdown(threads: &[ThreadBreakdown]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>6} {:>8} {:>8} {:>6}\n",
+        "thread", "busy%", "blocked%", "waiting%", "other%"
+    ));
+    for t in threads {
+        out.push_str(&format!(
+            "{:<18} {:>6.1} {:>8.1} {:>8.1} {:>6.1}\n",
+            t.name,
+            100.0 * t.busy,
+            100.0 * t.blocked,
+            100.0 * t.waiting,
+            100.0 * t.other,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+
+    #[test]
+    fn breakdown_diffs_window() {
+        let sim = Sim::new(1);
+        let node = sim.add_node("n", 1, 1.0);
+        let ctx = sim.ctx();
+        sim.spawn(node, "t", async move {
+            loop {
+                ctx.cpu(1_000).await;
+                ctx.sleep(1_000).await;
+            }
+        });
+        sim.run_until(1_000_000);
+        let before = sim.thread_profiles();
+        sim.run_until(2_000_000);
+        let after = sim.thread_profiles();
+        let report = node_breakdown(&before, &after, node, 1_000_000.0);
+        assert_eq!(report.threads.len(), 1);
+        assert!((report.cpu_util_pct - 50.0).abs() < 10.0, "got {}", report.cpu_util_pct);
+        let rendered = render_breakdown(&report.threads);
+        assert!(rendered.contains("busy%"));
+    }
+}

@@ -1,0 +1,608 @@
+//! Simulated synchronization primitives with state accounting.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::executor::{Kernel, SimCtx, SimThreadState, TaskId};
+
+// ---------------------------------------------------------------------------
+// SimMutex
+// ---------------------------------------------------------------------------
+
+struct MutexInner {
+    locked: bool,
+    waiters: VecDeque<(TaskId, Rc<Cell<bool>>)>,
+    /// Extra nanoseconds added to a lock handoff per waiting thread —
+    /// models cache-line bouncing / notify storms on hot locks (the
+    /// ZooKeeper collapse knob; 0 for well-behaved locks).
+    handoff_penalty_ns: u64,
+    /// Cumulative number of contended acquisitions.
+    contended: u64,
+}
+
+/// A simulated mutex. Contended acquisition parks the task in the
+/// `Blocked` state — the quantity plotted in Figs. 5b/7/13b.
+#[derive(Clone)]
+pub struct SimMutex {
+    k: Rc<RefCell<Kernel>>,
+    inner: Rc<RefCell<MutexInner>>,
+}
+
+impl std::fmt::Debug for SimMutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimMutex").field("locked", &self.inner.borrow().locked).finish()
+    }
+}
+
+impl SimMutex {
+    /// Creates a mutex bound to a simulation context.
+    pub fn new(ctx: &SimCtx) -> Self {
+        SimMutex {
+            k: Rc::clone(&ctx.k),
+            inner: Rc::new(RefCell::new(MutexInner {
+                locked: false,
+                waiters: VecDeque::new(),
+                handoff_penalty_ns: 0,
+                contended: 0,
+            })),
+        }
+    }
+
+    /// Sets the per-waiter handoff penalty (cache-bouncing model).
+    #[must_use]
+    pub fn with_handoff_penalty(self, ns_per_waiter: u64) -> Self {
+        self.inner.borrow_mut().handoff_penalty_ns = ns_per_waiter;
+        self
+    }
+
+    /// Number of acquisitions that had to wait.
+    pub fn contended_count(&self) -> u64 {
+        self.inner.borrow().contended
+    }
+
+    /// Acquires the mutex, parking in `Blocked` while contended.
+    pub fn lock(&self) -> LockFuture {
+        LockFuture { mutex: self.clone(), granted: Rc::new(Cell::new(false)), queued: false }
+    }
+}
+
+/// Future returned by [`SimMutex::lock`].
+pub struct LockFuture {
+    mutex: SimMutex,
+    granted: Rc<Cell<bool>>,
+    queued: bool,
+}
+
+impl Future for LockFuture {
+    type Output = SimMutexGuard;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let task = Kernel::current_task();
+        if self.granted.get() {
+            // Handed off by the previous owner; we own the lock now.
+            self.mutex.k.borrow_mut().set_task_state(task, SimThreadState::Busy);
+            return Poll::Ready(SimMutexGuard { mutex: self.mutex.clone() });
+        }
+        let mut inner = self.mutex.inner.borrow_mut();
+        if !inner.locked {
+            inner.locked = true;
+            return Poll::Ready(SimMutexGuard { mutex: self.mutex.clone() });
+        }
+        if !self.queued {
+            inner.contended += 1;
+            inner.waiters.push_back((task, Rc::clone(&self.granted)));
+            drop(inner);
+            self.queued = true;
+            self.mutex.k.borrow_mut().set_task_state(task, SimThreadState::Blocked);
+        }
+        Poll::Pending
+    }
+}
+
+/// RAII guard; unlocking hands the mutex to the oldest waiter.
+pub struct SimMutexGuard {
+    mutex: SimMutex,
+}
+
+impl std::fmt::Debug for SimMutexGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SimMutexGuard")
+    }
+}
+
+impl Drop for SimMutexGuard {
+    fn drop(&mut self) {
+        let mut inner = self.mutex.inner.borrow_mut();
+        if let Some((task, granted)) = inner.waiters.pop_front() {
+            granted.set(true);
+            let delay = inner.handoff_penalty_ns * (inner.waiters.len() as u64 + 1);
+            drop(inner);
+            let mut k = self.mutex.k.borrow_mut();
+            let at = k.now() + delay;
+            k.schedule_poll(at, task);
+        } else {
+            inner.locked = false;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimQueue
+// ---------------------------------------------------------------------------
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    pop_waiters: VecDeque<(TaskId, Rc<RefCell<Option<Option<T>>>>)>,
+    push_waiters: VecDeque<(TaskId, Rc<RefCell<Option<T>>>)>,
+    closed: bool,
+    // Occupancy statistics (Table I): sampled at every operation.
+    samples: u64,
+    sum_len: f64,
+    sum_len_sq: f64,
+    pushed: u64,
+}
+
+/// A simulated bounded FIFO queue: the inter-module channels of Fig. 3.
+///
+/// Popping an empty queue or pushing a full one parks the task in the
+/// `Waiting` state (idle, per §VI-B).
+pub struct SimQueue<T> {
+    k: Rc<RefCell<Kernel>>,
+    inner: Rc<RefCell<QueueInner<T>>>,
+    name: Rc<str>,
+}
+
+impl<T> Clone for SimQueue<T> {
+    fn clone(&self) -> Self {
+        SimQueue { k: Rc::clone(&self.k), inner: Rc::clone(&self.inner), name: Rc::clone(&self.name) }
+    }
+}
+
+impl<T> std::fmt::Debug for SimQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimQueue").field("name", &self.name).field("len", &self.len()).finish()
+    }
+}
+
+impl<T> SimQueue<T> {
+    /// Creates a bounded queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(ctx: &SimCtx, name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        SimQueue {
+            k: Rc::clone(&ctx.k),
+            inner: Rc::new(RefCell::new(QueueInner {
+                items: VecDeque::new(),
+                capacity,
+                pop_waiters: VecDeque::new(),
+                push_waiters: VecDeque::new(),
+                closed: false,
+                samples: 0,
+                sum_len: 0.0,
+                sum_len_sq: 0.0,
+                pushed: 0,
+            })),
+            name: Rc::from(name.into()),
+        }
+    }
+
+    /// The queue's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total items pushed.
+    pub fn pushed(&self) -> u64 {
+        self.inner.borrow().pushed
+    }
+
+    /// Mean and standard error of the occupancy, sampled at every
+    /// operation (the Table I statistic).
+    pub fn occupancy_stats(&self) -> (f64, f64) {
+        let inner = self.inner.borrow();
+        if inner.samples == 0 {
+            return (0.0, 0.0);
+        }
+        let n = inner.samples as f64;
+        let mean = inner.sum_len / n;
+        let var = (inner.sum_len_sq / n - mean * mean).max(0.0);
+        (mean, (var / n).sqrt())
+    }
+
+    /// Closes the queue: pending and future pops yield `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.closed = true;
+        let waiters: Vec<_> = inner.pop_waiters.drain(..).collect();
+        let pushers: Vec<_> = inner.push_waiters.drain(..).collect();
+        drop(inner);
+        let mut k = self.k.borrow_mut();
+        let now = k.now();
+        for (task, slot) in waiters {
+            *slot.borrow_mut() = Some(None);
+            k.schedule_poll(now, task);
+        }
+        for (task, _staged) in pushers {
+            k.schedule_poll(now, task);
+        }
+    }
+
+    fn sample_locked(inner: &mut QueueInner<T>) {
+        inner.samples += 1;
+        let l = inner.items.len() as f64;
+        inner.sum_len += l;
+        inner.sum_len_sq += l * l;
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.borrow_mut();
+        let item = inner.items.pop_front();
+        if item.is_some() {
+            // Admit a staged pusher, if any.
+            if let Some((task, staged)) = inner.push_waiters.pop_front() {
+                if let Some(v) = staged.borrow_mut().take() {
+                    inner.items.push_back(v);
+                }
+                let mut k = self.k.borrow_mut();
+                let now = k.now();
+                k.schedule_poll(now, task);
+            }
+            Self::sample_locked(&mut inner);
+        }
+        item
+    }
+
+    /// Blocking pop; `None` once closed and drained.
+    pub fn pop(&self) -> PopFuture<T> {
+        PopFuture { queue: self.clone(), slot: Rc::new(RefCell::new(None)), queued: false }
+    }
+
+    /// Blocking push; completes once the item is accepted. Returns
+    /// `false` if the queue was closed.
+    pub fn push(&self, item: T) -> PushFuture<T> {
+        PushFuture { queue: self.clone(), staged: Rc::new(RefCell::new(Some(item))), queued: false }
+    }
+
+    /// Non-blocking push; hands the item back when full/closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.closed {
+            return Err(item);
+        }
+        if let Some((task, slot)) = inner.pop_waiters.pop_front() {
+            *slot.borrow_mut() = Some(Some(item));
+            inner.pushed += 1;
+            Self::sample_locked(&mut inner);
+            drop(inner);
+            let mut k = self.k.borrow_mut();
+            let now = k.now();
+            k.schedule_poll(now, task);
+            return Ok(());
+        }
+        if inner.items.len() >= inner.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        inner.pushed += 1;
+        Self::sample_locked(&mut inner);
+        Ok(())
+    }
+
+    /// Push from kernel context (delivery queues); never blocks, ignores
+    /// capacity (used by the network for final delivery).
+    pub(crate) fn push_unbounded_kernel(&self, k: &mut Kernel, item: T) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.closed {
+            return;
+        }
+        inner.pushed += 1;
+        if let Some((task, slot)) = inner.pop_waiters.pop_front() {
+            *slot.borrow_mut() = Some(Some(item));
+            Self::sample_locked(&mut inner);
+            let now = k.now();
+            k.schedule_poll(now, task);
+            return;
+        }
+        inner.items.push_back(item);
+        Self::sample_locked(&mut inner);
+    }
+}
+
+/// Future returned by [`SimQueue::pop`].
+pub struct PopFuture<T> {
+    queue: SimQueue<T>,
+    /// `None` = still waiting; `Some(None)` = closed; `Some(Some(v))`.
+    slot: Rc<RefCell<Option<Option<T>>>>,
+    queued: bool,
+}
+
+impl<T> Future for PopFuture<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let task = Kernel::current_task();
+        if let Some(delivered) = self.slot.borrow_mut().take() {
+            self.queue.k.borrow_mut().set_task_state(task, SimThreadState::Busy);
+            return Poll::Ready(delivered);
+        }
+        let this = self.get_mut();
+        let mut inner = this.queue.inner.borrow_mut();
+        if let Some(item) = inner.items.pop_front() {
+            if let Some((ptask, staged)) = inner.push_waiters.pop_front() {
+                if let Some(v) = staged.borrow_mut().take() {
+                    inner.items.push_back(v);
+                    inner.pushed += 1;
+                }
+                let mut k = this.queue.k.borrow_mut();
+                let now = k.now();
+                k.schedule_poll(now, ptask);
+            }
+            SimQueue::sample_locked(&mut inner);
+            return Poll::Ready(Some(item));
+        }
+        if inner.closed {
+            return Poll::Ready(None);
+        }
+        if !this.queued {
+            inner.pop_waiters.push_back((task, Rc::clone(&this.slot)));
+            drop(inner);
+            this.queued = true;
+            this.queue.k.borrow_mut().set_task_state(task, SimThreadState::Waiting);
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`SimQueue::push`].
+pub struct PushFuture<T> {
+    queue: SimQueue<T>,
+    staged: Rc<RefCell<Option<T>>>,
+    queued: bool,
+}
+
+impl<T> Future for PushFuture<T> {
+    type Output = bool;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let task = Kernel::current_task();
+        let this = self.get_mut();
+        let mut inner = this.queue.inner.borrow_mut();
+        if this.queued {
+            // Woken: either our staged item was consumed, or the queue
+            // closed.
+            let consumed = this.staged.borrow().is_none();
+            drop(inner);
+            this.queue.k.borrow_mut().set_task_state(task, SimThreadState::Busy);
+            return Poll::Ready(consumed);
+        }
+        if inner.closed {
+            return Poll::Ready(false);
+        }
+        let item = this.staged.borrow_mut().take().expect("push item present");
+        if let Some((ptask, slot)) = inner.pop_waiters.pop_front() {
+            *slot.borrow_mut() = Some(Some(item));
+            inner.pushed += 1;
+            SimQueue::sample_locked(&mut inner);
+            drop(inner);
+            let mut k = this.queue.k.borrow_mut();
+            let now = k.now();
+            k.schedule_poll(now, ptask);
+            return Poll::Ready(true);
+        }
+        if inner.items.len() < inner.capacity {
+            inner.items.push_back(item);
+            inner.pushed += 1;
+            SimQueue::sample_locked(&mut inner);
+            return Poll::Ready(true);
+        }
+        // Full: stage the item and wait (backpressure, §V-E).
+        *this.staged.borrow_mut() = Some(item);
+        inner.push_waiters.push_back((task, Rc::clone(&this.staged)));
+        drop(inner);
+        this.queued = true;
+        this.queue.k.borrow_mut().set_task_state(task, SimThreadState::Waiting);
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use std::cell::Cell;
+
+    #[test]
+    fn queue_passes_items_fifo() {
+        let sim = Sim::new(1);
+        let node = sim.add_node("n", 2, 1.0);
+        let ctx = sim.ctx();
+        let q: SimQueue<u32> = SimQueue::new(&ctx, "q", 10);
+        let got: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let q = q.clone();
+            let got = Rc::clone(&got);
+            sim.spawn(node, "consumer", async move {
+                while let Some(v) = q.pop().await {
+                    got.borrow_mut().push(v);
+                }
+            });
+        }
+        {
+            let q = q.clone();
+            let ctx = sim.ctx();
+            sim.spawn(node, "producer", async move {
+                for i in 0..5 {
+                    ctx.sleep(100).await;
+                    q.push(i).await;
+                }
+                q.close();
+            });
+        }
+        sim.run_until(10_000);
+        assert_eq!(*got.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_queue_blocks_pusher_as_waiting() {
+        let sim = Sim::new(1);
+        let node = sim.add_node("n", 2, 1.0);
+        let ctx = sim.ctx();
+        let q: SimQueue<u32> = SimQueue::new(&ctx, "q", 1);
+        {
+            let q = q.clone();
+            sim.spawn(node, "producer", async move {
+                q.push(1).await;
+                q.push(2).await; // parks: capacity 1
+                q.push(3).await;
+            });
+        }
+        {
+            let q = q.clone();
+            let ctx = sim.ctx();
+            sim.spawn(node, "slow-consumer", async move {
+                loop {
+                    ctx.sleep(10_000).await;
+                    if q.pop().await.is_none() {
+                        break;
+                    }
+                }
+            });
+        }
+        sim.run_until(100_000);
+        let profiles = sim.thread_profiles();
+        let producer = &profiles[0];
+        assert!(
+            producer.ns[SimThreadState::Waiting as usize] >= 10_000,
+            "producer waited on the full queue: {producer:?}"
+        );
+    }
+
+    #[test]
+    fn try_push_respects_capacity() {
+        let sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let q: SimQueue<u32> = SimQueue::new(&ctx, "q", 2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.try_pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn occupancy_stats_track_mean() {
+        let sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let q: SimQueue<u32> = SimQueue::new(&ctx, "q", 100);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        let (mean, _se) = q.occupancy_stats();
+        assert!(mean > 0.0 && mean <= 10.0);
+    }
+
+    #[test]
+    fn mutex_excludes_and_counts_blocked_time() {
+        let sim = Sim::new(1);
+        let node = sim.add_node("n", 2, 1.0);
+        let ctx = sim.ctx();
+        let m = SimMutex::new(&ctx);
+        let in_cs = Rc::new(Cell::new(0u32));
+        let max_in_cs = Rc::new(Cell::new(0u32));
+        for i in 0..3 {
+            let ctx = sim.ctx();
+            let m = m.clone();
+            let in_cs = Rc::clone(&in_cs);
+            let max_in_cs = Rc::clone(&max_in_cs);
+            sim.spawn(node, format!("t{i}"), async move {
+                for _ in 0..5 {
+                    let _g = m.lock().await;
+                    in_cs.set(in_cs.get() + 1);
+                    max_in_cs.set(max_in_cs.get().max(in_cs.get()));
+                    ctx.cpu(1_000).await;
+                    in_cs.set(in_cs.get() - 1);
+                }
+            });
+        }
+        sim.run_until(1_000_000);
+        assert_eq!(max_in_cs.get(), 1, "mutual exclusion holds");
+        assert!(m.contended_count() > 0, "there was contention");
+        let profiles = sim.thread_profiles();
+        let blocked: u64 = profiles.iter().map(|p| p.ns[SimThreadState::Blocked as usize]).sum();
+        assert!(blocked > 0, "blocked time was accounted");
+    }
+
+    #[test]
+    fn handoff_penalty_slows_contended_locks() {
+        let run = |penalty: u64| {
+            let sim = Sim::new(1);
+            let node = sim.add_node("n", 4, 1.0);
+            let ctx = sim.ctx();
+            let m = SimMutex::new(&ctx).with_handoff_penalty(penalty);
+            let end = Rc::new(Cell::new(0u64));
+            for i in 0..4 {
+                let ctx = sim.ctx();
+                let m = m.clone();
+                let end = Rc::clone(&end);
+                sim.spawn(node, format!("t{i}"), async move {
+                    for _ in 0..25 {
+                        let _g = m.lock().await;
+                        ctx.cpu(500).await;
+                    }
+                    end.set(end.get().max(ctx.now()));
+                });
+            }
+            sim.run_until(100_000_000);
+            end.get()
+        };
+        let cheap = run(0);
+        let bouncy = run(5_000);
+        assert!(bouncy > cheap * 2, "per-waiter handoff cost dominates: {bouncy} vs {cheap}");
+    }
+
+    #[test]
+    fn close_wakes_poppers() {
+        let sim = Sim::new(1);
+        let node = sim.add_node("n", 1, 1.0);
+        let ctx = sim.ctx();
+        let q: SimQueue<u32> = SimQueue::new(&ctx, "q", 4);
+        let finished = Rc::new(Cell::new(false));
+        {
+            let q = q.clone();
+            let finished = Rc::clone(&finished);
+            sim.spawn(node, "popper", async move {
+                assert!(q.pop().await.is_none());
+                finished.set(true);
+            });
+        }
+        {
+            let q = q.clone();
+            let ctx = sim.ctx();
+            sim.spawn(node, "closer", async move {
+                ctx.sleep(1_000).await;
+                q.close();
+            });
+        }
+        sim.run_until(10_000);
+        assert!(finished.get());
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when validating a [`crate::ClusterConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given explanation.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        ConfigError { message: message.into() }
+    }
+
+    /// The explanation of what was invalid.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Top-level error type of the replication stack.
+#[derive(Debug)]
+pub enum SmrError {
+    /// The configuration was rejected.
+    Config(ConfigError),
+    /// A wire-format message could not be decoded.
+    Codec(String),
+    /// A transport-level failure (connection refused, reset, …).
+    Transport(String),
+    /// The replica or client was asked to operate after shutdown.
+    Shutdown,
+    /// The operation timed out.
+    Timeout,
+    /// The contacted replica is not the leader; the hint, if any, names a
+    /// better candidate.
+    NotLeader(Option<crate::ReplicaId>),
+}
+
+impl fmt::Display for SmrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmrError::Config(e) => write!(f, "{e}"),
+            SmrError::Codec(m) => write!(f, "codec error: {m}"),
+            SmrError::Transport(m) => write!(f, "transport error: {m}"),
+            SmrError::Shutdown => write!(f, "system is shut down"),
+            SmrError::Timeout => write!(f, "operation timed out"),
+            SmrError::NotLeader(Some(r)) => write!(f, "not the leader; try {r}"),
+            SmrError::NotLeader(None) => write!(f, "not the leader"),
+        }
+    }
+}
+
+impl Error for SmrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SmrError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SmrError {
+    fn from(e: ConfigError) -> Self {
+        SmrError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplicaId;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        assert_eq!(
+            ConfigError::invalid("window (WND) must be > 0").to_string(),
+            "invalid configuration: window (WND) must be > 0"
+        );
+        assert_eq!(SmrError::Timeout.to_string(), "operation timed out");
+        assert_eq!(SmrError::NotLeader(Some(ReplicaId(2))).to_string(), "not the leader; try r2");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<SmrError>();
+    }
+
+    #[test]
+    fn config_error_converts() {
+        let e: SmrError = ConfigError::invalid("x").into();
+        assert!(matches!(e, SmrError::Config(_)));
+    }
+}

@@ -1,0 +1,225 @@
+//! Strongly-typed identifiers used throughout the replication stack.
+//!
+//! Every identifier is a newtype ([C-NEWTYPE]) so that a slot number can
+//! never be confused with a view number or a client sequence number.
+
+use std::fmt;
+
+/// Identifier of a replica within a cluster, in `0..n`.
+///
+/// The replica with `View(v)` is the leader when `v % n == id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReplicaId(pub u16);
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl ReplicaId {
+    /// Returns the identifier as a `usize`, convenient for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Globally unique client identifier.
+///
+/// In the paper's deployment, clients obtain ids when connecting; in this
+/// library ids are assigned by the replica that accepts the connection (or
+/// chosen by test harnesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Per-client monotonically increasing request sequence number.
+///
+/// `(ClientId, SeqNum)` uniquely identifies a request and is the key of the
+/// reply cache that guarantees at-most-once execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The sequence number following this one.
+    #[must_use]
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Unique request identifier: the pair of client id and client sequence
+/// number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RequestId {
+    /// The client that issued the request.
+    pub client: ClientId,
+    /// The client-local sequence number.
+    pub seq: SeqNum,
+}
+
+impl RequestId {
+    /// Creates a request id from its parts.
+    pub fn new(client: ClientId, seq: SeqNum) -> Self {
+        RequestId { client, seq }
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.client, self.seq)
+    }
+}
+
+/// Index of a consensus instance in the replicated log (Paxos instance
+/// number / Zab zxid counter analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    /// First slot of the log.
+    pub const ZERO: Slot = Slot(0);
+
+    /// The slot following this one.
+    #[must_use]
+    pub fn next(self) -> Slot {
+        Slot(self.0 + 1)
+    }
+
+    /// The slot preceding this one, or `None` at the start of the log.
+    #[must_use]
+    pub fn prev(self) -> Option<Slot> {
+        self.0.checked_sub(1).map(Slot)
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// View (ballot/round) number of the leader-election protocol.
+///
+/// The leader of view `v` in a cluster of `n` replicas is replica `v mod n`,
+/// so each replica leads infinitely many views and a higher view always
+/// has a well-defined leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct View(pub u64);
+
+impl View {
+    /// The initial view of a fresh cluster; replica 0 leads it.
+    pub const ZERO: View = View(0);
+
+    /// The leader of this view in a cluster of `n` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn leader(self, n: usize) -> ReplicaId {
+        assert!(n > 0, "cluster must have at least one replica");
+        ReplicaId((self.0 % n as u64) as u16)
+    }
+
+    /// The next view led by `replica`, strictly greater than `self`.
+    #[must_use]
+    pub fn next_for(self, replica: ReplicaId, n: usize) -> View {
+        assert!(n > 0, "cluster must have at least one replica");
+        let n = n as u64;
+        let mut v = self.0 + 1;
+        let r = replica.0 as u64 % n;
+        v += (r + n - v % n) % n;
+        View(v)
+    }
+
+    /// The view after this one.
+    #[must_use]
+    pub fn next(self) -> View {
+        View(self.0 + 1)
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_id_display_and_index() {
+        assert_eq!(ReplicaId(3).to_string(), "r3");
+        assert_eq!(ReplicaId(3).index(), 3);
+    }
+
+    #[test]
+    fn seq_num_next_increments() {
+        assert_eq!(SeqNum(0).next(), SeqNum(1));
+        assert_eq!(SeqNum(41).next(), SeqNum(42));
+    }
+
+    #[test]
+    fn request_id_orders_by_client_then_seq() {
+        let a = RequestId::new(ClientId(1), SeqNum(9));
+        let b = RequestId::new(ClientId(2), SeqNum(0));
+        assert!(a < b);
+        let c = RequestId::new(ClientId(1), SeqNum(10));
+        assert!(a < c);
+    }
+
+    #[test]
+    fn slot_next_prev_roundtrip() {
+        let s = Slot(7);
+        assert_eq!(s.next(), Slot(8));
+        assert_eq!(s.next().prev(), Some(s));
+        assert_eq!(Slot::ZERO.prev(), None);
+    }
+
+    #[test]
+    fn view_leader_rotates() {
+        assert_eq!(View(0).leader(3), ReplicaId(0));
+        assert_eq!(View(1).leader(3), ReplicaId(1));
+        assert_eq!(View(2).leader(3), ReplicaId(2));
+        assert_eq!(View(3).leader(3), ReplicaId(0));
+    }
+
+    #[test]
+    fn view_next_for_lands_on_replica() {
+        let n = 5;
+        for start in 0..20u64 {
+            for r in 0..n as u16 {
+                let v = View(start).next_for(ReplicaId(r), n);
+                assert!(v > View(start));
+                assert_eq!(v.leader(n), ReplicaId(r));
+                assert!(v.0 - start <= n as u64, "minimal next view");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn view_leader_panics_on_empty_cluster() {
+        let _ = View(0).leader(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Slot(5).to_string(), "s5");
+        assert_eq!(View(2).to_string(), "v2");
+        assert_eq!(RequestId::new(ClientId(7), SeqNum(3)).to_string(), "c7:3");
+    }
+}

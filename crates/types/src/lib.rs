@@ -1,0 +1,27 @@
+//! Core identifiers, configuration, and error types shared by every crate in
+//! the `smr` workspace.
+//!
+//! This crate is deliberately tiny and dependency-free: it defines the
+//! vocabulary of the system — who the replicas are ([`ReplicaId`]), how
+//! consensus instances are numbered ([`Slot`]), how leadership epochs are
+//! ordered ([`View`]), and how a deployment is described
+//! ([`ClusterConfig`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use smr_types::{ClusterConfig, ReplicaId, View};
+//!
+//! let config = ClusterConfig::new(3);
+//! assert_eq!(config.majority(), 2);
+//! let view = View(4);
+//! assert_eq!(view.leader(config.n()), ReplicaId(1));
+//! ```
+
+mod config;
+mod error;
+mod ids;
+
+pub use config::{BatchPolicy, ClusterConfig, ClusterConfigBuilder, RetransmitPolicy};
+pub use error::{ConfigError, SmrError};
+pub use ids::{ClientId, ReplicaId, RequestId, SeqNum, Slot, View};

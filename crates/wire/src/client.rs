@@ -1,0 +1,102 @@
+//! Client ↔ replica messages.
+
+use bytes::BytesMut;
+
+use smr_types::ReplicaId;
+
+use crate::codec::{Codec, DecodeError, WireReader, WireWriter};
+use crate::request::{Reply, Request};
+
+/// Messages exchanged between clients and the ClientIO module.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ClientMsg {
+    /// A client submits a request for ordering and execution.
+    Request(Request),
+    /// The replica answers a request (possibly from the reply cache).
+    Reply(Reply),
+    /// The contacted replica is not the leader; `leader`, when known,
+    /// names the replica the client should contact instead.
+    Redirect {
+        /// Best known leader, if any.
+        leader: Option<ReplicaId>,
+    },
+}
+
+const TAG_REQUEST: u8 = 1;
+const TAG_REPLY: u8 = 2;
+const TAG_REDIRECT: u8 = 3;
+
+impl Codec for ClientMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ClientMsg::Request(req) => {
+                WireWriter::new(buf).u8(TAG_REQUEST);
+                req.encode(buf);
+            }
+            ClientMsg::Reply(rep) => {
+                WireWriter::new(buf).u8(TAG_REPLY);
+                rep.encode(buf);
+            }
+            ClientMsg::Redirect { leader } => {
+                let mut w = WireWriter::new(buf);
+                w.u8(TAG_REDIRECT);
+                match leader {
+                    Some(r) => {
+                        w.boolean(true);
+                        w.u16(r.0);
+                    }
+                    None => w.boolean(false),
+                }
+            }
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            TAG_REQUEST => Ok(ClientMsg::Request(Request::decode_from(r)?)),
+            TAG_REPLY => Ok(ClientMsg::Reply(Reply::decode_from(r)?)),
+            TAG_REDIRECT => {
+                let has = r.boolean()?;
+                let leader = if has { Some(ReplicaId(r.u16()?)) } else { None };
+                Ok(ClientMsg::Redirect { leader })
+            }
+            other => Err(DecodeError::new("ClientMsg", format!("unknown tag {other}"))),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            ClientMsg::Request(req) => 1 + req.encoded_len(),
+            ClientMsg::Reply(rep) => 1 + rep.encoded_len(),
+            ClientMsg::Redirect { leader } => 1 + 1 + if leader.is_some() { 2 } else { 0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_types::{ClientId, RequestId, SeqNum};
+
+    fn roundtrip(msg: ClientMsg) {
+        let bytes = msg.encode_to_vec();
+        assert_eq!(bytes.len(), msg.encoded_len());
+        assert_eq!(ClientMsg::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn variants_roundtrip() {
+        roundtrip(ClientMsg::Request(Request::new(
+            RequestId::new(ClientId(1), SeqNum(2)),
+            vec![0u8; 128],
+        )));
+        roundtrip(ClientMsg::Reply(Reply::new(RequestId::new(ClientId(1), SeqNum(2)), vec![0; 8])));
+        roundtrip(ClientMsg::Redirect { leader: Some(ReplicaId(2)) });
+        roundtrip(ClientMsg::Redirect { leader: None });
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(ClientMsg::decode(&[0]).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Low-level encode/decode primitives and the [`Codec`] trait.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{BufMut, BytesMut};
+
+/// Error produced when decoding a malformed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    what: &'static str,
+    detail: String,
+}
+
+impl DecodeError {
+    /// Creates a decode error for the item `what` with free-form detail.
+    pub fn new(what: &'static str, detail: impl Into<String>) -> Self {
+        DecodeError { what, detail: detail.into() }
+    }
+
+    /// The item that failed to decode.
+    pub fn what(&self) -> &'static str {
+        self.what
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to decode {}: {}", self.what, self.detail)
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Sequential writer over a [`BytesMut`].
+#[derive(Debug)]
+pub struct WireWriter<'a> {
+    buf: &'a mut BytesMut,
+}
+
+impl<'a> WireWriter<'a> {
+    /// Wraps a buffer.
+    pub fn new(buf: &'a mut BytesMut) -> Self {
+        WireWriter { buf }
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Writes a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Writes a length-prefixed byte string (u32 length).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn boolean(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+}
+
+/// Sequential reader over a byte slice.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::new(
+                what,
+                format!("need {n} bytes, {} remaining", self.remaining()),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let s = self.take(2, "u16")?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(s.try_into().expect("slice of 8")))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len, "bytes body")?.to_vec())
+    }
+
+    /// Reads a bool.
+    pub fn boolean(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(DecodeError::new("bool", format!("invalid value {v}"))),
+        }
+    }
+
+    /// Fails unless the whole input was consumed.
+    pub fn finish(self, what: &'static str) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::new(what, format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+/// A type with a binary wire representation.
+pub trait Codec: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decodes a value from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input.
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, DecodeError>;
+
+    /// Exact number of bytes [`Codec::encode`] will append.
+    fn encoded_len(&self) -> usize;
+
+    /// Encodes into a fresh vector.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        debug_assert_eq!(buf.len(), self.encoded_len(), "encoded_len must be exact");
+        buf.to_vec()
+    }
+
+    /// Decodes a value that occupies the whole of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed or trailing input.
+    fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut reader = WireReader::new(bytes);
+        let v = Self::decode_from(&mut reader)?;
+        reader.finish("message")?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut buf = BytesMut::new();
+        let mut w = WireWriter::new(&mut buf);
+        w.u8(7);
+        w.u16(513);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.bytes(b"hello");
+        w.boolean(true);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 513);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert!(r.boolean().unwrap());
+        r.finish("test").unwrap();
+    }
+
+    #[test]
+    fn short_input_errors() {
+        let mut r = WireReader::new(&[1, 2]);
+        assert!(r.u32().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let r = WireReader::new(&[1]);
+        assert!(r.finish("test").is_err());
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let mut r = WireReader::new(&[2]);
+        assert!(r.boolean().is_err());
+    }
+
+    #[test]
+    fn bytes_length_beyond_input_errors() {
+        // Declares 100 bytes but provides 1.
+        let mut buf = BytesMut::new();
+        WireWriter::new(&mut buf).u32(100);
+        buf.extend_from_slice(&[0]);
+        let mut r = WireReader::new(&buf);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = DecodeError::new("u8", "need 1 bytes, 0 remaining");
+        assert_eq!(e.to_string(), "failed to decode u8: need 1 bytes, 0 remaining");
+        assert_eq!(e.what(), "u8");
+    }
+}

@@ -1,0 +1,58 @@
+//! CRC-32 (IEEE 802.3) checksum used by the frame layer.
+//!
+//! Implemented from scratch with a lazily-built 256-entry lookup table —
+//! part of the "no external serialization machinery" substrate.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// Computes the CRC-32 (IEEE) checksum of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // Standard test vector.
+/// assert_eq!(smr_wire::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"hello world".to_vec();
+        let orig = crc32(&data);
+        data[3] ^= 0x01;
+        assert_ne!(crc32(&data), orig);
+    }
+}

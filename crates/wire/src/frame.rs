@@ -1,0 +1,213 @@
+//! Length-prefixed, checksummed framing for stream transports.
+//!
+//! Layout of one frame on the wire:
+//!
+//! ```text
+//! +----------------+----------------+=================+
+//! | payload length | CRC-32 of body |   payload ...   |
+//! |   u32 LE       |    u32 LE      |                 |
+//! +----------------+----------------+=================+
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{BufMut, BytesMut};
+
+use crate::crc::crc32;
+
+/// Maximum accepted payload length (16 MiB): bounds memory per connection
+/// and rejects garbage length prefixes after connection desync.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Errors produced by the frame decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared payload length exceeds [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// CRC mismatch: the frame was corrupted in transit.
+    BadChecksum {
+        /// Checksum carried by the frame header.
+        expected: u32,
+        /// Checksum computed over the received payload.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::BadChecksum { expected, actual } => {
+                write!(f, "frame checksum mismatch: header {expected:#x}, computed {actual:#x}")
+            }
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+/// Frame encoding: writes `payload` as one frame into `buf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Frame;
+
+impl Frame {
+    /// Bytes of framing overhead per frame.
+    pub const HEADER_LEN: usize = 8;
+
+    /// Appends a framed copy of `payload` to `buf`.
+    pub fn encode(payload: &[u8], buf: &mut BytesMut) {
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_u32_le(crc32(payload));
+        buf.put_slice(payload);
+    }
+
+    /// Encodes into a fresh vector.
+    pub fn encode_to_vec(payload: &[u8]) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(Self::HEADER_LEN + payload.len());
+        Self::encode(payload, &mut buf);
+        buf.to_vec()
+    }
+}
+
+/// Incremental frame decoder for a byte stream.
+///
+/// Feed arbitrary chunks with [`FrameDecoder::extend`]; extract complete
+/// payloads with [`FrameDecoder::next_frame`].
+///
+/// # Examples
+///
+/// ```
+/// use smr_wire::{Frame, FrameDecoder};
+///
+/// let mut dec = FrameDecoder::new();
+/// let wire = Frame::encode_to_vec(b"hello");
+/// dec.extend(&wire[..3]); // partial chunk
+/// assert!(dec.next_frame()?.is_none());
+/// dec.extend(&wire[3..]);
+/// assert_eq!(dec.next_frame()?.unwrap(), b"hello");
+/// # Ok::<(), smr_wire::FrameError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends received bytes to the internal buffer.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete frame payload, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] for oversized or corrupt frames; the
+    /// connection should be dropped, as the stream can no longer be
+    /// trusted to be in sync.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < Frame::HEADER_LEN {
+            return Ok(None);
+        }
+        let len =
+            u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge(len));
+        }
+        let expected = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+        if self.buf.len() < Frame::HEADER_LEN + len {
+            return Ok(None);
+        }
+        let frame = self.buf.split_to(Frame::HEADER_LEN + len);
+        let payload = frame[Frame::HEADER_LEN..].to_vec();
+        let actual = crc32(&payload);
+        if actual != expected {
+            return Err(FrameError::BadChecksum { expected, actual });
+        }
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&Frame::encode_to_vec(b"payload"));
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"payload");
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&Frame::encode_to_vec(b""));
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn multiple_frames_in_one_chunk() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&Frame::encode_to_vec(b"one"));
+        wire.extend_from_slice(&Frame::encode_to_vec(b"two"));
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"one");
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"two");
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let wire = Frame::encode_to_vec(b"trickle");
+        let mut dec = FrameDecoder::new();
+        let mut got = None;
+        for &b in &wire {
+            dec.extend(&[b]);
+            if let Some(p) = dec.next_frame().unwrap() {
+                got = Some(p);
+            }
+        }
+        assert_eq!(got.unwrap(), b"trickle");
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut wire = Frame::encode_to_vec(b"data!");
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut dec = FrameDecoder::new();
+        let mut header = Vec::new();
+        header.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        dec.extend(&header);
+        assert!(matches!(dec.next_frame(), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn buffered_reports_pending() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&[1, 2, 3]);
+        assert_eq!(dec.buffered(), 3);
+    }
+}

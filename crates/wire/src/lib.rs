@@ -1,0 +1,46 @@
+//! Wire format of the replication stack: message types, binary codec, and
+//! length-prefixed framing.
+//!
+//! Serialization and deserialization cost is a first-class quantity in the
+//! paper (ClientIO and ReplicaIO threads spend much of their time
+//! encoding/decoding — §VI-B), so the codec is hand-rolled, allocation
+//! conscious, and benchmarked (`smr-bench/benches/codec.rs`) rather than
+//! delegated to a serialization framework.
+//!
+//! Three protocol layers share the codec:
+//!
+//! * [`ClientMsg`] — client ↔ replica (requests, replies, redirects);
+//! * [`ProtocolMsg`] — replica ↔ replica (Paxos phases 1/2, catch-up,
+//!   heartbeats);
+//! * [`Frame`] — length + CRC framing used by the TCP transport.
+//!
+//! # Examples
+//!
+//! ```
+//! use smr_types::{ClientId, RequestId, SeqNum};
+//! use smr_wire::{ClientMsg, Codec, Request};
+//!
+//! let msg = ClientMsg::Request(Request::new(
+//!     RequestId::new(ClientId(7), SeqNum(1)),
+//!     b"set x=1".to_vec(),
+//! ));
+//! let bytes = msg.encode_to_vec();
+//! let decoded = ClientMsg::decode(&bytes)?;
+//! assert_eq!(msg, decoded);
+//! # Ok::<(), smr_wire::DecodeError>(())
+//! ```
+
+mod client;
+mod codec;
+mod crc;
+mod frame;
+mod protocol;
+mod request;
+
+pub use client::ClientMsg;
+pub use codec::{Codec, DecodeError, WireReader, WireWriter};
+pub use crc::crc32;
+pub use frame::{FrameDecoder, FrameError, MAX_FRAME_LEN};
+pub use frame::Frame;
+pub use protocol::{AcceptedEntry, ProtocolMsg};
+pub use request::{Batch, Reply, Request};

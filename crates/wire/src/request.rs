@@ -1,0 +1,208 @@
+//! Client requests, replies, and batches — the values ordered by consensus.
+
+use bytes::BytesMut;
+
+use smr_types::{ClientId, RequestId, SeqNum};
+
+use crate::codec::{Codec, DecodeError, WireReader, WireWriter};
+
+/// A client request: a unique id plus an opaque service payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Unique identifier (client id + client sequence number).
+    pub id: RequestId,
+    /// Opaque payload interpreted by the replicated service.
+    pub payload: Vec<u8>,
+}
+
+impl Request {
+    /// Creates a request.
+    pub fn new(id: RequestId, payload: Vec<u8>) -> Self {
+        Request { id, payload }
+    }
+
+    /// Size this request contributes to a batch (the quantity compared
+    /// against the paper's `BSZ`).
+    pub fn wire_size(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Codec for Request {
+    fn encode(&self, buf: &mut BytesMut) {
+        let mut w = WireWriter::new(buf);
+        w.u64(self.id.client.0);
+        w.u64(self.id.seq.0);
+        w.bytes(&self.payload);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let client = ClientId(r.u64()?);
+        let seq = SeqNum(r.u64()?);
+        let payload = r.bytes()?;
+        Ok(Request { id: RequestId::new(client, seq), payload })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 8 + 4 + self.payload.len()
+    }
+}
+
+/// A reply to a client request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Reply {
+    /// The request this reply answers.
+    pub id: RequestId,
+    /// Opaque reply payload produced by the service.
+    pub payload: Vec<u8>,
+}
+
+impl Reply {
+    /// Creates a reply.
+    pub fn new(id: RequestId, payload: Vec<u8>) -> Self {
+        Reply { id, payload }
+    }
+}
+
+impl Codec for Reply {
+    fn encode(&self, buf: &mut BytesMut) {
+        let mut w = WireWriter::new(buf);
+        w.u64(self.id.client.0);
+        w.u64(self.id.seq.0);
+        w.bytes(&self.payload);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let client = ClientId(r.u64()?);
+        let seq = SeqNum(r.u64()?);
+        let payload = r.bytes()?;
+        Ok(Reply { id: RequestId::new(client, seq), payload })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 8 + 4 + self.payload.len()
+    }
+}
+
+/// A batch of requests: the unit ordered by one consensus instance
+/// (§III-B — batching groups several client requests in the same ballot).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Batch {
+    /// The requests, in the order they will execute.
+    pub requests: Vec<Request>,
+}
+
+impl Batch {
+    /// Creates a batch from requests.
+    pub fn new(requests: Vec<Request>) -> Self {
+        Batch { requests }
+    }
+
+    /// An empty batch (used as a no-op filler value during view change).
+    pub fn empty() -> Self {
+        Batch { requests: Vec::new() }
+    }
+
+    /// Whether the batch holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+}
+
+impl Codec for Batch {
+    fn encode(&self, buf: &mut BytesMut) {
+        WireWriter::new(buf).u32(self.requests.len() as u32);
+        for req in &self.requests {
+            req.encode(buf);
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let n = r.u32()? as usize;
+        // Cap pre-allocation: a malicious length must not OOM us.
+        let mut requests = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            requests.push(Request::decode_from(r)?);
+        }
+        Ok(Batch { requests })
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + self.requests.iter().map(Request::encoded_len).sum::<usize>()
+    }
+}
+
+impl FromIterator<Request> for Batch {
+    fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
+        Batch { requests: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(c: u64, s: u64, payload: &[u8]) -> Request {
+        Request::new(RequestId::new(ClientId(c), SeqNum(s)), payload.to_vec())
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let r = req(3, 9, b"payload bytes");
+        let bytes = r.encode_to_vec();
+        assert_eq!(bytes.len(), r.encoded_len());
+        assert_eq!(Request::decode(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let r = req(0, 0, b"");
+        assert_eq!(Request::decode(&r.encode_to_vec()).unwrap(), r);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let r = Reply::new(RequestId::new(ClientId(1), SeqNum(2)), vec![1, 2, 3]);
+        assert_eq!(Reply::decode(&r.encode_to_vec()).unwrap(), r);
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let b = Batch::new(vec![req(1, 1, b"a"), req(2, 7, b"bb"), req(3, 0, b"")]);
+        let bytes = b.encode_to_vec();
+        assert_eq!(bytes.len(), b.encoded_len());
+        assert_eq!(Batch::decode(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let b = Batch::empty();
+        assert!(b.is_empty());
+        assert_eq!(Batch::decode(&b.encode_to_vec()).unwrap(), b);
+    }
+
+    #[test]
+    fn batch_from_iterator() {
+        let b: Batch = (0..5).map(|i| req(i, 0, b"x")).collect();
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn wire_size_matches_128_byte_workload() {
+        // The paper's workload: 128-byte request payloads.
+        let r = req(1, 1, &[0u8; 128]);
+        assert_eq!(r.wire_size(), 128 + 20);
+    }
+
+    #[test]
+    fn truncated_batch_errors() {
+        let b = Batch::new(vec![req(1, 1, b"abc")]);
+        let bytes = b.encode_to_vec();
+        assert!(Batch::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

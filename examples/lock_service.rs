@@ -1,0 +1,60 @@
+//! A Chubby-style replicated lock service (the paper's motivating
+//! workload class: "lock servers [1], and coordination services [2]").
+//!
+//! Several worker threads race to acquire a replicated lock; exactly one
+//! holds it at a time, and the holder's identity survives leader checks
+//! because the lock table is replicated by consensus.
+//!
+//! Run with: `cargo run --release --example lock_service`
+
+use std::sync::Arc;
+
+use smr::core::{InProcessCluster, LockService};
+use smr::prelude::*;
+
+fn main() -> Result<(), SmrError> {
+    let cluster = Arc::new(InProcessCluster::start(ClusterConfig::new(3), |_| {
+        Box::new(LockService::new())
+    }));
+
+    println!("4 workers competing for replicated lock \"leader-election\"...");
+    let workers: Vec<_> = (1..=4u64)
+        .map(|worker| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || -> Result<Vec<String>, SmrError> {
+                let mut log = Vec::new();
+                let mut client = cluster.client();
+                for round in 0..3 {
+                    let got = LockService::granted(
+                        &client.execute(&LockService::acquire(b"leader-election", worker))?,
+                    );
+                    if got {
+                        log.push(format!("worker {worker} acquired the lock (round {round})"));
+                        // Hold it briefly, then release.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        client.execute(&LockService::release(b"leader-election", worker))?;
+                        log.push(format!("worker {worker} released the lock"));
+                    } else {
+                        log.push(format!("worker {worker} found the lock taken (round {round})"));
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                }
+                Ok(log)
+            })
+        })
+        .collect();
+
+    for w in workers {
+        for line in w.join().expect("worker thread")? {
+            println!("  {line}");
+        }
+    }
+
+    // The lock table is consistent: after all releases, it is free.
+    let mut client = cluster.client();
+    let held = LockService::granted(&client.execute(&LockService::query(b"leader-election"))?);
+    println!("lock still held at the end? {held}");
+
+    Arc::try_unwrap(cluster).ok().expect("workers done").shutdown();
+    Ok(())
+}

@@ -23,7 +23,10 @@ fn bench_batcher(c: &mut Criterion) {
     for bsz in [650usize, 1300, 5200] {
         group.throughput(Throughput::Elements(requests.len() as u64));
         group.bench_function(format!("fill_batches_bsz{bsz}"), |b| {
-            let policy = BatchPolicy { max_bytes: bsz, ..BatchPolicy::default() };
+            let policy = BatchPolicy {
+                max_bytes: bsz,
+                ..BatchPolicy::default()
+            };
             b.iter(|| {
                 let mut builder = BatchBuilder::new(policy);
                 let mut batches = 0;

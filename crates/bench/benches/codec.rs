@@ -16,7 +16,11 @@ fn paper_batch() -> ProtocolMsg {
     let reqs: Vec<Request> = (0..8)
         .map(|i| Request::new(RequestId::new(ClientId(i), SeqNum(1)), vec![7u8; 128]))
         .collect();
-    ProtocolMsg::Propose { view: View(3), slot: Slot(1000), batch: Batch::new(reqs) }
+    ProtocolMsg::Propose {
+        view: View(3),
+        slot: Slot(1000),
+        batch: Batch::new(reqs),
+    }
 }
 
 fn bench_codec(c: &mut Criterion) {

@@ -20,8 +20,7 @@ fn hammer(cache: Arc<dyn ReplyCache>, threads: usize, ops_per_thread: u64) {
             let cache = Arc::clone(&cache);
             std::thread::spawn(move || {
                 for i in 0..ops_per_thread {
-                    let id =
-                        RequestId::new(ClientId(((t as u64) << 32) | (i % 512)), SeqNum(i));
+                    let id = RequestId::new(ClientId(((t as u64) << 32) | (i % 512)), SeqNum(i));
                     // ClientIO-style probe + ServiceManager-style update.
                     let _ = cache.lookup(id);
                     cache.record(id, vec![0u8; 8]);

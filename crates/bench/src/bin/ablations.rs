@@ -45,18 +45,26 @@ fn main() {
     // batch-construction cost per batch (8 requests worth), the Batcher
     // thread becomes a pass-through.
     let mut inline_batcher = baseline.clone();
-    inline_batcher.costs.protocol_per_batch_ns += inline_batcher.costs.batcher_per_batch_ns
-        + 8 * inline_batcher.costs.batcher_per_request_ns;
+    inline_batcher.costs.protocol_per_batch_ns +=
+        inline_batcher.costs.batcher_per_batch_ns + 8 * inline_batcher.costs.batcher_per_request_ns;
     inline_batcher.costs.batcher_per_batch_ns = 0;
     inline_batcher.costs.batcher_per_request_ns = 0;
-    report("no Batcher thread (batching inline)", &inline_batcher, &mut rows);
+    report(
+        "no Batcher thread (batching inline)",
+        &inline_batcher,
+        &mut rows,
+    );
 
     // No dedicated senders: serialization + socket writes move onto the
     // Protocol thread (two peer messages per batch at n=3).
     let mut inline_send = baseline.clone();
     inline_send.costs.protocol_per_batch_ns += 2 * inline_send.costs.replica_io_snd_ns;
     inline_send.costs.replica_io_snd_ns = 0;
-    report("no ReplicaIOSnd threads (sends inline)", &inline_send, &mut rows);
+    report(
+        "no ReplicaIOSnd threads (sends inline)",
+        &inline_send,
+        &mut rows,
+    );
 
     // Both removed: the single-event-loop shape of traditional RSMs.
     let mut monolith = baseline.clone();
@@ -83,7 +91,13 @@ fn main() {
     println!(
         "{}",
         smr_bench::render_table(
-            &["configuration", "req/s(x1000)", "leaderCPU%", "Protocol busy%", "inst.lat(ms)"],
+            &[
+                "configuration",
+                "req/s(x1000)",
+                "leaderCPU%",
+                "Protocol busy%",
+                "inst.lat(ms)"
+            ],
             &rows,
         )
     );

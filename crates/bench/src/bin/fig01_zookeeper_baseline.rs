@@ -35,7 +35,10 @@ fn main() {
     }
     println!(
         "{}",
-        smr_bench::render_table(&["cores", "req/s(x1000)", "leaderCPU%", "leaderBlocked%"], &rows)
+        smr_bench::render_table(
+            &["cores", "req/s(x1000)", "leaderCPU%", "leaderBlocked%"],
+            &rows
+        )
     );
     if let Some(leader) = profile_at_24 {
         smr_bench::banner(

@@ -38,7 +38,15 @@ fn main() {
         println!(
             "{}",
             smr_bench::render_table(
-                &["cores", "req/s(x1000)", "speedup", "leaderCPU%", "followerCPU%", "leaderBlk%", "tx(Kpps)"],
+                &[
+                    "cores",
+                    "req/s(x1000)",
+                    "speedup",
+                    "leaderCPU%",
+                    "followerCPU%",
+                    "leaderBlk%",
+                    "tx(Kpps)"
+                ],
                 &rows,
             )
         );

@@ -11,7 +11,10 @@
 use smr_sim_jpaxos::{run_experiment, ExperimentConfig, ThreadReport};
 
 fn show(title: &str, threads: &[ThreadReport]) {
-    smr_bench::banner(title, "leader per-thread busy/blocked/waiting/other (% of run)");
+    smr_bench::banner(
+        title,
+        "leader per-thread busy/blocked/waiting/other (% of run)",
+    );
     let mut rows = Vec::new();
     for t in threads {
         rows.push(vec![
@@ -24,14 +27,23 @@ fn show(title: &str, threads: &[ThreadReport]) {
     }
     println!(
         "{}",
-        smr_bench::render_table(&["thread", "busy%", "blocked%", "waiting%", "other%"], &rows)
+        smr_bench::render_table(
+            &["thread", "busy%", "blocked%", "waiting%", "other%"],
+            &rows
+        )
     );
 }
 
 fn main() {
     let cases: Vec<(&str, ExperimentConfig)> = vec![
-        ("Fig 8a: parapluie, 1 core", ExperimentConfig::parapluie(3, 1)),
-        ("Fig 8b: parapluie, 24 cores", ExperimentConfig::parapluie(3, 24)),
+        (
+            "Fig 8a: parapluie, 1 core",
+            ExperimentConfig::parapluie(3, 1),
+        ),
+        (
+            "Fig 8b: parapluie, 24 cores",
+            ExperimentConfig::parapluie(3, 24),
+        ),
         ("Fig 8c: edel, 1 core", ExperimentConfig::edel(3, 1)),
         ("Fig 8d: edel, 8 cores", ExperimentConfig::edel(3, 8)),
     ];
@@ -39,7 +51,10 @@ fn main() {
         let r = run_experiment(&cfg);
         let leader = r.replicas.last().unwrap();
         show(
-            &format!("{title} ({} req/s x1000)", smr_bench::kreq(r.throughput_rps)),
+            &format!(
+                "{title} ({} req/s x1000)",
+                smr_bench::kreq(r.throughput_rps)
+            ),
             &leader.threads,
         );
     }

@@ -2,7 +2,7 @@
 //! ClientIO threads (parapluie, 24 cores, n=3).
 //!
 //! Paper reference points: ~40K requests/s with one ClientIO thread,
-//! >100K with four (a 2.5x gain from three added threads), then a slight
+//! \>100K with four (a 2.5x gain from three added threads), then a slight
 //! degradation beyond ~8 threads, down to ~80K at 24 — caused not by JVM
 //! lock contention (blocked time stays under 10%) but by the pre-2.6.35
 //! kernel's socket structures bouncing between cores (Boyd-Wickizer et al., ref. \[14\]). Leader CPU
@@ -36,7 +36,12 @@ fn main() {
     println!(
         "{}",
         smr_bench::render_table(
-            &["ClientIO threads", "req/s(x1000)", "leaderCPU%", "leaderBlocked%"],
+            &[
+                "ClientIO threads",
+                "req/s(x1000)",
+                "leaderCPU%",
+                "leaderBlocked%"
+            ],
             &rows
         )
     );

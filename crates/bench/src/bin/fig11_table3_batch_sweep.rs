@@ -35,7 +35,11 @@ fn main() {
             smr_bench::fmt(r.avg_batch_requests, 1),
             smr_bench::fmt(r.avg_batch_kb, 2),
             smr_bench::fmt(r.avg_window, 1),
-            format!("{:.0}/{:.0}", r.leader_tx_pps / 1000.0, r.leader_rx_pps / 1000.0),
+            format!(
+                "{:.0}/{:.0}",
+                r.leader_tx_pps / 1000.0,
+                r.leader_rx_pps / 1000.0
+            ),
             format!("{:.0}/{:.0}", r.leader_tx_mbps, r.leader_rx_mbps),
         ]);
     }

@@ -77,5 +77,8 @@ fn main() {
         "Fig 14a (ZooKeeper leader per-thread profile, 1 core)",
         "moderate blocking even on one core",
     );
-    println!("{}", smr_sim::render_breakdown(&zk1.replicas.last().unwrap().threads));
+    println!(
+        "{}",
+        smr_sim::render_breakdown(&zk1.replicas.last().unwrap().threads)
+    );
 }

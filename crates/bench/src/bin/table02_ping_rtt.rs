@@ -34,13 +34,20 @@ fn main() {
         vec!["idle any <-> any".to_string(), smr_bench::fmt(idle_ms, 3)],
         vec![
             "experiment follower <-> follower".to_string(),
-            r.ping_followers_ms.map(|v| smr_bench::fmt(v, 3)).unwrap_or_else(|| "-".into()),
+            r.ping_followers_ms
+                .map(|v| smr_bench::fmt(v, 3))
+                .unwrap_or_else(|| "-".into()),
         ],
         vec![
             "experiment leader <-> any".to_string(),
-            r.ping_leader_ms.map(|v| smr_bench::fmt(v, 3)).unwrap_or_else(|| "-".into()),
+            r.ping_leader_ms
+                .map(|v| smr_bench::fmt(v, 3))
+                .unwrap_or_else(|| "-".into()),
         ],
-        vec!["(instance latency, for comparison)".to_string(), smr_bench::fmt(r.instance_latency_ms, 3)],
+        vec![
+            "(instance latency, for comparison)".to_string(),
+            smr_bench::fmt(r.instance_latency_ms, 3),
+        ],
     ];
     println!("{}", smr_bench::render_table(&["path", "RTT (ms)"], &rows));
 }

@@ -31,7 +31,10 @@ pub struct SmrClient {
 
 impl std::fmt::Debug for SmrClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SmrClient").field("id", &self.id).field("seq", &self.seq).finish()
+        f.debug_struct("SmrClient")
+            .field("id", &self.id)
+            .field("seq", &self.seq)
+            .finish()
     }
 }
 
@@ -85,8 +88,7 @@ impl SmrClient {
     /// [`SmrError::Timeout`] when the overall deadline expires without a
     /// reply (e.g. no majority of replicas is reachable).
     pub fn execute(&mut self, payload: &[u8]) -> Result<Vec<u8>, SmrError> {
-        let request =
-            Request::new(RequestId::new(self.id, SeqNum(self.seq)), payload.to_vec());
+        let request = Request::new(RequestId::new(self.id, SeqNum(self.seq)), payload.to_vec());
         self.seq += 1;
         let deadline = Instant::now() + self.overall;
         let frame = ClientMsg::Request(request.clone()).encode_to_vec();

@@ -37,7 +37,9 @@ pub struct InProcessCluster {
 
 impl std::fmt::Debug for InProcessCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("InProcessCluster").field("n", &self.config.n()).finish()
+        f.debug_struct("InProcessCluster")
+            .field("n", &self.config.n())
+            .finish()
     }
 }
 
@@ -65,7 +67,12 @@ impl InProcessCluster {
                     .expect("replica starts")
             })
             .collect();
-        InProcessCluster { hub, replicas, config, next_client: AtomicU64::new(1) }
+        InProcessCluster {
+            hub,
+            replicas,
+            config,
+            next_client: AtomicU64::new(1),
+        }
     }
 
     /// The underlying fabric (fault injection lives here).

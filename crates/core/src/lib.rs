@@ -59,7 +59,9 @@ mod shared;
 
 pub use client::{Connector, SmrClient};
 pub use cluster::InProcessCluster;
-pub use reply_cache::{CacheOutcome, CoarseReplyCache, ExecuteOutcome, ReplyCache, ShardedReplyCache};
+pub use reply_cache::{
+    CacheOutcome, CoarseReplyCache, ExecuteOutcome, ReplyCache, ShardedReplyCache,
+};
 pub use runtime::{Replica, ReplicaBuilder};
 pub use service::{KvService, LockService, NullService, SequencerService, Service};
 pub use shared::SharedState;

@@ -91,7 +91,9 @@ impl ShardedReplyCache {
     /// Panics if `shards == 0`.
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
-        ShardedReplyCache { shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect() }
+        ShardedReplyCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
     }
 
     fn shard(&self, client: u64) -> &Shard {
@@ -184,7 +186,10 @@ mod tests {
         assert_eq!(cache.lookup(id(1, 2)), CacheOutcome::Miss);
         cache.record(id(1, 2), b"r2".to_vec());
         assert_eq!(cache.lookup(id(1, 1)), CacheOutcome::Stale);
-        assert_eq!(cache.check_execute(id(1, 1)), ExecuteOutcome::Duplicate(None));
+        assert_eq!(
+            cache.check_execute(id(1, 1)),
+            ExecuteOutcome::Duplicate(None)
+        );
         // Clients are independent.
         assert_eq!(cache.lookup(id(2, 1)), CacheOutcome::Miss);
         assert_eq!(cache.len(), 1 + usize::from(false));

@@ -58,7 +58,13 @@ pub(crate) fn run_client_io(ctx: &Ctx, index: usize) {
 
         // Adopt newly accepted connections.
         while let Ok(conn) = ctx.intake_qs[index].try_pop() {
-            conns.insert(conn.id(), ConnState { conn, pending: None });
+            conns.insert(
+                conn.id(),
+                ConnState {
+                    conn,
+                    pending: None,
+                },
+            );
             did_work = true;
         }
 
@@ -153,8 +159,7 @@ fn handle_frame(ctx: &Ctx, index: usize, state: &mut ConnState, frame: &[u8]) ->
     };
     match ctx.cache.lookup(request.id) {
         CacheOutcome::Hit(reply) => {
-            let frame =
-                ClientMsg::Reply(Reply::new(request.id, reply)).encode_to_vec();
+            let frame = ClientMsg::Reply(Reply::new(request.id, reply)).encode_to_vec();
             return state.conn.send(frame).is_ok();
         }
         CacheOutcome::Stale => return true, // outdated duplicate: ignore
@@ -169,7 +174,8 @@ fn handle_frame(ctx: &Ctx, index: usize, state: &mut ConnState, frame: &[u8]) ->
         return state.conn.send(frame).is_ok();
     }
     // Remember how to route the reply back (§V-D hand-over).
-    ctx.shared.bind_client(request.id.client, index, state.conn.id());
+    ctx.shared
+        .bind_client(request.id.client, index, state.conn.id());
     match ctx.request_q.try_push(request) {
         Ok(()) => true,
         Err(PushError::Full(request)) => {

@@ -78,7 +78,10 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
                 Err(PopError::Closed) => return,
             }
         }
-        match ctx.dispatcher_q.pop_timeout_with(Duration::from_millis(1), &handle) {
+        match ctx
+            .dispatcher_q
+            .pop_timeout_with(Duration::from_millis(1), &handle)
+        {
             Ok(event) => {
                 core.handle(event, ctx.shared.now_ns(), &mut actions);
                 if apply_actions(ctx, &mut actions).is_err() {
@@ -115,7 +118,12 @@ fn apply_actions(ctx: &Ctx, actions: &mut Vec<Action>) -> Result<(), ()> {
                 }
             }
             Action::ScheduleRetransmit { key, to, msg } => {
-                let entry = RetransmitEntry { key, to, msg, attempt: 0 };
+                let entry = RetransmitEntry {
+                    key,
+                    to,
+                    msg,
+                    attempt: 0,
+                };
                 let deadline = Instant::now() + ctx.config.retransmit().interval(0);
                 let cancel = ctx.timers.schedule(deadline, entry);
                 if let Some(old) = ctx.retransmits.lock().insert(key, cancel) {
@@ -167,7 +175,10 @@ pub(crate) fn run_retransmitter(ctx: &Ctx) {
                 continue;
             }
             let attempt = entry.attempt + 1;
-            let next = RetransmitEntry { attempt, ..entry.clone() };
+            let next = RetransmitEntry {
+                attempt,
+                ..entry.clone()
+            };
             let deadline = Instant::now() + ctx.config.retransmit().interval(attempt);
             let cancel = ctx.timers.schedule(deadline, next);
             if let Some(old) = map.insert(entry.key, cancel) {
@@ -209,7 +220,10 @@ pub(crate) fn run_failure_detector(ctx: &Ctx) {
             // quiet, but only when the link has been idle (§V-C3: the
             // ReplicaIO threads update timestamps; no heartbeat needed on
             // busy links).
-            let hb = ProtocolMsg::Heartbeat { view, decided_upto: ctx.shared.decided_upto() };
+            let hb = ProtocolMsg::Heartbeat {
+                view,
+                decided_upto: ctx.shared.decided_upto(),
+            };
             for peer in ctx.config.peers(ctx.me) {
                 let idle_ns = now.saturating_sub(ctx.shared.last_send_ns(peer));
                 if idle_ns >= heartbeat.as_nanos() as u64 {

@@ -71,10 +71,11 @@ impl Ctx {
                 }
             }
             Target::One(peer) => {
-                if peer != self.me && self.config.contains(peer) {
-                    if self.send_qs[peer.index()].try_push(msg.clone()).is_err() {
-                        self.send_drops.inc();
-                    }
+                if peer != self.me
+                    && self.config.contains(peer)
+                    && self.send_qs[peer.index()].try_push(msg.clone()).is_err()
+                {
+                    self.send_drops.inc();
                 }
             }
         }
@@ -152,12 +153,15 @@ impl ReplicaBuilder {
         if !self.config.contains(self.me) {
             return Err(ConfigError::invalid("replica id outside cluster").into());
         }
-        let service =
-            self.service.ok_or_else(|| ConfigError::invalid("service is required"))?;
-        let network =
-            self.network.ok_or_else(|| ConfigError::invalid("network is required"))?;
-        let listener =
-            self.listener.ok_or_else(|| ConfigError::invalid("client listener is required"))?;
+        let service = self
+            .service
+            .ok_or_else(|| ConfigError::invalid("service is required"))?;
+        let network = self
+            .network
+            .ok_or_else(|| ConfigError::invalid("network is required"))?;
+        let listener = self
+            .listener
+            .ok_or_else(|| ConfigError::invalid("client listener is required"))?;
         let metrics = self.metrics.unwrap_or_default();
         let cache = self
             .cache
@@ -195,7 +199,10 @@ impl ReplicaBuilder {
 
         let mut threads = Vec::new();
         let spawn = |name: String, f: Box<dyn FnOnce() + Send>| -> JoinHandle<()> {
-            std::thread::Builder::new().name(name).spawn(f).expect("spawn replica thread")
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(f)
+                .expect("spawn replica thread")
         };
 
         // ClientIO pool + acceptor (§V-A).
@@ -229,12 +236,17 @@ impl ReplicaBuilder {
         // ReplicationCore threads (§V-C).
         {
             let ctx2 = Arc::clone(&ctx);
-            threads.push(spawn("Batcher".into(), Box::new(move || core_threads::run_batcher(&ctx2))));
+            threads.push(spawn(
+                "Batcher".into(),
+                Box::new(move || core_threads::run_batcher(&ctx2)),
+            ));
         }
         {
             let ctx2 = Arc::clone(&ctx);
-            threads
-                .push(spawn("Protocol".into(), Box::new(move || core_threads::run_protocol(&ctx2))));
+            threads.push(spawn(
+                "Protocol".into(),
+                Box::new(move || core_threads::run_protocol(&ctx2)),
+            ));
         }
         {
             let ctx2 = Arc::clone(&ctx);
@@ -259,7 +271,10 @@ impl ReplicaBuilder {
             ));
         }
 
-        Ok(Replica { ctx, threads: Some(threads) })
+        Ok(Replica {
+            ctx,
+            threads: Some(threads),
+        })
     }
 }
 
@@ -296,7 +311,11 @@ impl Replica {
     /// Instantaneous sizes of (RequestQueue, ProposalQueue,
     /// DispatcherQueue) — the Table I quantities.
     pub fn queue_lengths(&self) -> (usize, usize, usize) {
-        (self.ctx.request_q.len(), self.ctx.proposal_q.len(), self.ctx.dispatcher_q.len())
+        (
+            self.ctx.request_q.len(),
+            self.ctx.proposal_q.len(),
+            self.ctx.dispatcher_q.len(),
+        )
     }
 
     /// Frames dropped on full SendQueues so far.
@@ -310,7 +329,9 @@ impl Replica {
     }
 
     fn shutdown_inner(&mut self) {
-        let Some(threads) = self.threads.take() else { return };
+        let Some(threads) = self.threads.take() else {
+            return;
+        };
         self.ctx.shutdown.store(true, Ordering::Release);
         self.ctx.request_q.close();
         self.ctx.proposal_q.close();

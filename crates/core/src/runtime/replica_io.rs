@@ -15,7 +15,9 @@ use super::Ctx;
 /// Protocol thread never blocks on a slow or dead peer (§V-B), avoiding
 /// the distributed-deadlock scenario the paper describes.
 pub(crate) fn run_sender(ctx: &Ctx, peer: ReplicaId) {
-    let handle = ctx.metrics.register_thread(format!("ReplicaIOSnd-{}", peer.0));
+    let handle = ctx
+        .metrics
+        .register_thread(format!("ReplicaIOSnd-{}", peer.0));
     loop {
         match ctx.send_qs[peer.index()].pop_with(&handle) {
             Ok(msg) => {
@@ -44,7 +46,9 @@ pub(crate) fn run_sender(ctx: &Ctx, peer: ReplicaId) {
 /// feeds the DispatcherQueue. Also stamps the failure detector's
 /// last-received timestamp (lock-free, §V-C3).
 pub(crate) fn run_receiver(ctx: &Ctx, peer: ReplicaId) {
-    let handle = ctx.metrics.register_thread(format!("ReplicaIORcv-{}", peer.0));
+    let handle = ctx
+        .metrics
+        .register_thread(format!("ReplicaIORcv-{}", peer.0));
     loop {
         let frame = {
             let _g = handle.enter(ThreadState::Other); // blocked in recv(2)

@@ -27,7 +27,9 @@ pub(crate) fn run_service_manager(ctx: &Ctx, mut service: Box<dyn Service>) {
                         // do not re-execute; resend the cached reply.
                         ExecuteOutcome::Duplicate(cached) => cached,
                     };
-                    let Some(payload) = reply_payload else { continue };
+                    let Some(payload) = reply_payload else {
+                        continue;
+                    };
                     let Some((cio, conn)) = ctx.shared.client_route(request.id.client) else {
                         continue; // client gone or connected elsewhere
                     };

@@ -39,7 +39,9 @@ pub struct NullService {
 impl NullService {
     /// Creates a null service replying with `reply_size` zero bytes.
     pub fn new(reply_size: usize) -> Self {
-        NullService { reply: vec![0u8; reply_size] }
+        NullService {
+            reply: vec![0u8; reply_size],
+        }
     }
 }
 
@@ -286,8 +288,14 @@ mod tests {
         let mut kv = KvService::new();
         assert_eq!(kv.execute(&KvService::put(b"k", b"v1")), vec![0]);
         assert_eq!(kv.execute(&KvService::get(b"k")), KvService::found(b"v1"));
-        assert_eq!(kv.execute(&KvService::put(b"k", b"v2")), KvService::found(b"v1"));
-        assert_eq!(kv.execute(&KvService::delete(b"k")), KvService::found(b"v2"));
+        assert_eq!(
+            kv.execute(&KvService::put(b"k", b"v2")),
+            KvService::found(b"v1")
+        );
+        assert_eq!(
+            kv.execute(&KvService::delete(b"k")),
+            KvService::found(b"v2")
+        );
         assert_eq!(kv.execute(&KvService::get(b"k")), vec![0]);
         assert!(kv.is_empty());
     }
@@ -309,12 +317,25 @@ mod tests {
     #[test]
     fn lock_lifecycle() {
         let mut s = LockService::new();
-        assert!(LockService::granted(&s.execute(&LockService::acquire(b"L", 1))));
-        assert!(LockService::granted(&s.execute(&LockService::acquire(b"L", 1))), "re-entrant");
-        assert!(!LockService::granted(&s.execute(&LockService::acquire(b"L", 2))));
-        assert!(!LockService::granted(&s.execute(&LockService::release(b"L", 2))));
-        assert!(LockService::granted(&s.execute(&LockService::release(b"L", 1))));
-        assert!(LockService::granted(&s.execute(&LockService::acquire(b"L", 2))));
+        assert!(LockService::granted(
+            &s.execute(&LockService::acquire(b"L", 1))
+        ));
+        assert!(
+            LockService::granted(&s.execute(&LockService::acquire(b"L", 1))),
+            "re-entrant"
+        );
+        assert!(!LockService::granted(
+            &s.execute(&LockService::acquire(b"L", 2))
+        ));
+        assert!(!LockService::granted(
+            &s.execute(&LockService::release(b"L", 2))
+        ));
+        assert!(LockService::granted(
+            &s.execute(&LockService::release(b"L", 1))
+        ));
+        assert!(LockService::granted(
+            &s.execute(&LockService::acquire(b"L", 2))
+        ));
     }
 
     #[test]

@@ -113,7 +113,9 @@ impl SharedState {
     /// connection `conn` (ClientIO threads).
     pub fn bind_client(&self, client: ClientId, cio: usize, conn: u64) {
         let shard = client.0 as usize % self.client_table.len();
-        self.client_table[shard].lock().insert(client.0, (cio, conn));
+        self.client_table[shard]
+            .lock()
+            .insert(client.0, (cio, conn));
     }
 
     /// Looks up the route to `client` (ServiceManager thread).

@@ -35,12 +35,17 @@ fn kv_state_is_replicated_consistently() {
     for i in 0..50u32 {
         let key = format!("key-{}", i % 10);
         let value = format!("value-{i}");
-        client.execute(&KvService::put(key.as_bytes(), value.as_bytes())).unwrap();
+        client
+            .execute(&KvService::put(key.as_bytes(), value.as_bytes()))
+            .unwrap();
     }
     for i in 40..50u32 {
         let key = format!("key-{}", i % 10);
         let got = client.execute(&KvService::get(key.as_bytes())).unwrap();
-        assert_eq!(KvService::decode_value(&got), Some(format!("value-{i}").into_bytes()));
+        assert_eq!(
+            KvService::decode_value(&got),
+            Some(format!("value-{i}").into_bytes())
+        );
     }
     cluster.shutdown();
 }
@@ -49,8 +54,9 @@ fn kv_state_is_replicated_consistently() {
 fn many_concurrent_clients_get_unique_sequence_numbers() {
     // The sequencer service hands out gap-free unique numbers only if
     // every replica executes the same total order exactly once.
-    let cluster =
-        Arc::new(InProcessCluster::start(small_config(3), |_| Box::new(SequencerService::new())));
+    let cluster = Arc::new(InProcessCluster::start(small_config(3), |_| {
+        Box::new(SequencerService::new())
+    }));
     let clients = 16;
     let per_client = 25;
     let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
@@ -75,15 +81,23 @@ fn many_concurrent_clients_get_unique_sequence_numbers() {
     values.sort_unstable();
     let unique: HashSet<u64> = values.iter().copied().collect();
     assert_eq!(unique.len(), clients * per_client, "every ticket unique");
-    assert_eq!(*values.last().unwrap(), (clients * per_client - 1) as u64, "gap-free");
-    Arc::try_unwrap(cluster).ok().expect("all clients done").shutdown();
+    assert_eq!(
+        *values.last().unwrap(),
+        (clients * per_client - 1) as u64,
+        "gap-free"
+    );
+    Arc::into_inner(cluster)
+        .expect("all clients done")
+        .shutdown();
 }
 
 #[test]
 fn leader_crash_elects_new_leader_and_keeps_serving() {
     let cluster = InProcessCluster::start(small_config(3), |_| Box::new(KvService::new()));
     let mut client = cluster.client();
-    client.execute(&KvService::put(b"before", b"crash")).unwrap();
+    client
+        .execute(&KvService::put(b"before", b"crash"))
+        .unwrap();
     // Kill the leader (replica 0 leads view 0) at the network level.
     cluster.crash(ReplicaId(0));
     // The cluster must recover: new leader elected, old data preserved.
@@ -95,7 +109,10 @@ fn leader_crash_elects_new_leader_and_keeps_serving() {
     // A new leader is in place on the survivors.
     let v1 = cluster.replica(ReplicaId(1)).shared().view();
     let v2 = cluster.replica(ReplicaId(2)).shared().view();
-    assert!(v1.0 > 0 || v2.0 > 0, "view advanced past the crashed leader");
+    assert!(
+        v1.0 > 0 || v2.0 > 0,
+        "view advanced past the crashed leader"
+    );
     cluster.shutdown();
 }
 
@@ -161,10 +178,18 @@ fn per_thread_profiles_are_collected() {
     }
     let snapshot = cluster.replica(ReplicaId(0)).metrics().snapshot();
     let names: Vec<&str> = snapshot.threads.iter().map(|t| t.name.as_str()).collect();
-    for expected in
-        ["ClientIO-0", "Batcher", "Protocol", "Replica", "FailureDetector", "Retransmitter"]
-    {
-        assert!(names.contains(&expected), "profile for {expected} missing: {names:?}");
+    for expected in [
+        "ClientIO-0",
+        "Batcher",
+        "Protocol",
+        "Replica",
+        "FailureDetector",
+        "Retransmitter",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "profile for {expected} missing: {names:?}"
+        );
     }
     // The paper's key property: time is overwhelmingly waiting, not
     // blocked, at low load.

@@ -15,8 +15,14 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), 0u8..16).prop_map(|(c, s)| Op::Lookup { client: c % 4, seq: s }),
-        (any::<u8>(), 0u8..16).prop_map(|(c, s)| Op::Execute { client: c % 4, seq: s }),
+        (any::<u8>(), 0u8..16).prop_map(|(c, s)| Op::Lookup {
+            client: c % 4,
+            seq: s
+        }),
+        (any::<u8>(), 0u8..16).prop_map(|(c, s)| Op::Execute {
+            client: c % 4,
+            seq: s
+        }),
     ]
 }
 

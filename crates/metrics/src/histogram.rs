@@ -21,12 +21,20 @@ impl Default for Histogram {
 impl Histogram {
     /// Creates an empty histogram covering 1ns .. ~584 years.
     pub fn new() -> Self {
-        Histogram { buckets: vec![0; 64], count: 0, sum: 0 }
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum: 0,
+        }
     }
 
     /// Records a latency in nanoseconds.
     pub fn record(&mut self, nanos: u64) {
-        let idx = if nanos == 0 { 0 } else { 63 - nanos.leading_zeros() as usize };
+        let idx = if nanos == 0 {
+            0
+        } else {
+            63 - nanos.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += u128::from(nanos);

@@ -23,8 +23,12 @@ pub enum ThreadState {
 
 impl ThreadState {
     /// All states, in the order the paper's figures present them.
-    pub const ALL: [ThreadState; 4] =
-        [ThreadState::Busy, ThreadState::Blocked, ThreadState::Waiting, ThreadState::Other];
+    pub const ALL: [ThreadState; 4] = [
+        ThreadState::Busy,
+        ThreadState::Blocked,
+        ThreadState::Waiting,
+        ThreadState::Other,
+    ];
 
     fn index(self) -> usize {
         match self {
@@ -83,7 +87,10 @@ impl ThreadHandle {
     /// when dropped.
     pub fn enter(&self, state: ThreadState) -> StateGuard {
         let prev = self.record.transition(state);
-        StateGuard { record: Arc::clone(&self.record), prev }
+        StateGuard {
+            record: Arc::clone(&self.record),
+            prev,
+        }
     }
 
     /// Switches to `state` without automatic restoration.
@@ -256,7 +263,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         let snap = reg.snapshot();
         assert_eq!(snap.threads.len(), 1);
-        assert!(snap.threads[0].busy_ns > 0, "time accrues to the current state");
+        assert!(
+            snap.threads[0].busy_ns > 0,
+            "time accrues to the current state"
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ mod tests {
     #[test]
     fn display_is_meaningful() {
         assert_eq!(NetError::Closed.to_string(), "transport closed");
-        assert!(NetError::Io("refused".into()).to_string().contains("refused"));
+        assert!(NetError::Io("refused".into())
+            .to_string()
+            .contains("refused"));
     }
 
     #[test]

@@ -70,7 +70,9 @@ pub struct MemoryHub {
 
 impl std::fmt::Debug for MemoryHub {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MemoryHub").field("n", &self.inner.n).finish()
+        f.debug_struct("MemoryHub")
+            .field("n", &self.inner.n)
+            .finish()
     }
 }
 
@@ -79,11 +81,14 @@ impl MemoryHub {
     pub fn new(n: usize, seed: u64) -> Self {
         let links = (0..n)
             .map(|from| {
-                (0..n).map(|to| BoundedQueue::new(format!("link-{from}-{to}"), LINK_CAPACITY)).collect()
+                (0..n)
+                    .map(|to| BoundedQueue::new(format!("link-{from}-{to}"), LINK_CAPACITY))
+                    .collect()
             })
             .collect();
-        let pending_conns =
-            (0..n).map(|r| BoundedQueue::new(format!("accept-{r}"), 1024)).collect();
+        let pending_conns = (0..n)
+            .map(|r| BoundedQueue::new(format!("accept-{r}"), 1024))
+            .collect();
         let blocked = (0..n)
             .map(|_| (0..n).map(|_| AtomicBool::new(false)).collect())
             .collect();
@@ -111,13 +116,19 @@ impl MemoryHub {
     /// The [`ReplicaNetwork`] endpoint of `replica`.
     pub fn replica_network(&self, replica: ReplicaId) -> MemoryReplicaNetwork {
         assert!(replica.index() < self.inner.n, "unknown replica {replica}");
-        MemoryReplicaNetwork { hub: self.clone(), me: replica }
+        MemoryReplicaNetwork {
+            hub: self.clone(),
+            me: replica,
+        }
     }
 
     /// The [`ClientListener`] of `replica`.
     pub fn client_listener(&self, replica: ReplicaId) -> MemoryClientListener {
         assert!(replica.index() < self.inner.n, "unknown replica {replica}");
-        MemoryClientListener { hub: self.clone(), replica }
+        MemoryClientListener {
+            hub: self.clone(),
+            replica,
+        }
     }
 
     /// Opens a client connection to `replica`, returning the client-side
@@ -133,12 +144,18 @@ impl MemoryHub {
         let id = self.inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
         let c2s = BoundedQueue::new(format!("conn-{id}-c2s"), CLIENT_CAPACITY);
         let s2c = BoundedQueue::new(format!("conn-{id}-s2c"), CLIENT_CAPACITY);
-        let server =
-            MemoryServerConn { id, incoming: c2s.clone(), outgoing: s2c.clone() };
+        let server = MemoryServerConn {
+            id,
+            incoming: c2s.clone(),
+            outgoing: s2c.clone(),
+        };
         self.inner.pending_conns[replica.index()]
             .push(server)
             .map_err(|_| NetError::Closed)?;
-        Ok(MemoryClientEndpoint { outgoing: c2s, incoming: s2c })
+        Ok(MemoryClientEndpoint {
+            outgoing: c2s,
+            incoming: s2c,
+        })
     }
 
     /// Sets the probability that any replica-link frame is dropped.
@@ -205,7 +222,9 @@ pub struct MemoryReplicaNetwork {
 
 impl std::fmt::Debug for MemoryReplicaNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MemoryReplicaNetwork").field("me", &self.me).finish()
+        f.debug_struct("MemoryReplicaNetwork")
+            .field("me", &self.me)
+            .finish()
     }
 }
 
@@ -329,7 +348,11 @@ mod tests {
         hub.partition(ReplicaId(0), ReplicaId(1), false);
         n0.send_to(ReplicaId(1), vec![10]).unwrap();
         let n1 = hub.replica_network(ReplicaId(1));
-        assert_eq!(n1.recv_from(ReplicaId(0)).unwrap(), vec![10], "partitioned frame was lost");
+        assert_eq!(
+            n1.recv_from(ReplicaId(0)).unwrap(),
+            vec![10],
+            "partitioned frame was lost"
+        );
     }
 
     #[test]
@@ -349,12 +372,17 @@ mod tests {
         let listener = hub.client_listener(ReplicaId(0));
         let mut client = hub.connect_client(ReplicaId(0)).unwrap();
         client.send(b"ping".to_vec()).unwrap();
-        let mut server =
-            listener.accept_timeout(Duration::from_secs(1)).unwrap().expect("connection pending");
+        let mut server = listener
+            .accept_timeout(Duration::from_secs(1))
+            .unwrap()
+            .expect("connection pending");
         assert_eq!(server.try_recv().unwrap().unwrap(), b"ping");
         server.send(b"pong".to_vec()).unwrap();
         assert_eq!(
-            client.recv_timeout(Duration::from_secs(1)).unwrap().unwrap(),
+            client
+                .recv_timeout(Duration::from_secs(1))
+                .unwrap()
+                .unwrap(),
             b"pong"
         );
     }
@@ -363,7 +391,10 @@ mod tests {
     fn accept_times_out_when_no_clients() {
         let hub = MemoryHub::new(1, 1);
         let listener = hub.client_listener(ReplicaId(0));
-        assert!(listener.accept_timeout(Duration::from_millis(10)).unwrap().is_none());
+        assert!(listener
+            .accept_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -77,7 +77,9 @@ pub struct TcpReplicaNetwork {
 
 impl std::fmt::Debug for TcpReplicaNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpReplicaNetwork").field("me", &self.inner.me).finish()
+        f.debug_struct("TcpReplicaNetwork")
+            .field("me", &self.inner.me)
+            .finish()
     }
 }
 
@@ -96,7 +98,12 @@ impl TcpReplicaNetwork {
             .filter(|r| *r != me.0)
             .map(|r| (r, PeerSlot::default()))
             .collect();
-        let inner = Arc::new(TcpNetInner { me, peers, slots, shutdown: AtomicBool::new(false) });
+        let inner = Arc::new(TcpNetInner {
+            me,
+            peers,
+            slots,
+            shutdown: AtomicBool::new(false),
+        });
         let acceptor = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -104,7 +111,10 @@ impl TcpReplicaNetwork {
                 .spawn(move || accept_loop(&inner, listener))
                 .expect("spawn acceptor")
         };
-        Ok(TcpReplicaNetwork { inner, acceptor: Mutex::new(Some(acceptor)) })
+        Ok(TcpReplicaNetwork {
+            inner,
+            acceptor: Mutex::new(Some(acceptor)),
+        })
     }
 }
 
@@ -196,8 +206,9 @@ impl ReplicaNetwork for TcpReplicaNetwork {
                     slot.incoming_ready.wait_for(&mut guard, POLL_INTERVAL);
                 }
                 Some((stream, decoder)) => {
-                    if let Some(frame) =
-                        decoder.next_frame().map_err(|e| NetError::BadFrame(e.to_string()))?
+                    if let Some(frame) = decoder
+                        .next_frame()
+                        .map_err(|e| NetError::BadFrame(e.to_string()))?
                     {
                         return Ok(frame);
                     }
@@ -243,8 +254,10 @@ impl ClientConn for TcpServerConn {
         if self.closed {
             return Err(NetError::Closed);
         }
-        if let Some(frame) =
-            self.decoder.next_frame().map_err(|e| NetError::BadFrame(e.to_string()))?
+        if let Some(frame) = self
+            .decoder
+            .next_frame()
+            .map_err(|e| NetError::BadFrame(e.to_string()))?
         {
             return Ok(Some(frame));
         }
@@ -256,7 +269,9 @@ impl ClientConn for TcpServerConn {
             }
             Ok(n) => {
                 self.decoder.extend(&buf[..n]);
-                self.decoder.next_frame().map_err(|e| NetError::BadFrame(e.to_string()))
+                self.decoder
+                    .next_frame()
+                    .map_err(|e| NetError::BadFrame(e.to_string()))
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
             Err(e) => {
@@ -311,7 +326,10 @@ impl TcpClientListener {
     pub fn bind(addr: SocketAddr) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
-        Ok(TcpClientListener { listener, shutdown: Arc::new(AtomicBool::new(false)) })
+        Ok(TcpClientListener {
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
     }
 
     /// The locally bound address (useful with port 0).
@@ -375,7 +393,10 @@ impl TcpClientEndpoint {
     pub fn connect(addr: SocketAddr) -> Result<Self, NetError> {
         let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
         stream.set_nodelay(true)?;
-        Ok(TcpClientEndpoint { stream, decoder: FrameDecoder::new() })
+        Ok(TcpClientEndpoint {
+            stream,
+            decoder: FrameDecoder::new(),
+        })
     }
 }
 
@@ -387,8 +408,10 @@ impl ClientEndpoint for TcpClientEndpoint {
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError> {
-        if let Some(frame) =
-            self.decoder.next_frame().map_err(|e| NetError::BadFrame(e.to_string()))?
+        if let Some(frame) = self
+            .decoder
+            .next_frame()
+            .map_err(|e| NetError::BadFrame(e.to_string()))?
         {
             return Ok(Some(frame));
         }
@@ -404,8 +427,10 @@ impl ClientEndpoint for TcpClientEndpoint {
                 Ok(0) => return Err(NetError::Closed),
                 Ok(n) => {
                     self.decoder.extend(&buf[..n]);
-                    if let Some(frame) =
-                        self.decoder.next_frame().map_err(|e| NetError::BadFrame(e.to_string()))?
+                    if let Some(frame) = self
+                        .decoder
+                        .next_frame()
+                        .map_err(|e| NetError::BadFrame(e.to_string()))?
                     {
                         return Ok(Some(frame));
                     }
@@ -476,7 +501,13 @@ mod tests {
         }
         assert_eq!(got.unwrap(), b"request");
         conn.send(b"reply".to_vec()).unwrap();
-        assert_eq!(client.recv_timeout(Duration::from_secs(2)).unwrap().unwrap(), b"reply");
+        assert_eq!(
+            client
+                .recv_timeout(Duration::from_secs(2))
+                .unwrap()
+                .unwrap(),
+            b"reply"
+        );
     }
 
     #[test]
@@ -485,7 +516,10 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let mut client = TcpClientEndpoint::connect(addr).unwrap();
         let start = Instant::now();
-        assert!(client.recv_timeout(Duration::from_millis(50)).unwrap().is_none());
+        assert!(client
+            .recv_timeout(Duration::from_millis(50))
+            .unwrap()
+            .is_none());
         assert!(start.elapsed() >= Duration::from_millis(45));
     }
 

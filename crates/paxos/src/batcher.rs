@@ -45,7 +45,12 @@ const BATCH_OVERHEAD: usize = 4;
 impl BatchBuilder {
     /// Creates a builder with the given policy.
     pub fn new(policy: BatchPolicy) -> Self {
-        BatchBuilder { policy, pending: Vec::new(), pending_bytes: BATCH_OVERHEAD, opened_at: None }
+        BatchBuilder {
+            policy,
+            pending: Vec::new(),
+            pending_bytes: BATCH_OVERHEAD,
+            opened_at: None,
+        }
     }
 
     /// The policy in force.
@@ -100,7 +105,8 @@ impl BatchBuilder {
     /// Deadline (ns) at which the pending batch must be flushed, if one is
     /// open.
     pub fn next_deadline(&self) -> Option<u64> {
-        self.opened_at.map(|t| t + self.policy.timeout.as_nanos() as u64)
+        self.opened_at
+            .map(|t| t + self.policy.timeout.as_nanos() as u64)
     }
 
     /// Unconditionally closes the pending batch.
@@ -125,7 +131,11 @@ mod tests {
     }
 
     fn policy(max_bytes: usize) -> BatchPolicy {
-        BatchPolicy { max_bytes, max_requests: 1000, timeout: Duration::from_millis(5) }
+        BatchPolicy {
+            max_bytes,
+            max_requests: 1000,
+            timeout: Duration::from_millis(5),
+        }
     }
 
     #[test]
@@ -157,7 +167,10 @@ mod tests {
 
     #[test]
     fn fills_by_count() {
-        let p = BatchPolicy { max_requests: 3, ..policy(1_000_000) };
+        let p = BatchPolicy {
+            max_requests: 3,
+            ..policy(1_000_000)
+        };
         let mut b = BatchBuilder::new(p);
         assert!(b.push(req(0, 1), 0).is_none());
         assert!(b.push(req(1, 1), 0).is_none());
@@ -190,7 +203,11 @@ mod tests {
         b.push(req(0, 10), 7);
         assert_eq!(b.next_deadline(), Some(7 + 5_000_000));
         b.push(req(1, 10), 1_000_000);
-        assert_eq!(b.next_deadline(), Some(7 + 5_000_000), "deadline is from batch open");
+        assert_eq!(
+            b.next_deadline(),
+            Some(7 + 5_000_000),
+            "deadline is from batch open"
+        );
     }
 
     #[test]

@@ -130,7 +130,11 @@ mod tests {
     fn action_kind_names() {
         assert_eq!(Action::CancelAllRetransmits.kind(), "CancelAllRetransmits");
         assert_eq!(
-            Action::LeaderChanged { view: View(1), leader: ReplicaId(1) }.kind(),
+            Action::LeaderChanged {
+                view: View(1),
+                leader: ReplicaId(1)
+            }
+            .kind(),
             "LeaderChanged"
         );
     }
@@ -140,8 +144,14 @@ mod tests {
         use std::collections::HashSet;
         let keys = [
             RetransmitKey::Prepare { view: View(1) },
-            RetransmitKey::Propose { view: View(1), slot: Slot(0) },
-            RetransmitKey::Propose { view: View(1), slot: Slot(1) },
+            RetransmitKey::Propose {
+                view: View(1),
+                slot: Slot(0),
+            },
+            RetransmitKey::Propose {
+                view: View(1),
+                slot: Slot(1),
+            },
             RetransmitKey::Catchup { from: Slot(0) },
         ];
         let set: HashSet<_> = keys.iter().collect();

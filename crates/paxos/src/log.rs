@@ -25,7 +25,10 @@ impl Instance {
     /// Records that `replica` accepted in `view`; votes of older views are
     /// discarded when a newer view appears.
     pub fn record_vote(&mut self, replica: ReplicaId, view: View) {
-        debug_assert!(replica.index() < 64, "vote bitmask supports up to 64 replicas");
+        debug_assert!(
+            replica.index() < 64,
+            "vote bitmask supports up to 64 replicas"
+        );
         if view > self.vote_view {
             self.vote_view = view;
             self.votes = 0;
@@ -131,7 +134,7 @@ impl Log {
         while self
             .entries
             .get(&self.first_gap.0)
-            .map_or(false, |i| i.decided)
+            .is_some_and(|i| i.decided)
         {
             self.first_gap = self.first_gap.next();
         }
@@ -144,7 +147,10 @@ impl Log {
         let mut out = Vec::new();
         while self.delivered_upto < self.first_gap {
             let slot = self.delivered_upto;
-            let inst = self.entries.get(&slot.0).expect("decided slot is materialized");
+            let inst = self
+                .entries
+                .get(&slot.0)
+                .expect("decided slot is materialized");
             let batch = inst.value.clone().expect("decided slot has a value");
             out.push((slot, batch));
             self.delivered_upto = slot.next();
@@ -202,7 +208,10 @@ mod tests {
     use smr_wire::Request;
 
     fn batch(tag: u64) -> Batch {
-        Batch::new(vec![Request::new(RequestId::new(ClientId(tag), SeqNum(0)), vec![])])
+        Batch::new(vec![Request::new(
+            RequestId::new(ClientId(tag), SeqNum(0)),
+            vec![],
+        )])
     }
 
     #[test]
@@ -254,7 +263,11 @@ mod tests {
         }
         log.mark_decided(Slot(1));
         log.mark_decided(Slot(2));
-        assert_eq!(log.first_gap(), Slot(0), "slot 0 missing blocks the frontier");
+        assert_eq!(
+            log.first_gap(),
+            Slot(0),
+            "slot 0 missing blocks the frontier"
+        );
         let e = log.entry(Slot(0));
         e.value = Some(batch(0));
         e.accepted_view = Some(View(0));
@@ -275,7 +288,10 @@ mod tests {
         assert_eq!(delivered.len(), 3);
         assert_eq!(delivered[0].0, Slot(0));
         assert_eq!(delivered[2].0, Slot(2));
-        assert!(log.take_deliverable().is_empty(), "delivery is exactly-once");
+        assert!(
+            log.take_deliverable().is_empty(),
+            "delivery is exactly-once"
+        );
     }
 
     #[test]
@@ -288,7 +304,10 @@ mod tests {
             log.mark_decided(Slot(s));
         }
         let got = log.decided_range(Slot(1), Slot(4), 10);
-        assert_eq!(got.iter().map(|(s, _)| s.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            got.iter().map(|(s, _)| s.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         let limited = log.decided_range(Slot(0), Slot(5), 2);
         assert_eq!(limited.len(), 2);
     }

@@ -64,7 +64,11 @@ impl PaxosReplica {
     ///
     /// Panics if `me` is not a member of `config`.
     pub fn new(me: ReplicaId, config: ClusterConfig) -> Self {
-        assert!(config.contains(me), "replica {me} not in cluster of {}", config.n());
+        assert!(
+            config.contains(me),
+            "replica {me} not in cluster of {}",
+            config.n()
+        );
         let n = config.n();
         PaxosReplica {
             me,
@@ -171,7 +175,10 @@ impl PaxosReplica {
         if self.is_leader() {
             self.role = ReplicaRole::Leading;
         }
-        out.push(Action::LeaderChanged { view: self.view, leader: self.leader() });
+        out.push(Action::LeaderChanged {
+            view: self.view,
+            leader: self.leader(),
+        });
     }
 
     fn on_proposal(&mut self, batch: Batch, out: &mut Vec<Action>) {
@@ -203,7 +210,10 @@ impl PaxosReplica {
         inst.record_vote(self.me, view);
         self.my_inflight.insert(slot);
         let msg = ProtocolMsg::Propose { view, slot, batch };
-        out.push(Action::Send { to: Target::All, msg: msg.clone() });
+        out.push(Action::Send {
+            to: Target::All,
+            msg: msg.clone(),
+        });
         out.push(Action::ScheduleRetransmit {
             key: RetransmitKey::Propose { view, slot },
             to: Target::All,
@@ -225,7 +235,10 @@ impl PaxosReplica {
             // slower than ours.
             out.push(Action::Send {
                 to: Target::One(next.leader(self.config.n())),
-                msg: ProtocolMsg::Suspect { view: suspected, from: self.me },
+                msg: ProtocolMsg::Suspect {
+                    view: suspected,
+                    from: self.me,
+                },
             });
         }
     }
@@ -238,7 +251,10 @@ impl PaxosReplica {
         self.my_inflight.clear();
         self.promises.clear();
         out.push(Action::CancelAllRetransmits);
-        out.push(Action::LeaderChanged { view, leader: self.leader() });
+        out.push(Action::LeaderChanged {
+            view,
+            leader: self.leader(),
+        });
     }
 
     fn start_prepare(&mut self, out: &mut Vec<Action>) {
@@ -246,9 +262,14 @@ impl PaxosReplica {
         self.role = ReplicaRole::Preparing;
         self.promises.clear();
         self.prepare_first_unstable = self.log.first_gap();
-        let msg =
-            ProtocolMsg::Prepare { view: self.view, first_unstable: self.prepare_first_unstable };
-        out.push(Action::Send { to: Target::All, msg: msg.clone() });
+        let msg = ProtocolMsg::Prepare {
+            view: self.view,
+            first_unstable: self.prepare_first_unstable,
+        };
+        out.push(Action::Send {
+            to: Target::All,
+            msg: msg.clone(),
+        });
         out.push(Action::ScheduleRetransmit {
             key: RetransmitKey::Prepare { view: self.view },
             to: Target::All,
@@ -262,7 +283,9 @@ impl PaxosReplica {
 
     fn finish_prepare(&mut self, out: &mut Vec<Action>) {
         self.role = ReplicaRole::Leading;
-        out.push(Action::CancelRetransmit { key: RetransmitKey::Prepare { view: self.view } });
+        out.push(Action::CancelRetransmit {
+            key: RetransmitKey::Prepare { view: self.view },
+        });
         let fu = self.prepare_first_unstable;
 
         // Choose, per slot, the value accepted in the highest view among
@@ -291,11 +314,14 @@ impl PaxosReplica {
         // stays gap-free and later decisions can execute.
         let mut slot = fu;
         while slot < stop {
-            if self.log.get(slot).map_or(false, |i| i.decided) {
+            if self.log.get(slot).is_some_and(|i| i.decided) {
                 slot = slot.next();
                 continue;
             }
-            let batch = best.get(&slot.0).map(|(_, b)| b.clone()).unwrap_or_else(Batch::empty);
+            let batch = best
+                .get(&slot.0)
+                .map(|(_, b)| b.clone())
+                .unwrap_or_else(Batch::empty);
             let view = self.view;
             let inst = self.log.entry(slot);
             inst.value = Some(batch.clone());
@@ -303,7 +329,10 @@ impl PaxosReplica {
             inst.record_vote(self.me, view);
             self.my_inflight.insert(slot);
             let msg = ProtocolMsg::Propose { view, slot, batch };
-            out.push(Action::Send { to: Target::All, msg: msg.clone() });
+            out.push(Action::Send {
+                to: Target::All,
+                msg: msg.clone(),
+            });
             out.push(Action::ScheduleRetransmit {
                 key: RetransmitKey::Propose { view, slot },
                 to: Target::All,
@@ -335,24 +364,31 @@ impl PaxosReplica {
             return;
         }
         match msg {
-            ProtocolMsg::Prepare { view, first_unstable } => {
-                self.on_prepare(from, view, first_unstable, out)
-            }
-            ProtocolMsg::Promise { view, decided_upto, accepted } => {
-                self.on_promise(from, view, decided_upto, accepted, now_ns, out)
-            }
+            ProtocolMsg::Prepare {
+                view,
+                first_unstable,
+            } => self.on_prepare(from, view, first_unstable, out),
+            ProtocolMsg::Promise {
+                view,
+                decided_upto,
+                accepted,
+            } => self.on_promise(from, view, decided_upto, accepted, now_ns, out),
             ProtocolMsg::Propose { view, slot, batch } => {
                 self.on_propose_msg(from, view, slot, batch, now_ns, out)
             }
             ProtocolMsg::Accept { view, slot } => self.on_accept(from, view, slot, now_ns, out),
             ProtocolMsg::CatchupQuery { from: lo, to } => self.on_catchup_query(from, lo, to, out),
-            ProtocolMsg::CatchupReply { decided_upto, entries } => {
-                self.on_catchup_reply(from, decided_upto, entries, now_ns, out)
-            }
+            ProtocolMsg::CatchupReply {
+                decided_upto,
+                entries,
+            } => self.on_catchup_reply(from, decided_upto, entries, now_ns, out),
             ProtocolMsg::Heartbeat { view, decided_upto } => {
                 self.on_heartbeat(from, view, decided_upto, now_ns, out)
             }
-            ProtocolMsg::Suspect { view, from: reporter } => {
+            ProtocolMsg::Suspect {
+                view,
+                from: reporter,
+            } => {
                 // A peer suspects `view`'s leader and we are next in line.
                 if view == self.view
                     && reporter != self.me
@@ -386,7 +422,11 @@ impl PaxosReplica {
             .collect();
         out.push(Action::Send {
             to: Target::One(from),
-            msg: ProtocolMsg::Promise { view, decided_upto: self.log.first_gap(), accepted },
+            msg: ProtocolMsg::Promise {
+                view,
+                decided_upto: self.log.first_gap(),
+                accepted,
+            },
         });
     }
 
@@ -428,7 +468,10 @@ impl PaxosReplica {
         if slot < self.log.truncated_below() {
             // Long decided and garbage collected; tell the sender it can
             // stop retransmitting.
-            out.push(Action::Send { to: Target::One(from), msg: ProtocolMsg::Accept { view, slot } });
+            out.push(Action::Send {
+                to: Target::One(from),
+                msg: ProtocolMsg::Accept { view, slot },
+            });
             return;
         }
         let me = self.me;
@@ -438,7 +481,10 @@ impl PaxosReplica {
                 inst.value.as_ref() == Some(&batch),
                 "paxos safety: decided value re-proposed differently"
             );
-            out.push(Action::Send { to: Target::One(from), msg: ProtocolMsg::Accept { view, slot } });
+            out.push(Action::Send {
+                to: Target::One(from),
+                msg: ProtocolMsg::Accept { view, slot },
+            });
             return;
         }
         // Accept: record our vote and the proposer's implicit vote.
@@ -446,7 +492,10 @@ impl PaxosReplica {
         inst.accepted_view = Some(view);
         inst.record_vote(me, view);
         inst.record_vote(from, view);
-        out.push(Action::Send { to: Target::All, msg: ProtocolMsg::Accept { view, slot } });
+        out.push(Action::Send {
+            to: Target::All,
+            msg: ProtocolMsg::Accept { view, slot },
+        });
         self.try_decide(slot, out);
         // A slot far beyond our decided frontier implies we missed traffic.
         if slot.0 > self.log.first_gap().0 + 2 * self.config.window() as u64 {
@@ -485,14 +534,17 @@ impl PaxosReplica {
 
     fn try_decide(&mut self, slot: Slot, out: &mut Vec<Action>) {
         let majority = self.config.majority();
-        let decidable = self.log.get(slot).map_or(false, |i| i.decidable(majority));
+        let decidable = self.log.get(slot).is_some_and(|i| i.decidable(majority));
         if !decidable {
             return;
         }
         self.log.mark_decided(slot);
         if self.my_inflight.remove(&slot) {
             out.push(Action::CancelRetransmit {
-                key: RetransmitKey::Propose { view: self.view, slot },
+                key: RetransmitKey::Propose {
+                    view: self.view,
+                    slot,
+                },
             });
         }
         for (slot, batch) in self.log.take_deliverable() {
@@ -528,7 +580,10 @@ impl PaxosReplica {
         let entries = self.log.decided_range(lo, to, CATCHUP_CHUNK as usize);
         out.push(Action::Send {
             to: Target::One(from),
-            msg: ProtocolMsg::CatchupReply { decided_upto: self.log.first_gap(), entries },
+            msg: ProtocolMsg::CatchupReply {
+                decided_upto: self.log.first_gap(),
+                entries,
+            },
         });
     }
 
@@ -572,8 +627,12 @@ impl PaxosReplica {
     /// Issues a catch-up query if we are behind and none is outstanding
     /// (or the outstanding one timed out).
     fn maybe_catchup(&mut self, hint: Option<Slot>, now_ns: u64, out: &mut Vec<Action>) {
-        let known_best =
-            self.peer_decided_upto.iter().copied().max().unwrap_or(Slot::ZERO);
+        let known_best = self
+            .peer_decided_upto
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Slot::ZERO);
         let target = hint.map_or(known_best, |h| h.max(known_best));
         if target <= self.log.first_gap() {
             return;
@@ -588,7 +647,12 @@ impl PaxosReplica {
 
     fn catchup_now(&mut self, now_ns: u64, out: &mut Vec<Action>) {
         let from = self.log.first_gap();
-        let known_best = self.peer_decided_upto.iter().copied().max().unwrap_or(Slot::ZERO);
+        let known_best = self
+            .peer_decided_upto
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Slot::ZERO);
         let to = Slot(known_best.0.max(from.0 + 1).min(from.0 + CATCHUP_CHUNK));
         // Ask the most advanced peer; ties go to the lowest id.
         let peer = self
@@ -630,9 +694,14 @@ mod tests {
     impl TestNet {
         fn new(n: usize) -> Self {
             let config = ClusterConfig::new(n);
-            let mut replicas: Vec<PaxosReplica> =
-                (0..n as u16).map(|i| PaxosReplica::new(ReplicaId(i), config.clone())).collect();
-            let mut net = TestNet { replicas: Vec::new(), delivered: vec![Vec::new(); n], now: 0 };
+            let mut replicas: Vec<PaxosReplica> = (0..n as u16)
+                .map(|i| PaxosReplica::new(ReplicaId(i), config.clone()))
+                .collect();
+            let mut net = TestNet {
+                replicas: Vec::new(),
+                delivered: vec![Vec::new(); n],
+                now: 0,
+            };
             let mut inbox = Vec::new();
             for r in replicas.iter_mut() {
                 let mut acts = Vec::new();
@@ -659,13 +728,20 @@ mod tests {
                 match action {
                     Action::Send { to, msg } => {
                         let targets: Vec<ReplicaId> = match to {
-                            Target::All => {
-                                (0..n as u16).map(ReplicaId).filter(|r| *r != from).collect()
-                            }
+                            Target::All => (0..n as u16)
+                                .map(ReplicaId)
+                                .filter(|r| *r != from)
+                                .collect(),
                             Target::One(r) => vec![r],
                         };
                         for t in targets {
-                            self.event(t, Event::Message { from, msg: msg.clone() });
+                            self.event(
+                                t,
+                                Event::Message {
+                                    from,
+                                    msg: msg.clone(),
+                                },
+                            );
                         }
                     }
                     Action::Deliver { slot, batch } => {
@@ -690,7 +766,11 @@ mod tests {
             net.event(leader, Event::Proposal(batch(i)));
         }
         for r in 0..3 {
-            assert_eq!(net.delivered[r].len(), 5, "replica {r} delivered everything");
+            assert_eq!(
+                net.delivered[r].len(),
+                5,
+                "replica {r} delivered everything"
+            );
             for (i, (slot, b)) in net.delivered[r].iter().enumerate() {
                 assert_eq!(slot.0, i as u64);
                 assert_eq!(b, &batch(i as u64));
@@ -742,7 +822,13 @@ mod tests {
         let proposes = out
             .iter()
             .filter(|a| {
-                matches!(a, Action::Send { msg: ProtocolMsg::Propose { .. }, to: Target::All })
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: ProtocolMsg::Propose { .. },
+                        to: Target::All
+                    }
+                )
             })
             .count();
         assert_eq!(proposes, 2);
@@ -764,9 +850,15 @@ mod tests {
             net.event(ReplicaId(1), Event::Proposal(batch(i)));
         }
         for r in [1usize, 2] {
-            let tags: Vec<u64> =
-                net.delivered[r].iter().map(|(_, b)| b.requests[0].id.client.0).collect();
-            assert_eq!(tags, vec![0, 1, 2, 3, 4, 5], "replica {r} order preserved across views");
+            let tags: Vec<u64> = net.delivered[r]
+                .iter()
+                .map(|(_, b)| b.requests[0].id.client.0)
+                .collect();
+            assert_eq!(
+                tags,
+                vec![0, 1, 2, 3, 4, 5],
+                "replica {r} order preserved across views"
+            );
         }
     }
 
@@ -806,7 +898,11 @@ mod tests {
         net.event(ReplicaId(1), Event::Suspect { view: View(0) });
         let v = net.replicas[1].view();
         net.event(ReplicaId(1), Event::Suspect { view: View(0) });
-        assert_eq!(net.replicas[1].view(), v, "second suspicion of view 0 is stale");
+        assert_eq!(
+            net.replicas[1].view(),
+            v,
+            "second suspicion of view 0 is stale"
+        );
     }
 
     #[test]
@@ -819,7 +915,10 @@ mod tests {
         straggler.handle(
             Event::Message {
                 from: ReplicaId(0),
-                msg: ProtocolMsg::Heartbeat { view: View(0), decided_upto: Slot(10) },
+                msg: ProtocolMsg::Heartbeat {
+                    view: View(0),
+                    decided_upto: Slot(10),
+                },
             },
             1,
             &mut out,
@@ -827,7 +926,10 @@ mod tests {
         assert!(
             out.iter().any(|a| matches!(
                 a,
-                Action::Send { msg: ProtocolMsg::CatchupQuery { .. }, .. }
+                Action::Send {
+                    msg: ProtocolMsg::CatchupQuery { .. },
+                    ..
+                }
             )),
             "straggler asks for missing slots: {out:?}"
         );
@@ -847,7 +949,10 @@ mod tests {
         straggler.handle(
             Event::Message {
                 from: ReplicaId(0),
-                msg: ProtocolMsg::Heartbeat { view: View(0), decided_upto: Slot(4) },
+                msg: ProtocolMsg::Heartbeat {
+                    view: View(0),
+                    decided_upto: Slot(4),
+                },
             },
             1,
             &mut acts,
@@ -855,9 +960,10 @@ mod tests {
         let query = acts
             .iter()
             .find_map(|a| match a {
-                Action::Send { to: Target::One(p), msg: ProtocolMsg::CatchupQuery { from, to } } => {
-                    Some((*p, *from, *to))
-                }
+                Action::Send {
+                    to: Target::One(p),
+                    msg: ProtocolMsg::CatchupQuery { from, to },
+                } => Some((*p, *from, *to)),
                 _ => None,
             })
             .expect("catch-up query issued");
@@ -866,7 +972,10 @@ mod tests {
         net.replicas[0].handle(
             Event::Message {
                 from: ReplicaId(2),
-                msg: ProtocolMsg::CatchupQuery { from: query.1, to: query.2 },
+                msg: ProtocolMsg::CatchupQuery {
+                    from: query.1,
+                    to: query.2,
+                },
             },
             2,
             &mut serve,
@@ -874,12 +983,22 @@ mod tests {
         let reply = serve
             .iter()
             .find_map(|a| match a {
-                Action::Send { msg: m @ ProtocolMsg::CatchupReply { .. }, .. } => Some(m.clone()),
+                Action::Send {
+                    msg: m @ ProtocolMsg::CatchupReply { .. },
+                    ..
+                } => Some(m.clone()),
                 _ => None,
             })
             .expect("catch-up reply produced");
         let mut final_acts = Vec::new();
-        straggler.handle(Event::Message { from: query.0, msg: reply }, 3, &mut final_acts);
+        straggler.handle(
+            Event::Message {
+                from: query.0,
+                msg: reply,
+            },
+            3,
+            &mut final_acts,
+        );
         let delivered: Vec<Slot> = final_acts
             .iter()
             .filter_map(|a| match a {
@@ -897,9 +1016,15 @@ mod tests {
         net.now += 1;
         let mut acts = Vec::new();
         net.replicas[0].handle(Event::Proposal(batch(0)), net.now, &mut acts);
-        let scheduled = acts
-            .iter()
-            .any(|a| matches!(a, Action::ScheduleRetransmit { key: RetransmitKey::Propose { .. }, .. }));
+        let scheduled = acts.iter().any(|a| {
+            matches!(
+                a,
+                Action::ScheduleRetransmit {
+                    key: RetransmitKey::Propose { .. },
+                    ..
+                }
+            )
+        });
         assert!(scheduled);
         net.route(ReplicaId(0), acts.clone());
         // After routing, accepts came back and the slot decided.
@@ -916,10 +1041,18 @@ mod tests {
             ReplicaId(1),
             Event::Message {
                 from: ReplicaId(0),
-                msg: ProtocolMsg::Propose { view: View(0), slot: Slot(0), batch: batch(0) },
+                msg: ProtocolMsg::Propose {
+                    view: View(0),
+                    slot: Slot(0),
+                    batch: batch(0),
+                },
             },
         );
-        assert_eq!(net.delivered[1].len(), delivered_before, "no double delivery");
+        assert_eq!(
+            net.delivered[1].len(),
+            delivered_before,
+            "no double delivery"
+        );
     }
 
     #[test]
@@ -933,7 +1066,11 @@ mod tests {
             ReplicaId(2),
             Event::Message {
                 from: ReplicaId(0),
-                msg: ProtocolMsg::Propose { view: View(0), slot: Slot(99), batch: batch(9) },
+                msg: ProtocolMsg::Propose {
+                    view: View(0),
+                    slot: Slot(99),
+                    batch: batch(9),
+                },
             },
         );
         assert_eq!(net.delivered[2].len(), before);
@@ -948,7 +1085,10 @@ mod tests {
             ReplicaId(0),
             Event::Message {
                 from: ReplicaId(2),
-                msg: ProtocolMsg::Prepare { view: View(1), first_unstable: Slot(0) },
+                msg: ProtocolMsg::Prepare {
+                    view: View(1),
+                    first_unstable: Slot(0),
+                },
             },
         );
         assert_eq!(net.replicas[0].view(), View(0), "bogus prepare ignored");
@@ -961,7 +1101,10 @@ mod tests {
         r.handle(Event::Init, 0, &mut out);
         assert_eq!(
             out,
-            vec![Action::LeaderChanged { view: View(0), leader: ReplicaId(0) }]
+            vec![Action::LeaderChanged {
+                view: View(0),
+                leader: ReplicaId(0)
+            }]
         );
         assert_eq!(r.role(), ReplicaRole::Follower);
     }

@@ -6,7 +6,10 @@ use smr_types::{ClientId, ClusterConfig, ReplicaId, RequestId, SeqNum, Slot, Vie
 use smr_wire::{Batch, ProtocolMsg, Request};
 
 fn batch(tag: u64) -> Batch {
-    Batch::new(vec![Request::new(RequestId::new(ClientId(tag), SeqNum(0)), vec![0u8; 16])])
+    Batch::new(vec![Request::new(
+        RequestId::new(ClientId(tag), SeqNum(0)),
+        vec![0u8; 16],
+    )])
 }
 
 /// Synchronous lossless cluster pump (like the unit-test harness, but
@@ -46,7 +49,13 @@ impl Net {
                         Target::One(r) => vec![r],
                     };
                     for t in targets {
-                        self.event(t, Event::Message { from: at, msg: msg.clone() });
+                        self.event(
+                            t,
+                            Event::Message {
+                                from: at,
+                                msg: msg.clone(),
+                            },
+                        );
                     }
                 }
                 Action::Deliver { slot, batch } => self.delivered[at.index()].push((slot, batch)),
@@ -81,7 +90,10 @@ fn cascaded_view_changes_converge() {
     // All replicas agree on a common prefix and delivered everything
     // that any replica delivered.
     let longest = net.delivered.iter().map(|d| d.len()).max().unwrap();
-    assert!(longest >= tag as usize - 4, "nearly all proposals survived the churn");
+    assert!(
+        longest >= tag as usize - 4,
+        "nearly all proposals survived the churn"
+    );
     for r in 1..5 {
         let common = net.delivered[0].len().min(net.delivered[r].len());
         assert_eq!(&net.delivered[0][..common], &net.delivered[r][..common]);
@@ -116,7 +128,11 @@ fn deposed_leader_rejoins_as_follower() {
         net.event(ReplicaId(0), Event::Proposal(batch(tag)));
     }
     net.event(ReplicaId(1), Event::Suspect { view: View(0) });
-    assert_eq!(net.replicas[0].role(), ReplicaRole::Follower, "old leader stepped down");
+    assert_eq!(
+        net.replicas[0].role(),
+        ReplicaRole::Follower,
+        "old leader stepped down"
+    );
     assert_eq!(net.replicas[0].leader(), ReplicaId(1));
     // The old leader's stale proposal is rejected by peers and dropped.
     net.event(ReplicaId(0), Event::Proposal(batch(99)));
@@ -143,7 +159,10 @@ fn window_reopens_after_decides() {
     leader.handle(
         Event::Message {
             from: ReplicaId(1),
-            msg: ProtocolMsg::Accept { view: View(0), slot: Slot(0) },
+            msg: ProtocolMsg::Accept {
+                view: View(0),
+                slot: Slot(0),
+            },
         },
         1,
         &mut out,
@@ -162,10 +181,16 @@ fn heartbeats_advance_follower_knowledge() {
     follower.handle(
         Event::Message {
             from: ReplicaId(0),
-            msg: ProtocolMsg::Heartbeat { view: View(0), decided_upto: Slot(0) },
+            msg: ProtocolMsg::Heartbeat {
+                view: View(0),
+                decided_upto: Slot(0),
+            },
         },
         1,
         &mut out,
     );
-    assert!(out.iter().all(|a| !matches!(a, Action::Send { .. })), "nothing to catch up");
+    assert!(
+        out.iter().all(|a| !matches!(a, Action::Send { .. })),
+        "nothing to catch up"
+    );
 }

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use smr_paxos::{Action, Event, PaxosReplica, Target};
-use smr_types::{ClientId, ClusterConfig, ReplicaId, RequestId, SeqNum, Slot, View};
+use smr_types::{ClientId, ClusterConfig, ReplicaId, RequestId, SeqNum, Slot};
 use smr_wire::{Batch, ProtocolMsg, Request};
 
 fn batch(tag: u64) -> Batch {
@@ -192,7 +192,9 @@ fn long_seeded_chaos_run() {
     let mut chaos = Chaos::new(3);
     let mut state = 0x9E3779B97F4A7C15u64;
     for _ in 0..20_000 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let op = (state >> 33) as u8;
         let pick = (state >> 17) as usize;
         chaos.step(op, pick);

@@ -87,7 +87,9 @@ pub struct BoundedQueue<T> {
 
 impl<T> Clone for BoundedQueue<T> {
     fn clone(&self) -> Self {
-        BoundedQueue { inner: Arc::clone(&self.inner) }
+        BoundedQueue {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -319,7 +321,11 @@ impl<T> BoundedQueue<T> {
     ///
     /// [`PopError::Empty`] on timeout, [`PopError::Closed`] when closed
     /// and drained.
-    pub fn pop_timeout_with(&self, timeout: Duration, handle: &ThreadHandle) -> Result<T, PopError> {
+    pub fn pop_timeout_with(
+        &self,
+        timeout: Duration,
+        handle: &ThreadHandle,
+    ) -> Result<T, PopError> {
         self.pop_timeout_impl(timeout, Some(handle))
     }
 
@@ -329,7 +335,11 @@ impl<T> BoundedQueue<T> {
         handle: Option<&ThreadHandle>,
     ) -> Result<T, PopError> {
         let mut q = self.inner.queue.lock();
-        let _guard = if q.is_empty() { handle.map(|h| h.enter(ThreadState::Waiting)) } else { None };
+        let _guard = if q.is_empty() {
+            handle.map(|h| h.enter(ThreadState::Waiting))
+        } else {
+            None
+        };
         if q.is_empty() {
             self.inner.pop_waits.inc();
             let deadline = std::time::Instant::now() + timeout;
@@ -337,8 +347,17 @@ impl<T> BoundedQueue<T> {
                 if self.is_closed_locked() {
                     return Err(PopError::Closed);
                 }
-                if self.inner.not_empty.wait_until(&mut q, deadline).timed_out() {
-                    return if q.is_empty() { Err(PopError::Empty) } else { break };
+                if self
+                    .inner
+                    .not_empty
+                    .wait_until(&mut q, deadline)
+                    .timed_out()
+                {
+                    return if q.is_empty() {
+                        Err(PopError::Empty)
+                    } else {
+                        break;
+                    };
                 }
             }
         }
@@ -427,7 +446,10 @@ mod tests {
     fn pop_timeout_times_out() {
         let q: BoundedQueue<u32> = BoundedQueue::new("t", 2);
         let start = std::time::Instant::now();
-        assert_eq!(q.pop_timeout(Duration::from_millis(30)), Err(PopError::Empty));
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(30)),
+            Err(PopError::Empty)
+        );
         assert!(start.elapsed() >= Duration::from_millis(25));
     }
 
@@ -472,7 +494,10 @@ mod tests {
             h.join().unwrap();
         }
         q.close();
-        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
         all.sort_unstable();
         let expected: Vec<u64> = (0..producers as u64 * per).collect();
         assert_eq!(all, expected);
@@ -493,7 +518,10 @@ mod tests {
         q.push(5).unwrap();
         assert_eq!(h.join().unwrap().unwrap(), 5);
         let snap = reg.snapshot();
-        assert!(snap.threads[0].waiting_ns >= 20_000_000, "waiting time was recorded");
+        assert!(
+            snap.threads[0].waiting_ns >= 20_000_000,
+            "waiting time was recorded"
+        );
     }
 
     #[test]

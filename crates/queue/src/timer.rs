@@ -68,8 +68,14 @@ impl<V> Ord for Scheduled<V> {
     }
 }
 
+struct HeapState<V> {
+    heap: BinaryHeap<Reverse<Scheduled<V>>>,
+    next_seq: u64,
+    closed: bool,
+}
+
 struct Inner<V> {
-    heap: Mutex<(BinaryHeap<Reverse<Scheduled<V>>>, u64, bool)>,
+    heap: Mutex<HeapState<V>>,
     changed: Condvar,
 }
 
@@ -96,7 +102,9 @@ pub struct TimerQueue<V> {
 
 impl<V> Clone for TimerQueue<V> {
     fn clone(&self) -> Self {
-        TimerQueue { inner: Arc::clone(&self.inner) }
+        TimerQueue {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -108,7 +116,9 @@ impl<V> Default for TimerQueue<V> {
 
 impl<V> std::fmt::Debug for TimerQueue<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TimerQueue").field("len", &self.len()).finish()
+        f.debug_struct("TimerQueue")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -117,7 +127,11 @@ impl<V> TimerQueue<V> {
     pub fn new() -> Self {
         TimerQueue {
             inner: Arc::new(Inner {
-                heap: Mutex::new((BinaryHeap::new(), 0, false)),
+                heap: Mutex::new(HeapState {
+                    heap: BinaryHeap::new(),
+                    next_seq: 0,
+                    closed: false,
+                }),
                 changed: Condvar::new(),
             }),
         }
@@ -125,7 +139,7 @@ impl<V> TimerQueue<V> {
 
     /// Number of scheduled (possibly cancelled-but-unreaped) entries.
     pub fn len(&self) -> usize {
-        self.inner.heap.lock().0.len()
+        self.inner.heap.lock().heap.len()
     }
 
     /// Whether no entries are scheduled.
@@ -140,10 +154,15 @@ impl<V> TimerQueue<V> {
     pub fn schedule(&self, deadline: Instant, value: V) -> CancelHandle {
         let flag = Arc::new(AtomicBool::new(false));
         let mut guard = self.inner.heap.lock();
-        let seq = guard.1;
-        guard.1 += 1;
-        let earliest_before = guard.0.peek().map(|Reverse(s)| s.deadline);
-        guard.0.push(Reverse(Scheduled { deadline, seq, value, flag: Arc::clone(&flag) }));
+        let seq = guard.next_seq;
+        guard.next_seq += 1;
+        let earliest_before = guard.heap.peek().map(|Reverse(s)| s.deadline);
+        guard.heap.push(Reverse(Scheduled {
+            deadline,
+            seq,
+            value,
+            flag: Arc::clone(&flag),
+        }));
         let wake = earliest_before.map_or(true, |e| deadline < e);
         drop(guard);
         if wake {
@@ -155,7 +174,7 @@ impl<V> TimerQueue<V> {
     /// Closes the queue: `next_expired` returns `None` once no expired
     /// entries remain to deliver.
     pub fn close(&self) {
-        self.inner.heap.lock().2 = true;
+        self.inner.heap.lock().closed = true;
         self.inner.changed.notify_all();
     }
 
@@ -168,22 +187,25 @@ impl<V> TimerQueue<V> {
         let give_up = Instant::now() + max_wait;
         let mut guard = self.inner.heap.lock();
         loop {
-            if guard.2 {
+            if guard.closed {
                 return None;
             }
             let now = Instant::now();
             // Reap cancelled/expired heads.
-            while let Some(Reverse(head)) = guard.0.peek() {
+            while let Some(Reverse(head)) = guard.heap.peek() {
                 if head.deadline <= now {
-                    let Reverse(entry) = guard.0.pop().expect("peeked entry exists");
+                    let Reverse(entry) = guard.heap.pop().expect("peeked entry exists");
                     if !entry.flag.load(Ordering::Acquire) {
-                        return Some(TimerEntry { value: entry.value, deadline: entry.deadline });
+                        return Some(TimerEntry {
+                            value: entry.value,
+                            deadline: entry.deadline,
+                        });
                     }
                 } else {
                     break;
                 }
             }
-            let wait_until = match guard.0.peek() {
+            let wait_until = match guard.heap.peek() {
                 Some(Reverse(head)) => head.deadline.min(give_up),
                 None => give_up,
             };
@@ -193,15 +215,19 @@ impl<V> TimerQueue<V> {
                 }
                 continue;
             }
-            if self.inner.changed.wait_until(&mut guard, wait_until).timed_out()
+            if self
+                .inner
+                .changed
+                .wait_until(&mut guard, wait_until)
+                .timed_out()
                 && wait_until >= give_up
             {
                 // One more reap pass before giving up, in case something
                 // expired exactly at the deadline.
                 let now = Instant::now();
-                while let Some(Reverse(head)) = guard.0.peek() {
+                while let Some(Reverse(head)) = guard.heap.peek() {
                     if head.deadline <= now {
-                        let Reverse(entry) = guard.0.pop().expect("peeked entry exists");
+                        let Reverse(entry) = guard.heap.pop().expect("peeked entry exists");
                         if !entry.flag.load(Ordering::Acquire) {
                             return Some(TimerEntry {
                                 value: entry.value,
@@ -243,7 +269,10 @@ mod tests {
         t.schedule(now + Duration::from_millis(10), "kept");
         c1.cancel();
         assert!(c1.is_cancelled());
-        assert_eq!(t.next_expired(Duration::from_secs(1)).unwrap().value, "kept");
+        assert_eq!(
+            t.next_expired(Duration::from_secs(1)).unwrap().value,
+            "kept"
+        );
     }
 
     #[test]
@@ -280,8 +309,9 @@ mod tests {
     fn cancel_all_then_timeout() {
         let t = TimerQueue::new();
         let now = Instant::now();
-        let handles: Vec<_> =
-            (0..10).map(|i| t.schedule(now + Duration::from_millis(i), i)).collect();
+        let handles: Vec<_> = (0..10)
+            .map(|i| t.schedule(now + Duration::from_millis(i), i))
+            .collect();
         for h in &handles {
             h.cancel();
         }

@@ -74,7 +74,12 @@ pub struct ClusterProfile {
 impl ClusterProfile {
     /// The 24-core AMD cluster (Rennes) — the main evaluation platform.
     pub fn parapluie() -> Self {
-        ClusterProfile { name: "parapluie", max_cores: 24, speed: 1.0, net: NetConfig::default() }
+        ClusterProfile {
+            name: "parapluie",
+            max_cores: 24,
+            speed: 1.0,
+            net: NetConfig::default(),
+        }
     }
 
     /// The 8-core Xeon cluster (Grenoble). Although its clock is higher,
@@ -82,7 +87,12 @@ impl ClusterProfile {
     /// vs ~15K/s; 80K at speedup 7) — we encode that measured ratio
     /// rather than the nominal GHz.
     pub fn edel() -> Self {
-        ClusterProfile { name: "edel", max_cores: 8, speed: 0.62, net: NetConfig::default() }
+        ClusterProfile {
+            name: "edel",
+            max_cores: 8,
+            speed: 0.62,
+            net: NetConfig::default(),
+        }
     }
 }
 
@@ -106,7 +116,10 @@ mod tests {
             + c.batcher_per_request_ns
             + c.service_per_request_ns
             + per_batch / 8;
-        assert!((40_000..52_000).contains(&per_req), "per-request budget: {per_req}");
+        assert!(
+            (40_000..52_000).contains(&per_req),
+            "per-request budget: {per_req}"
+        );
     }
 
     #[test]
@@ -115,6 +128,9 @@ mod tests {
         let e = ClusterProfile::edel();
         assert_eq!(p.max_cores, 24);
         assert_eq!(e.max_cores, 8);
-        assert!(e.speed < p.speed, "edel's measured per-request cost is higher");
+        assert!(
+            e.speed < p.speed,
+            "edel's measured per-request cost is higher"
+        );
     }
 }

@@ -239,7 +239,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     }
 
     // Optional kernel ping probes (Table II).
-    let ping_leader: Rc<std::cell::RefCell<Vec<u64>>> = Rc::new(std::cell::RefCell::new(Vec::new()));
+    let ping_leader: Rc<std::cell::RefCell<Vec<u64>>> =
+        Rc::new(std::cell::RefCell::new(Vec::new()));
     let ping_followers: Rc<std::cell::RefCell<Vec<u64>>> =
         Rc::new(std::cell::RefCell::new(Vec::new()));
     if cfg.ping_probes && cfg.n >= 3 {
@@ -393,9 +394,11 @@ mod tests {
         let r = run_experiment(&quick(3, 4));
         let leader = r.replicas.last().unwrap();
         let follower = &r.replicas[0];
-        assert!(leader.cpu_util_pct > follower.cpu_util_pct, "leader works hardest");
-        let names: Vec<&str> =
-            leader.threads.iter().map(|t| t.name.as_str()).collect();
+        assert!(
+            leader.cpu_util_pct > follower.cpu_util_pct,
+            "leader works hardest"
+        );
+        let names: Vec<&str> = leader.threads.iter().map(|t| t.name.as_str()).collect();
         assert!(names.contains(&"Protocol"));
         assert!(names.contains(&"Batcher"));
         assert!(names.contains(&"Replica"));
@@ -406,6 +409,10 @@ mod tests {
         let mut cfg = quick(3, 8);
         cfg.wnd = 5;
         let r = run_experiment(&cfg);
-        assert!(r.avg_window <= 5.05, "window bounded by WND: {}", r.avg_window);
+        assert!(
+            r.avg_window <= 5.05,
+            "window bounded by WND: {}",
+            r.avg_window
+        );
     }
 }

@@ -33,4 +33,6 @@ mod experiment;
 mod model;
 
 pub use costs::{ClusterProfile, CostModel};
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, ReplicaReport, ThreadReport};
+pub use experiment::{
+    run_experiment, ExperimentConfig, ExperimentResult, ReplicaReport, ThreadReport,
+};

@@ -134,9 +134,9 @@ pub(crate) fn spawn_replica(
     }
 
     // --- ClientIO pool (§V-A) ------------------------------------------
-    for i in 0..p.cio_threads {
+    for (i, cio_q) in cio_qs.iter().enumerate() {
         let ctx2 = ctx.clone();
-        let q = cio_qs[i].clone();
+        let q = cio_q.clone();
         let request_q = request_q.clone();
         let net = net.clone();
         let clients = Rc::clone(&p.clients);
@@ -237,8 +237,16 @@ pub(crate) fn spawn_replica(
             let mut propose_times: HashMap<u64, u64> = HashMap::new();
             core.handle(Event::Init, 0, &mut actions);
             route_actions(
-                &ctx2, &core, &mut actions, &send_qs, &decision_q, &stats, &measuring,
-                &mut propose_times, me, &config,
+                &ctx2,
+                &core,
+                &mut actions,
+                &send_qs,
+                &decision_q,
+                &stats,
+                &measuring,
+                &mut propose_times,
+                me,
+                &config,
             )
             .await;
             while let Some(item) = dispatcher_q.pop().await {
@@ -247,8 +255,16 @@ pub(crate) fn spawn_replica(
                         ctx2.cpu(costs.protocol_per_msg_ns).await;
                         core.handle(Event::Message { from, msg }, ctx2.now(), &mut actions);
                         route_actions(
-                            &ctx2, &core, &mut actions, &send_qs, &decision_q, &stats,
-                            &measuring, &mut propose_times, me, &config,
+                            &ctx2,
+                            &core,
+                            &mut actions,
+                            &send_qs,
+                            &decision_q,
+                            &stats,
+                            &measuring,
+                            &mut propose_times,
+                            me,
+                            &config,
                         )
                         .await;
                     }
@@ -257,7 +273,9 @@ pub(crate) fn spawn_replica(
                 // Start new ballots while the window has room (§V-C2:
                 // taking a prepared batch is one queue pop).
                 while core.window_open() {
-                    let Some(batch) = proposal_q.try_pop() else { break };
+                    let Some(batch) = proposal_q.try_pop() else {
+                        break;
+                    };
                     {
                         let _g = pq_lock.lock().await;
                         ctx2.cpu(QUEUE_CS_NS).await;
@@ -265,8 +283,16 @@ pub(crate) fn spawn_replica(
                     ctx2.cpu(costs.protocol_per_batch_ns).await;
                     core.handle(Event::Proposal(batch), ctx2.now(), &mut actions);
                     route_actions(
-                        &ctx2, &core, &mut actions, &send_qs, &decision_q, &stats, &measuring,
-                        &mut propose_times, me, &config,
+                        &ctx2,
+                        &core,
+                        &mut actions,
+                        &send_qs,
+                        &decision_q,
+                        &stats,
+                        &measuring,
+                        &mut propose_times,
+                        me,
+                        &config,
                     )
                     .await;
                 }
@@ -348,7 +374,12 @@ pub(crate) fn spawn_replica(
         });
     }
 
-    ReplicaHandles { request_q, proposal_q, dispatcher_q, proto_stats }
+    ReplicaHandles {
+        request_q,
+        proposal_q,
+        dispatcher_q,
+        proto_stats,
+    }
 }
 
 /// Routes the protocol core's actions to queues and records leader-side
@@ -366,7 +397,7 @@ async fn route_actions(
     me: ReplicaId,
     config: &ClusterConfig,
 ) {
-    let drained: Vec<Action> = actions.drain(..).collect();
+    let drained: Vec<Action> = std::mem::take(actions);
     for action in drained {
         match action {
             Action::Send { to, msg } => {
@@ -425,8 +456,7 @@ pub(crate) fn spawn_client(
     completed: Rc<Cell<u64>>,
     measuring: Rc<Cell<bool>>,
 ) {
-    let inbox: SimQueue<Delivery<SimMsg>> =
-        SimQueue::new(ctx, format!("client-{idx}"), 16);
+    let inbox: SimQueue<Delivery<SimMsg>> = SimQueue::new(ctx, format!("client-{idx}"), 16);
     net.bind(my_node, client_port(idx), inbox.clone());
     let ctx2 = ctx.clone();
     let net = net.clone();
@@ -449,7 +479,9 @@ pub(crate) fn spawn_client(
                 request_bytes(payload),
                 false,
             );
-            let Some(delivery) = inbox.pop().await else { return };
+            let Some(delivery) = inbox.pop().await else {
+                return;
+            };
             if let SimMsg::Reply(id) = delivery.payload {
                 debug_assert_eq!(id.client.0, idx as u64, "reply routed to its client");
                 if measuring.get() {

@@ -38,8 +38,8 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use smr_sim::{
-    node_breakdown, Delivery, NetConfig, NodeBreakdown, NodeId, Port, Sim, SimMutex,
-    SimNet, SimQueue,
+    node_breakdown, Delivery, NetConfig, NodeBreakdown, NodeId, Port, Sim, SimMutex, SimNet,
+    SimQueue,
 };
 
 /// Messages of the Zab model. Some fields exist to give frames their
@@ -145,7 +145,10 @@ fn client_port(idx: usize) -> Port {
 
 /// Runs the ZooKeeper-baseline model and returns its metrics.
 pub fn run_zab_experiment(cfg: &ZabConfig) -> ZabResult {
-    assert!(cfg.n >= 3, "the model needs a leader and at least two followers");
+    assert!(
+        cfg.n >= 3,
+        "the model needs a leader and at least two followers"
+    );
     let sim = Sim::new(cfg.seed);
     let ctx = sim.ctx();
 
@@ -156,7 +159,13 @@ pub fn run_zab_experiment(cfg: &ZabConfig) -> ZabResult {
         .map(|i| sim.add_node(format!("clients-{i}"), 24, 1.0))
         .collect();
     let mut net_cfgs = vec![NetConfig::default(); cfg.n];
-    net_cfgs.extend(vec![NetConfig { rss_channels: 4, ..NetConfig::default() }; cfg.client_nodes]);
+    net_cfgs.extend(vec![
+        NetConfig {
+            rss_channels: 4,
+            ..NetConfig::default()
+        };
+        cfg.client_nodes
+    ]);
     let net: SimNet<ZabMsg> = SimNet::new(&ctx, net_cfgs);
 
     let leader_node = replica_nodes[0];
@@ -197,58 +206,62 @@ pub fn run_zab_experiment(cfg: &ZabConfig) -> ZabResult {
         let commit_lock = commit_lock.clone();
         let acks = Rc::clone(&acks);
         let pending = Rc::clone(&pending_fwd);
-        ctx.spawn(leader_node, format!("LearnerHandler:{}", fi + 1), async move {
-            while let Some(d) = inbox.pop().await {
-                match d.payload {
-                    ZabMsg::Fwd { client } => {
-                        ctx2.cpu(costs::LEARNER_RECV_NS).await;
-                        {
-                            // Coarse lock: submitted-request bookkeeping.
-                            let _g = global_lock.lock().await;
-                            ctx2.cpu(costs::LOCK_HOLD_NS).await;
-                        }
-                        if !prep_q.push(client).await {
-                            return;
-                        }
-                    }
-                    ZabMsg::Ack { zxid } => {
-                        ctx2.cpu(costs::LEARNER_RECV_NS).await;
-                        let decided = {
-                            let _g = global_lock.lock().await;
-                            ctx2.cpu(costs::LOCK_HOLD_NS).await;
-                            let mut a = acks.borrow_mut();
-                            let count = a.entry(zxid).or_insert(1); // self-ack
-                            if *count == usize::MAX {
-                                false // already committed; late ack
-                            } else {
-                                *count += 1;
-                                if *count >= majority {
-                                    *count = usize::MAX;
-                                    true
-                                } else {
-                                    false
-                                }
-                            }
-                        };
-                        if decided {
-                            let Some(client) = pending.borrow_mut().remove(&zxid) else {
-                                continue;
-                            };
-                            // The CommitProcessor's queue is itself a
-                            // synchronized structure in ZooKeeper 3.3.
+        ctx.spawn(
+            leader_node,
+            format!("LearnerHandler:{}", fi + 1),
+            async move {
+                while let Some(d) = inbox.pop().await {
+                    match d.payload {
+                        ZabMsg::Fwd { client } => {
+                            ctx2.cpu(costs::LEARNER_RECV_NS).await;
                             {
-                                let _g = commit_lock.lock().await;
+                                // Coarse lock: submitted-request bookkeeping.
+                                let _g = global_lock.lock().await;
                                 ctx2.cpu(costs::LOCK_HOLD_NS).await;
                             }
-                            if !committed_q.push((zxid, client)).await {
+                            if !prep_q.push(client).await {
                                 return;
                             }
                         }
+                        ZabMsg::Ack { zxid } => {
+                            ctx2.cpu(costs::LEARNER_RECV_NS).await;
+                            let decided = {
+                                let _g = global_lock.lock().await;
+                                ctx2.cpu(costs::LOCK_HOLD_NS).await;
+                                let mut a = acks.borrow_mut();
+                                let count = a.entry(zxid).or_insert(1); // self-ack
+                                if *count == usize::MAX {
+                                    false // already committed; late ack
+                                } else {
+                                    *count += 1;
+                                    if *count >= majority {
+                                        *count = usize::MAX;
+                                        true
+                                    } else {
+                                        false
+                                    }
+                                }
+                            };
+                            if decided {
+                                let Some(client) = pending.borrow_mut().remove(&zxid) else {
+                                    continue;
+                                };
+                                // The CommitProcessor's queue is itself a
+                                // synchronized structure in ZooKeeper 3.3.
+                                {
+                                    let _g = commit_lock.lock().await;
+                                    ctx2.cpu(costs::LOCK_HOLD_NS).await;
+                                }
+                                if !committed_q.push((zxid, client)).await {
+                                    return;
+                                }
+                            }
+                        }
+                        _ => {}
                     }
-                    _ => {}
                 }
-            }
-        });
+            },
+        );
     }
 
     // --- Leader: ProcessThread (PrepRequestProcessor) ---------------------
@@ -336,7 +349,9 @@ pub fn run_zab_experiment(cfg: &ZabConfig) -> ZabResult {
     // --- Followers ---------------------------------------------------------
     // Client placement: client i talks to follower (i % followers).
     let n_followers = followers.len();
-    let client_follower: Vec<usize> = (0..cfg.clients).map(|i| followers[i % n_followers]).collect();
+    let client_follower: Vec<usize> = (0..cfg.clients)
+        .map(|i| followers[i % n_followers])
+        .collect();
     for &f in &followers {
         let node = replica_nodes[f];
         // Client-facing thread: receives requests, forwards to leader,
@@ -374,7 +389,10 @@ pub fn run_zab_experiment(cfg: &ZabConfig) -> ZabResult {
             let net2 = net.clone();
             let client_nodes = client_nodes.clone();
             let nodes_per_client = cfg.client_nodes;
-            let fi = followers.iter().position(|x| *x == f).expect("follower index");
+            let fi = followers
+                .iter()
+                .position(|x| *x == f)
+                .expect("follower index");
             ctx.spawn(node, format!("FollowerMain-{f}"), async move {
                 while let Some(d) = peer_in.pop().await {
                     match d.payload {
@@ -420,8 +438,7 @@ pub fn run_zab_experiment(cfg: &ZabConfig) -> ZabResult {
     for i in 0..cfg.clients {
         let my_node = client_nodes[i % cfg.client_nodes];
         let follower = replica_nodes[client_follower[i]];
-        let inbox: SimQueue<Delivery<ZabMsg>> =
-            SimQueue::new(&ctx, format!("zk-client-{i}"), 16);
+        let inbox: SimQueue<Delivery<ZabMsg>> = SimQueue::new(&ctx, format!("zk-client-{i}"), 16);
         net.bind(my_node, client_port(i), inbox.clone());
         let ctx2 = ctx.clone();
         let net2 = net.clone();
@@ -437,7 +454,7 @@ pub fn run_zab_experiment(cfg: &ZabConfig) -> ZabResult {
                     i as u64,
                     20,
                     ZabMsg::Request { client: i as u64 },
-                    payload as usize + 40,
+                    payload + 40,
                     false,
                 );
                 if inbox.pop().await.is_none() {
@@ -475,7 +492,10 @@ pub fn run_zab_experiment(cfg: &ZabConfig) -> ZabResult {
         .map(|&f| node_breakdown(&before, &after, replica_nodes[f], window_ns))
         .collect();
     replicas.push(node_breakdown(&before, &after, leader_node, window_ns));
-    ZabResult { throughput_rps, replicas }
+    ZabResult {
+        throughput_rps,
+        replicas,
+    }
 }
 
 #[cfg(test)]
@@ -502,10 +522,19 @@ mod tests {
         let r = run_zab_experiment(&quick(4));
         let leader = r.replicas.last().unwrap();
         let names: Vec<&str> = leader.threads.iter().map(|t| t.name.as_str()).collect();
-        for expected in
-            ["CommitProcessor", "LearnerHandler:1", "LearnerHandler:2", "ProcessThread", "Sender:1", "Sender:2", "SyncThread"]
-        {
-            assert!(names.contains(&expected), "{expected} missing from {names:?}");
+        for expected in [
+            "CommitProcessor",
+            "LearnerHandler:1",
+            "LearnerHandler:2",
+            "ProcessThread",
+            "Sender:1",
+            "Sender:2",
+            "SyncThread",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "{expected} missing from {names:?}"
+            );
         }
     }
 

@@ -141,18 +141,21 @@ impl Kernel {
     pub(crate) fn schedule_poll(&mut self, at: u64, task: TaskId) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { at: at.max(self.now), seq, kind: EventKind::Poll(task) }));
+        self.events.push(Reverse(Event {
+            at: at.max(self.now),
+            seq,
+            kind: EventKind::Poll(task),
+        }));
     }
 
-    pub(crate) fn schedule_run(
-        &mut self,
-        at: u64,
-        f: impl FnOnce(&mut Kernel) + 'static,
-    ) {
+    pub(crate) fn schedule_run(&mut self, at: u64, f: impl FnOnce(&mut Kernel) + 'static) {
         let seq = self.seq;
         self.seq += 1;
-        self.events
-            .push(Reverse(Event { at: at.max(self.now), seq, kind: EventKind::Run(Box::new(f)) }));
+        self.events.push(Reverse(Event {
+            at: at.max(self.now),
+            seq,
+            kind: EventKind::Run(Box::new(f)),
+        }));
     }
 
     pub(crate) fn set_task_state(&mut self, task: TaskId, state: SimThreadState) {
@@ -177,7 +180,9 @@ impl Kernel {
             self.start_burst(node, CpuWait { task, cost, cell }, false);
         } else {
             self.set_task_state(task, SimThreadState::Other); // runnable, unscheduled
-            self.nodes[node.0].ready.push_back(CpuWait { task, cost, cell });
+            self.nodes[node.0]
+                .ready
+                .push_back(CpuWait { task, cost, cell });
         }
     }
 
@@ -241,7 +246,10 @@ pub struct Sim {
 impl std::fmt::Debug for Sim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let k = self.k.borrow();
-        f.debug_struct("Sim").field("now", &k.now).field("tasks", &k.tasks.len()).finish()
+        f.debug_struct("Sim")
+            .field("now", &k.now)
+            .field("tasks", &k.tasks.len())
+            .finish()
     }
 }
 
@@ -288,7 +296,9 @@ impl Sim {
 
     /// A cloneable context handle for use inside tasks.
     pub fn ctx(&self) -> SimCtx {
-        SimCtx { k: Rc::clone(&self.k) }
+        SimCtx {
+            k: Rc::clone(&self.k),
+        }
     }
 
     /// Spawns a simulated thread on `node`.
@@ -382,7 +392,6 @@ impl Sim {
             })
             .collect()
     }
-
 }
 
 /// Cloneable handle used inside tasks for time, CPU, sleeping, and
@@ -407,12 +416,20 @@ impl SimCtx {
     /// Consumes `cost_ns` of CPU time on the calling task's node
     /// (queueing for a core if none is free).
     pub fn cpu(&self, cost_ns: u64) -> CpuFuture {
-        CpuFuture { k: Rc::clone(&self.k), cost: cost_ns, cell: Rc::new(Cell::new(CpuState::Init)) }
+        CpuFuture {
+            k: Rc::clone(&self.k),
+            cost: cost_ns,
+            cell: Rc::new(Cell::new(CpuState::Init)),
+        }
     }
 
     /// Sleeps for `ns` of virtual time (state: other).
     pub fn sleep(&self, ns: u64) -> SleepFuture {
-        SleepFuture { k: Rc::clone(&self.k), dur: ns, done: Rc::new(Cell::new(false)) }
+        SleepFuture {
+            k: Rc::clone(&self.k),
+            dur: ns,
+            done: Rc::new(Cell::new(false)),
+        }
     }
 
     /// Spawns a simulated thread on `node`.
@@ -657,7 +674,10 @@ mod tests {
                 });
             }
             sim.run_until(10_000_000);
-            sim.thread_profiles().iter().map(|p| p.ns).collect::<Vec<_>>()
+            sim.thread_profiles()
+                .iter()
+                .map(|p| p.ns)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run(), "same seed, same trajectory");
     }

@@ -146,10 +146,13 @@ struct NodeNet<P> {
     pending_tx: HashMap<ConnId, Weak<RefCell<Frame<P>>>>,
 }
 
+/// An in-flight RTT probe: send time plus the cell the reply fills in.
+type PendingPing = (u64, Rc<Cell<Option<u64>>>);
+
 struct NetInner<P> {
     nodes: Vec<NodeNet<P>>,
     endpoints: HashMap<(usize, Port), SimQueue<Delivery<P>>>,
-    pings: HashMap<u64, (u64, Rc<Cell<Option<u64>>>)>,
+    pings: HashMap<u64, PendingPing>,
     next_ping: u64,
 }
 
@@ -161,7 +164,10 @@ pub struct SimNet<P> {
 
 impl<P> Clone for SimNet<P> {
     fn clone(&self) -> Self {
-        SimNet { k: Rc::clone(&self.k), inner: Rc::clone(&self.inner) }
+        SimNet {
+            k: Rc::clone(&self.k),
+            inner: Rc::clone(&self.inner),
+        }
     }
 }
 
@@ -201,7 +207,10 @@ impl<P: 'static> SimNet<P> {
 
     /// Registers `queue` as the delivery endpoint `(node, port)`.
     pub fn bind(&self, node: NodeId, port: Port, queue: SimQueue<Delivery<P>>) {
-        self.inner.borrow_mut().endpoints.insert((node.0, port), queue);
+        self.inner
+            .borrow_mut()
+            .endpoints
+            .insert((node.0, port), queue);
     }
 
     /// Sends `payload` (`bytes` long, fragmented at the MTU) from `src`
@@ -219,7 +228,17 @@ impl<P: 'static> SimNet<P> {
         acked: bool,
     ) {
         let mut k = self.k.borrow_mut();
-        Self::send_inner(&self.inner, &mut k, src, dst, conn, port, payload, bytes, acked);
+        Self::send_inner(
+            &self.inner,
+            &mut k,
+            src,
+            dst,
+            conn,
+            port,
+            payload,
+            bytes,
+            acked,
+        );
     }
 
     /// Sends a kernel-level ping probe; the returned cell is set to the
@@ -379,8 +398,7 @@ impl<P: 'static> SimNet<P> {
                     let n = &mut ni.nodes[node];
                     n.stats.tx_packets += 1;
                     n.stats.tx_bytes += frame.bytes as u64;
-                    let wire_ns =
-                        frame.bytes as u64 * 1_000_000_000 / n.cfg.bandwidth_bps.max(1);
+                    let wire_ns = frame.bytes as u64 * 1_000_000_000 / n.cfg.bandwidth_bps.max(1);
                     let depart = n.next_tx_free.max(k.now()) + wire_ns;
                     n.next_tx_free = depart;
                     depart + n.cfg.propagation_ns
@@ -418,7 +436,11 @@ impl<P: 'static> SimNet<P> {
                 return; // interrupt already pending
             }
         };
-        let delay = if fire_now { 0 } else { inner.borrow().nodes[node].cfg.coalesce_ns };
+        let delay = if fire_now {
+            0
+        } else {
+            inner.borrow().nodes[node].cfg.coalesce_ns
+        };
         let inner2 = Rc::clone(inner);
         let at = k.now() + delay;
         k.schedule_run(at, move |k2| {
@@ -467,7 +489,11 @@ impl<P: 'static> SimNet<P> {
                     if let Some(q) = queue {
                         q.push_unbounded_kernel(
                             k,
-                            Delivery { src: frame.src, conn: frame.conn, payload },
+                            Delivery {
+                                src: frame.src,
+                                conn: frame.conn,
+                                payload,
+                            },
                         );
                     }
                 }
@@ -563,7 +589,13 @@ mod tests {
     #[test]
     fn delayed_acks_only_for_acked_streams() {
         let sim = Sim::new(1);
-        let (net, a, b) = two_node_net(&sim, NetConfig { ack_every: 2, ..NetConfig::default() });
+        let (net, a, b) = two_node_net(
+            &sim,
+            NetConfig {
+                ack_every: 2,
+                ..NetConfig::default()
+            },
+        );
         let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
         net.bind(b, 7, q.clone());
         // Spread sends in time so they do not coalesce.
@@ -577,14 +609,24 @@ mod tests {
             }
         });
         sim.run_until(50_000_000);
-        assert_eq!(net.stats(b).tx_packets, 5, "one ACK per two acked data frames");
+        assert_eq!(
+            net.stats(b).tx_packets,
+            5,
+            "one ACK per two acked data frames"
+        );
         assert_eq!(q.len(), 20);
     }
 
     #[test]
     fn burst_sends_coalesce_like_nagle() {
         let sim = Sim::new(1);
-        let (net, a, b) = two_node_net(&sim, NetConfig { ack_every: 0, ..NetConfig::default() });
+        let (net, a, b) = two_node_net(
+            &sim,
+            NetConfig {
+                ack_every: 0,
+                ..NetConfig::default()
+            },
+        );
         let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
         net.bind(b, 7, q.clone());
         // 10 back-to-back 20-byte messages on one connection: the first
@@ -604,7 +646,13 @@ mod tests {
     #[test]
     fn coalescing_respects_mtu() {
         let sim = Sim::new(1);
-        let (net, a, b) = two_node_net(&sim, NetConfig { ack_every: 0, ..NetConfig::default() });
+        let (net, a, b) = two_node_net(
+            &sim,
+            NetConfig {
+                ack_every: 0,
+                ..NetConfig::default()
+            },
+        );
         let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
         net.bind(b, 7, q.clone());
         for i in 0..10 {
@@ -619,7 +667,11 @@ mod tests {
     #[test]
     fn softirq_is_a_shared_bottleneck() {
         let sim = Sim::new(1);
-        let cfg = NetConfig { ack_every: 0, coalesce_ns: 10_000, ..NetConfig::default() };
+        let cfg = NetConfig {
+            ack_every: 0,
+            coalesce_ns: 10_000,
+            ..NetConfig::default()
+        };
         let (net, a, b) = two_node_net(&sim, cfg);
         let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
         net.bind(b, 7, q.clone());
@@ -644,7 +696,11 @@ mod tests {
     fn rss_doubles_throughput() {
         let drain_time = |rss: usize| {
             let sim = Sim::new(1);
-            let cfg = NetConfig { ack_every: 0, rss_channels: rss, ..NetConfig::default() };
+            let cfg = NetConfig {
+                ack_every: 0,
+                rss_channels: rss,
+                ..NetConfig::default()
+            };
             let (net, a, b) = two_node_net(&sim, cfg);
             let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
             net.bind(b, 7, q.clone());
@@ -682,14 +738,23 @@ mod tests {
         let rtt = net.ping(a, b);
         sim.run_until(10_000_000);
         let measured = rtt.get().expect("echo returned");
-        assert!(measured > 2 * 30_000, "at least two propagation delays: {measured}");
+        assert!(
+            measured > 2 * 30_000,
+            "at least two propagation delays: {measured}"
+        );
         assert!(measured < 500_000, "idle network answers fast: {measured}");
     }
 
     #[test]
     fn stats_count_bytes() {
         let sim = Sim::new(1);
-        let (net, a, b) = two_node_net(&sim, NetConfig { ack_every: 0, ..NetConfig::default() });
+        let (net, a, b) = two_node_net(
+            &sim,
+            NetConfig {
+                ack_every: 0,
+                ..NetConfig::default()
+            },
+        );
         let q: SimQueue<Delivery<u64>> = SimQueue::new(&sim.ctx(), "inbox", 1_000_000);
         net.bind(b, 7, q);
         net.send(a, b, 1, 7, 1, 128, false);

@@ -106,7 +106,11 @@ mod tests {
         let after = sim.thread_profiles();
         let report = node_breakdown(&before, &after, node, 1_000_000.0);
         assert_eq!(report.threads.len(), 1);
-        assert!((report.cpu_util_pct - 50.0).abs() < 10.0, "got {}", report.cpu_util_pct);
+        assert!(
+            (report.cpu_util_pct - 50.0).abs() < 10.0,
+            "got {}",
+            report.cpu_util_pct
+        );
         let rendered = render_breakdown(&report.threads);
         assert!(rendered.contains("busy%"));
     }

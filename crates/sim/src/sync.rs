@@ -34,7 +34,9 @@ pub struct SimMutex {
 
 impl std::fmt::Debug for SimMutex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimMutex").field("locked", &self.inner.borrow().locked).finish()
+        f.debug_struct("SimMutex")
+            .field("locked", &self.inner.borrow().locked)
+            .finish()
     }
 }
 
@@ -66,7 +68,11 @@ impl SimMutex {
 
     /// Acquires the mutex, parking in `Blocked` while contended.
     pub fn lock(&self) -> LockFuture {
-        LockFuture { mutex: self.clone(), granted: Rc::new(Cell::new(false)), queued: false }
+        LockFuture {
+            mutex: self.clone(),
+            granted: Rc::new(Cell::new(false)),
+            queued: false,
+        }
     }
 }
 
@@ -84,20 +90,30 @@ impl Future for LockFuture {
         let task = Kernel::current_task();
         if self.granted.get() {
             // Handed off by the previous owner; we own the lock now.
-            self.mutex.k.borrow_mut().set_task_state(task, SimThreadState::Busy);
-            return Poll::Ready(SimMutexGuard { mutex: self.mutex.clone() });
+            self.mutex
+                .k
+                .borrow_mut()
+                .set_task_state(task, SimThreadState::Busy);
+            return Poll::Ready(SimMutexGuard {
+                mutex: self.mutex.clone(),
+            });
         }
         let mut inner = self.mutex.inner.borrow_mut();
         if !inner.locked {
             inner.locked = true;
-            return Poll::Ready(SimMutexGuard { mutex: self.mutex.clone() });
+            return Poll::Ready(SimMutexGuard {
+                mutex: self.mutex.clone(),
+            });
         }
         if !self.queued {
             inner.contended += 1;
             inner.waiters.push_back((task, Rc::clone(&self.granted)));
             drop(inner);
             self.queued = true;
-            self.mutex.k.borrow_mut().set_task_state(task, SimThreadState::Blocked);
+            self.mutex
+                .k
+                .borrow_mut()
+                .set_task_state(task, SimThreadState::Blocked);
         }
         Poll::Pending
     }
@@ -134,10 +150,14 @@ impl Drop for SimMutexGuard {
 // SimQueue
 // ---------------------------------------------------------------------------
 
+/// A task parked in `pop`, with the slot its value (or `None` on close)
+/// is handed through. The outer `Option` distinguishes "not yet woken".
+type PopWaiter<T> = (TaskId, Rc<RefCell<Option<Option<T>>>>);
+
 struct QueueInner<T> {
     items: VecDeque<T>,
     capacity: usize,
-    pop_waiters: VecDeque<(TaskId, Rc<RefCell<Option<Option<T>>>>)>,
+    pop_waiters: VecDeque<PopWaiter<T>>,
     push_waiters: VecDeque<(TaskId, Rc<RefCell<Option<T>>>)>,
     closed: bool,
     // Occupancy statistics (Table I): sampled at every operation.
@@ -159,13 +179,20 @@ pub struct SimQueue<T> {
 
 impl<T> Clone for SimQueue<T> {
     fn clone(&self) -> Self {
-        SimQueue { k: Rc::clone(&self.k), inner: Rc::clone(&self.inner), name: Rc::clone(&self.name) }
+        SimQueue {
+            k: Rc::clone(&self.k),
+            inner: Rc::clone(&self.inner),
+            name: Rc::clone(&self.name),
+        }
     }
 }
 
 impl<T> std::fmt::Debug for SimQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimQueue").field("name", &self.name).field("len", &self.len()).finish()
+        f.debug_struct("SimQueue")
+            .field("name", &self.name)
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -273,13 +300,21 @@ impl<T> SimQueue<T> {
 
     /// Blocking pop; `None` once closed and drained.
     pub fn pop(&self) -> PopFuture<T> {
-        PopFuture { queue: self.clone(), slot: Rc::new(RefCell::new(None)), queued: false }
+        PopFuture {
+            queue: self.clone(),
+            slot: Rc::new(RefCell::new(None)),
+            queued: false,
+        }
     }
 
     /// Blocking push; completes once the item is accepted. Returns
     /// `false` if the queue was closed.
     pub fn push(&self, item: T) -> PushFuture<T> {
-        PushFuture { queue: self.clone(), staged: Rc::new(RefCell::new(Some(item))), queued: false }
+        PushFuture {
+            queue: self.clone(),
+            staged: Rc::new(RefCell::new(Some(item))),
+            queued: false,
+        }
     }
 
     /// Non-blocking push; hands the item back when full/closed.
@@ -341,7 +376,10 @@ impl<T> Future for PopFuture<T> {
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
         let task = Kernel::current_task();
         if let Some(delivered) = self.slot.borrow_mut().take() {
-            self.queue.k.borrow_mut().set_task_state(task, SimThreadState::Busy);
+            self.queue
+                .k
+                .borrow_mut()
+                .set_task_state(task, SimThreadState::Busy);
             return Poll::Ready(delivered);
         }
         let this = self.get_mut();
@@ -366,7 +404,10 @@ impl<T> Future for PopFuture<T> {
             inner.pop_waiters.push_back((task, Rc::clone(&this.slot)));
             drop(inner);
             this.queued = true;
-            this.queue.k.borrow_mut().set_task_state(task, SimThreadState::Waiting);
+            this.queue
+                .k
+                .borrow_mut()
+                .set_task_state(task, SimThreadState::Waiting);
         }
         Poll::Pending
     }
@@ -391,7 +432,10 @@ impl<T> Future for PushFuture<T> {
             // closed.
             let consumed = this.staged.borrow().is_none();
             drop(inner);
-            this.queue.k.borrow_mut().set_task_state(task, SimThreadState::Busy);
+            this.queue
+                .k
+                .borrow_mut()
+                .set_task_state(task, SimThreadState::Busy);
             return Poll::Ready(consumed);
         }
         if inner.closed {
@@ -416,10 +460,15 @@ impl<T> Future for PushFuture<T> {
         }
         // Full: stage the item and wait (backpressure, §V-E).
         *this.staged.borrow_mut() = Some(item);
-        inner.push_waiters.push_back((task, Rc::clone(&this.staged)));
+        inner
+            .push_waiters
+            .push_back((task, Rc::clone(&this.staged)));
         drop(inner);
         this.queued = true;
-        this.queue.k.borrow_mut().set_task_state(task, SimThreadState::Waiting);
+        this.queue
+            .k
+            .borrow_mut()
+            .set_task_state(task, SimThreadState::Waiting);
         Poll::Pending
     }
 }
@@ -547,7 +596,10 @@ mod tests {
         assert_eq!(max_in_cs.get(), 1, "mutual exclusion holds");
         assert!(m.contended_count() > 0, "there was contention");
         let profiles = sim.thread_profiles();
-        let blocked: u64 = profiles.iter().map(|p| p.ns[SimThreadState::Blocked as usize]).sum();
+        let blocked: u64 = profiles
+            .iter()
+            .map(|p| p.ns[SimThreadState::Blocked as usize])
+            .sum();
         assert!(blocked > 0, "blocked time was accounted");
     }
 
@@ -576,7 +628,10 @@ mod tests {
         };
         let cheap = run(0);
         let bouncy = run(5_000);
-        assert!(bouncy > cheap * 2, "per-waiter handoff cost dominates: {bouncy} vs {cheap}");
+        assert!(
+            bouncy > cheap * 2,
+            "per-waiter handoff cost dominates: {bouncy} vs {cheap}"
+        );
     }
 
     #[test]

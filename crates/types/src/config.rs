@@ -144,7 +144,9 @@ impl ClusterConfig {
     /// Panics if `n == 0`. Use [`ClusterConfig::builder`] for fallible
     /// construction.
     pub fn new(n: usize) -> Self {
-        ClusterConfig::builder(n).build().expect("default configuration is valid")
+        ClusterConfig::builder(n)
+            .build()
+            .expect("default configuration is valid")
     }
 
     /// Starts building a configuration for `n` replicas.
@@ -355,7 +357,9 @@ impl ClusterConfigBuilder {
     pub fn build(self) -> Result<ClusterConfig, ConfigError> {
         let c = &self.config;
         if c.n == 0 {
-            return Err(ConfigError::invalid("cluster must have at least one replica"));
+            return Err(ConfigError::invalid(
+                "cluster must have at least one replica",
+            ));
         }
         if c.window == 0 {
             return Err(ConfigError::invalid("window (WND) must be > 0"));
@@ -403,7 +407,14 @@ mod tests {
 
     #[test]
     fn majority_and_faults() {
-        for (n, maj, f) in [(1, 1, 0), (2, 2, 0), (3, 2, 1), (4, 3, 1), (5, 3, 2), (7, 4, 3)] {
+        for (n, maj, f) in [
+            (1, 1, 0),
+            (2, 2, 0),
+            (3, 2, 1),
+            (4, 3, 1),
+            (5, 3, 2),
+            (7, 4, 3),
+        ] {
             let c = ClusterConfig::new(n);
             assert_eq!(c.majority(), maj, "n={n}");
             assert_eq!(c.max_faults(), f, "n={n}");
@@ -422,7 +433,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_batch() {
-        let bad = BatchPolicy { max_bytes: 0, ..BatchPolicy::default() };
+        let bad = BatchPolicy {
+            max_bytes: 0,
+            ..BatchPolicy::default()
+        };
         assert!(ClusterConfig::builder(3).batch(bad).build().is_err());
     }
 

@@ -12,7 +12,9 @@ pub struct ConfigError {
 impl ConfigError {
     /// Creates a configuration error with the given explanation.
     pub fn invalid(message: impl Into<String>) -> Self {
-        ConfigError { message: message.into() }
+        ConfigError {
+            message: message.into(),
+        }
     }
 
     /// The explanation of what was invalid.
@@ -88,7 +90,10 @@ mod tests {
             "invalid configuration: window (WND) must be > 0"
         );
         assert_eq!(SmrError::Timeout.to_string(), "operation timed out");
-        assert_eq!(SmrError::NotLeader(Some(ReplicaId(2))).to_string(), "not the leader; try r2");
+        assert_eq!(
+            SmrError::NotLeader(Some(ReplicaId(2))).to_string(),
+            "not the leader; try r2"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl Codec for ClientMsg {
                 let leader = if has { Some(ReplicaId(r.u16()?)) } else { None };
                 Ok(ClientMsg::Redirect { leader })
             }
-            other => Err(DecodeError::new("ClientMsg", format!("unknown tag {other}"))),
+            other => Err(DecodeError::new(
+                "ClientMsg",
+                format!("unknown tag {other}"),
+            )),
         }
     }
 
@@ -90,8 +93,13 @@ mod tests {
             RequestId::new(ClientId(1), SeqNum(2)),
             vec![0u8; 128],
         )));
-        roundtrip(ClientMsg::Reply(Reply::new(RequestId::new(ClientId(1), SeqNum(2)), vec![0; 8])));
-        roundtrip(ClientMsg::Redirect { leader: Some(ReplicaId(2)) });
+        roundtrip(ClientMsg::Reply(Reply::new(
+            RequestId::new(ClientId(1), SeqNum(2)),
+            vec![0; 8],
+        )));
+        roundtrip(ClientMsg::Redirect {
+            leader: Some(ReplicaId(2)),
+        });
         roundtrip(ClientMsg::Redirect { leader: None });
     }
 

@@ -15,7 +15,10 @@ pub struct DecodeError {
 impl DecodeError {
     /// Creates a decode error for the item `what` with free-form detail.
     pub fn new(what: &'static str, detail: impl Into<String>) -> Self {
-        DecodeError { what, detail: detail.into() }
+        DecodeError {
+            what,
+            detail: detail.into(),
+        }
     }
 
     /// The item that failed to decode.
@@ -147,7 +150,10 @@ impl<'a> WireReader<'a> {
     /// Fails unless the whole input was consumed.
     pub fn finish(self, what: &'static str) -> Result<(), DecodeError> {
         if self.remaining() != 0 {
-            return Err(DecodeError::new(what, format!("{} trailing bytes", self.remaining())));
+            return Err(DecodeError::new(
+                what,
+                format!("{} trailing bytes", self.remaining()),
+            ));
         }
         Ok(())
     }
@@ -244,7 +250,10 @@ mod tests {
     #[test]
     fn decode_error_display() {
         let e = DecodeError::new("u8", "need 1 bytes, 0 remaining");
-        assert_eq!(e.to_string(), "failed to decode u8: need 1 bytes, 0 remaining");
+        assert_eq!(
+            e.to_string(),
+            "failed to decode u8: need 1 bytes, 0 remaining"
+        );
         assert_eq!(e.what(), "u8");
     }
 }

@@ -39,7 +39,10 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
             FrameError::BadChecksum { expected, actual } => {
-                write!(f, "frame checksum mismatch: header {expected:#x}, computed {actual:#x}")
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#x}, computed {actual:#x}"
+                )
             }
         }
     }
@@ -120,8 +123,7 @@ impl FrameDecoder {
         if self.buf.len() < Frame::HEADER_LEN {
             return Ok(None);
         }
-        let len =
-            u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
         if len > MAX_FRAME_LEN {
             return Err(FrameError::TooLarge(len));
         }
@@ -191,7 +193,10 @@ mod tests {
         wire[last] ^= 0xFF;
         let mut dec = FrameDecoder::new();
         dec.extend(&wire);
-        assert!(matches!(dec.next_frame(), Err(FrameError::BadChecksum { .. })));
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadChecksum { .. })
+        ));
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod request;
 pub use client::ClientMsg;
 pub use codec::{Codec, DecodeError, WireReader, WireWriter};
 pub use crc::crc32;
-pub use frame::{FrameDecoder, FrameError, MAX_FRAME_LEN};
 pub use frame::Frame;
+pub use frame::{FrameDecoder, FrameError, MAX_FRAME_LEN};
 pub use protocol::{AcceptedEntry, ProtocolMsg};
 pub use request::{Batch, Reply, Request};

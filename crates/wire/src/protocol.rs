@@ -147,13 +147,20 @@ impl ProtocolMsg {
 impl Codec for ProtocolMsg {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            ProtocolMsg::Prepare { view, first_unstable } => {
+            ProtocolMsg::Prepare {
+                view,
+                first_unstable,
+            } => {
                 let mut w = WireWriter::new(buf);
                 w.u8(TAG_PREPARE);
                 w.u64(view.0);
                 w.u64(first_unstable.0);
             }
-            ProtocolMsg::Promise { view, decided_upto, accepted } => {
+            ProtocolMsg::Promise {
+                view,
+                decided_upto,
+                accepted,
+            } => {
                 {
                     let mut w = WireWriter::new(buf);
                     w.u8(TAG_PROMISE);
@@ -186,7 +193,10 @@ impl Codec for ProtocolMsg {
                 w.u64(from.0);
                 w.u64(to.0);
             }
-            ProtocolMsg::CatchupReply { decided_upto, entries } => {
+            ProtocolMsg::CatchupReply {
+                decided_upto,
+                entries,
+            } => {
                 {
                     let mut w = WireWriter::new(buf);
                     w.u8(TAG_CATCHUP_REPLY);
@@ -216,9 +226,10 @@ impl Codec for ProtocolMsg {
     fn decode_from(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
         let tag = r.u8()?;
         match tag {
-            TAG_PREPARE => {
-                Ok(ProtocolMsg::Prepare { view: View(r.u64()?), first_unstable: Slot(r.u64()?) })
-            }
+            TAG_PREPARE => Ok(ProtocolMsg::Prepare {
+                view: View(r.u64()?),
+                first_unstable: Slot(r.u64()?),
+            }),
             TAG_PROMISE => {
                 let view = View(r.u64()?);
                 let decided_upto = Slot(r.u64()?);
@@ -227,7 +238,11 @@ impl Codec for ProtocolMsg {
                 for _ in 0..n {
                     accepted.push(AcceptedEntry::decode_from(r)?);
                 }
-                Ok(ProtocolMsg::Promise { view, decided_upto, accepted })
+                Ok(ProtocolMsg::Promise {
+                    view,
+                    decided_upto,
+                    accepted,
+                })
             }
             TAG_PROPOSE => {
                 let view = View(r.u64()?);
@@ -235,10 +250,14 @@ impl Codec for ProtocolMsg {
                 let batch = Batch::decode_from(r)?;
                 Ok(ProtocolMsg::Propose { view, slot, batch })
             }
-            TAG_ACCEPT => Ok(ProtocolMsg::Accept { view: View(r.u64()?), slot: Slot(r.u64()?) }),
-            TAG_CATCHUP_QUERY => {
-                Ok(ProtocolMsg::CatchupQuery { from: Slot(r.u64()?), to: Slot(r.u64()?) })
-            }
+            TAG_ACCEPT => Ok(ProtocolMsg::Accept {
+                view: View(r.u64()?),
+                slot: Slot(r.u64()?),
+            }),
+            TAG_CATCHUP_QUERY => Ok(ProtocolMsg::CatchupQuery {
+                from: Slot(r.u64()?),
+                to: Slot(r.u64()?),
+            }),
             TAG_CATCHUP_REPLY => {
                 let decided_upto = Slot(r.u64()?);
                 let n = r.u32()? as usize;
@@ -248,15 +267,23 @@ impl Codec for ProtocolMsg {
                     let batch = Batch::decode_from(r)?;
                     entries.push((slot, batch));
                 }
-                Ok(ProtocolMsg::CatchupReply { decided_upto, entries })
+                Ok(ProtocolMsg::CatchupReply {
+                    decided_upto,
+                    entries,
+                })
             }
-            TAG_HEARTBEAT => {
-                Ok(ProtocolMsg::Heartbeat { view: View(r.u64()?), decided_upto: Slot(r.u64()?) })
-            }
-            TAG_SUSPECT => {
-                Ok(ProtocolMsg::Suspect { view: View(r.u64()?), from: ReplicaId(r.u16()?) })
-            }
-            other => Err(DecodeError::new("ProtocolMsg", format!("unknown tag {other}"))),
+            TAG_HEARTBEAT => Ok(ProtocolMsg::Heartbeat {
+                view: View(r.u64()?),
+                decided_upto: Slot(r.u64()?),
+            }),
+            TAG_SUSPECT => Ok(ProtocolMsg::Suspect {
+                view: View(r.u64()?),
+                from: ReplicaId(r.u16()?),
+            }),
+            other => Err(DecodeError::new(
+                "ProtocolMsg",
+                format!("unknown tag {other}"),
+            )),
         }
     }
 
@@ -264,13 +291,24 @@ impl Codec for ProtocolMsg {
         match self {
             ProtocolMsg::Prepare { .. } => 1 + 8 + 8,
             ProtocolMsg::Promise { accepted, .. } => {
-                1 + 8 + 8 + 4 + accepted.iter().map(AcceptedEntry::encoded_len).sum::<usize>()
+                1 + 8
+                    + 8
+                    + 4
+                    + accepted
+                        .iter()
+                        .map(AcceptedEntry::encoded_len)
+                        .sum::<usize>()
             }
             ProtocolMsg::Propose { batch, .. } => 1 + 8 + 8 + batch.encoded_len(),
             ProtocolMsg::Accept { .. } => 1 + 8 + 8,
             ProtocolMsg::CatchupQuery { .. } => 1 + 8 + 8,
             ProtocolMsg::CatchupReply { entries, .. } => {
-                1 + 8 + 4 + entries.iter().map(|(_, b)| 8 + b.encoded_len()).sum::<usize>()
+                1 + 8
+                    + 4
+                    + entries
+                        .iter()
+                        .map(|(_, b)| 8 + b.encoded_len())
+                        .sum::<usize>()
             }
             ProtocolMsg::Heartbeat { .. } => 1 + 8 + 8,
             ProtocolMsg::Suspect { .. } => 1 + 8 + 2,
@@ -293,27 +331,55 @@ mod tests {
 
     fn roundtrip(msg: ProtocolMsg) {
         let bytes = msg.encode_to_vec();
-        assert_eq!(bytes.len(), msg.encoded_len(), "encoded_len exact for {}", msg.kind());
+        assert_eq!(
+            bytes.len(),
+            msg.encoded_len(),
+            "encoded_len exact for {}",
+            msg.kind()
+        );
         assert_eq!(ProtocolMsg::decode(&bytes).unwrap(), msg);
     }
 
     #[test]
     fn all_variants_roundtrip() {
-        roundtrip(ProtocolMsg::Prepare { view: View(3), first_unstable: Slot(10) });
+        roundtrip(ProtocolMsg::Prepare {
+            view: View(3),
+            first_unstable: Slot(10),
+        });
         roundtrip(ProtocolMsg::Promise {
             view: View(3),
             decided_upto: Slot(5),
-            accepted: vec![AcceptedEntry { slot: Slot(6), view: View(2), batch: sample_batch() }],
+            accepted: vec![AcceptedEntry {
+                slot: Slot(6),
+                view: View(2),
+                batch: sample_batch(),
+            }],
         });
-        roundtrip(ProtocolMsg::Propose { view: View(1), slot: Slot(0), batch: sample_batch() });
-        roundtrip(ProtocolMsg::Accept { view: View(1), slot: Slot(0) });
-        roundtrip(ProtocolMsg::CatchupQuery { from: Slot(2), to: Slot(8) });
+        roundtrip(ProtocolMsg::Propose {
+            view: View(1),
+            slot: Slot(0),
+            batch: sample_batch(),
+        });
+        roundtrip(ProtocolMsg::Accept {
+            view: View(1),
+            slot: Slot(0),
+        });
+        roundtrip(ProtocolMsg::CatchupQuery {
+            from: Slot(2),
+            to: Slot(8),
+        });
         roundtrip(ProtocolMsg::CatchupReply {
             decided_upto: Slot(9),
             entries: vec![(Slot(2), sample_batch()), (Slot(3), Batch::empty())],
         });
-        roundtrip(ProtocolMsg::Heartbeat { view: View(0), decided_upto: Slot(0) });
-        roundtrip(ProtocolMsg::Suspect { view: View(7), from: ReplicaId(2) });
+        roundtrip(ProtocolMsg::Heartbeat {
+            view: View(0),
+            decided_upto: Slot(0),
+        });
+        roundtrip(ProtocolMsg::Suspect {
+            view: View(7),
+            from: ReplicaId(2),
+        });
     }
 
     #[test]
@@ -323,7 +389,14 @@ mod tests {
 
     #[test]
     fn kind_names() {
-        assert_eq!(ProtocolMsg::Accept { view: View(0), slot: Slot(0) }.kind(), "Accept");
+        assert_eq!(
+            ProtocolMsg::Accept {
+                view: View(0),
+                slot: Slot(0)
+            }
+            .kind(),
+            "Accept"
+        );
     }
 
     #[test]
@@ -332,7 +405,14 @@ mod tests {
         let reqs: Vec<Request> = (0..8)
             .map(|i| Request::new(RequestId::new(ClientId(i), SeqNum(1)), vec![0u8; 128]))
             .collect();
-        let msg = ProtocolMsg::Propose { view: View(1), slot: Slot(1), batch: Batch::new(reqs) };
-        assert!(msg.encoded_len() < 1448, "proposal of 8x128B requests fits one MTU");
+        let msg = ProtocolMsg::Propose {
+            view: View(1),
+            slot: Slot(1),
+            batch: Batch::new(reqs),
+        };
+        assert!(
+            msg.encoded_len() < 1448,
+            "proposal of 8x128B requests fits one MTU"
+        );
     }
 }

@@ -40,7 +40,10 @@ impl Codec for Request {
         let client = ClientId(r.u64()?);
         let seq = SeqNum(r.u64()?);
         let payload = r.bytes()?;
-        Ok(Request { id: RequestId::new(client, seq), payload })
+        Ok(Request {
+            id: RequestId::new(client, seq),
+            payload,
+        })
     }
 
     fn encoded_len(&self) -> usize {
@@ -76,7 +79,10 @@ impl Codec for Reply {
         let client = ClientId(r.u64()?);
         let seq = SeqNum(r.u64()?);
         let payload = r.bytes()?;
-        Ok(Reply { id: RequestId::new(client, seq), payload })
+        Ok(Reply {
+            id: RequestId::new(client, seq),
+            payload,
+        })
     }
 
     fn encoded_len(&self) -> usize {
@@ -100,7 +106,9 @@ impl Batch {
 
     /// An empty batch (used as a no-op filler value during view change).
     pub fn empty() -> Self {
-        Batch { requests: Vec::new() }
+        Batch {
+            requests: Vec::new(),
+        }
     }
 
     /// Whether the batch holds no requests.
@@ -133,13 +141,19 @@ impl Codec for Batch {
     }
 
     fn encoded_len(&self) -> usize {
-        4 + self.requests.iter().map(Request::encoded_len).sum::<usize>()
+        4 + self
+            .requests
+            .iter()
+            .map(Request::encoded_len)
+            .sum::<usize>()
     }
 }
 
 impl FromIterator<Request> for Batch {
     fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
-        Batch { requests: iter.into_iter().collect() }
+        Batch {
+            requests: iter.into_iter().collect(),
+        }
     }
 }
 

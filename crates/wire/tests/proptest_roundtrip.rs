@@ -8,12 +8,20 @@ use smr_types::{ClientId, ReplicaId, RequestId, SeqNum, Slot, View};
 use smr_wire::{AcceptedEntry, Batch, ClientMsg, Codec, ProtocolMsg, Reply, Request};
 
 fn arb_request() -> impl Strategy<Value = Request> {
-    (any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..300))
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..300),
+    )
         .prop_map(|(c, s, p)| Request::new(RequestId::new(ClientId(c), SeqNum(s)), p))
 }
 
 fn arb_reply() -> impl Strategy<Value = Reply> {
-    (any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
         .prop_map(|(c, s, p)| Reply::new(RequestId::new(ClientId(c), SeqNum(s)), p))
 }
 
@@ -23,8 +31,10 @@ fn arb_batch() -> impl Strategy<Value = Batch> {
 
 fn arb_protocol_msg() -> impl Strategy<Value = ProtocolMsg> {
     prop_oneof![
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(v, s)| ProtocolMsg::Prepare { view: View(v), first_unstable: Slot(s) }),
+        (any::<u64>(), any::<u64>()).prop_map(|(v, s)| ProtocolMsg::Prepare {
+            view: View(v),
+            first_unstable: Slot(s)
+        }),
         (
             any::<u64>(),
             any::<u64>(),
@@ -35,7 +45,11 @@ fn arb_protocol_msg() -> impl Strategy<Value = ProtocolMsg> {
                 decided_upto: Slot(d),
                 accepted: acc
                     .into_iter()
-                    .map(|(s, av, b)| AcceptedEntry { slot: Slot(s), view: View(av), batch: b })
+                    .map(|(s, av, b)| AcceptedEntry {
+                        slot: Slot(s),
+                        view: View(av),
+                        batch: b
+                    })
                     .collect(),
             }),
         (any::<u64>(), any::<u64>(), arb_batch()).prop_map(|(v, s, b)| ProtocolMsg::Propose {
@@ -43,20 +57,30 @@ fn arb_protocol_msg() -> impl Strategy<Value = ProtocolMsg> {
             slot: Slot(s),
             batch: b
         }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(v, s)| ProtocolMsg::Accept { view: View(v), slot: Slot(s) }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(f, t)| ProtocolMsg::CatchupQuery { from: Slot(f), to: Slot(t) }),
-        (any::<u64>(), proptest::collection::vec((any::<u64>(), arb_batch()), 0..4)).prop_map(
-            |(d, entries)| ProtocolMsg::CatchupReply {
+        (any::<u64>(), any::<u64>()).prop_map(|(v, s)| ProtocolMsg::Accept {
+            view: View(v),
+            slot: Slot(s)
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(f, t)| ProtocolMsg::CatchupQuery {
+            from: Slot(f),
+            to: Slot(t)
+        }),
+        (
+            any::<u64>(),
+            proptest::collection::vec((any::<u64>(), arb_batch()), 0..4)
+        )
+            .prop_map(|(d, entries)| ProtocolMsg::CatchupReply {
                 decided_upto: Slot(d),
                 entries: entries.into_iter().map(|(s, b)| (Slot(s), b)).collect(),
-            }
-        ),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(v, d)| ProtocolMsg::Heartbeat { view: View(v), decided_upto: Slot(d) }),
-        (any::<u64>(), any::<u16>())
-            .prop_map(|(v, r)| ProtocolMsg::Suspect { view: View(v), from: ReplicaId(r) }),
+            }),
+        (any::<u64>(), any::<u64>()).prop_map(|(v, d)| ProtocolMsg::Heartbeat {
+            view: View(v),
+            decided_upto: Slot(d)
+        }),
+        (any::<u64>(), any::<u16>()).prop_map(|(v, r)| ProtocolMsg::Suspect {
+            view: View(v),
+            from: ReplicaId(r)
+        }),
     ]
 }
 
@@ -64,8 +88,9 @@ fn arb_client_msg() -> impl Strategy<Value = ClientMsg> {
     prop_oneof![
         arb_request().prop_map(ClientMsg::Request),
         arb_reply().prop_map(ClientMsg::Reply),
-        proptest::option::of(any::<u16>())
-            .prop_map(|r| ClientMsg::Redirect { leader: r.map(ReplicaId) }),
+        proptest::option::of(any::<u16>()).prop_map(|r| ClientMsg::Redirect {
+            leader: r.map(ReplicaId)
+        }),
     ]
 }
 

@@ -48,11 +48,19 @@ fn main() -> Result<(), SmrError> {
     tickets.sort_unstable();
     let unique: HashSet<u64> = tickets.iter().copied().collect();
     println!("issued {} tickets, {} unique", tickets.len(), unique.len());
-    println!("lowest {}, highest {}", tickets.first().unwrap(), tickets.last().unwrap());
+    println!(
+        "lowest {}, highest {}",
+        tickets.first().unwrap(),
+        tickets.last().unwrap()
+    );
     assert_eq!(unique.len(), clients * tickets_each, "no duplicates");
-    assert_eq!(*tickets.last().unwrap() as usize, clients * tickets_each - 1, "no gaps");
+    assert_eq!(
+        *tickets.last().unwrap() as usize,
+        clients * tickets_each - 1,
+        "no gaps"
+    );
     println!("unique and gap-free: replicated execution is exactly-once.");
 
-    Arc::try_unwrap(cluster).ok().expect("clients done").shutdown();
+    Arc::into_inner(cluster).expect("clients done").shutdown();
     Ok(())
 }

@@ -35,7 +35,9 @@ fn main() -> Result<(), SmrError> {
                         client.execute(&LockService::release(b"leader-election", worker))?;
                         log.push(format!("worker {worker} released the lock"));
                     } else {
-                        log.push(format!("worker {worker} found the lock taken (round {round})"));
+                        log.push(format!(
+                            "worker {worker} found the lock taken (round {round})"
+                        ));
                         std::thread::sleep(std::time::Duration::from_millis(5));
                     }
                 }
@@ -55,6 +57,6 @@ fn main() -> Result<(), SmrError> {
     let held = LockService::granted(&client.execute(&LockService::query(b"leader-election"))?);
     println!("lock still held at the end? {held}");
 
-    Arc::try_unwrap(cluster).ok().expect("workers done").shutdown();
+    Arc::into_inner(cluster).expect("workers done").shutdown();
     Ok(())
 }

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use smr::prelude::*;
 use smr::core::KvService;
+use smr::prelude::*;
 
 fn main() -> Result<(), SmrError> {
     println!("starting a 3-replica cluster (in-memory fabric)...");

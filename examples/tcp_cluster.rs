@@ -14,7 +14,12 @@ use smr::prelude::*;
 
 fn free_addrs(n: usize) -> Vec<std::net::SocketAddr> {
     (0..n)
-        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind").local_addr().expect("addr"))
+        .map(|_| {
+            TcpListener::bind("127.0.0.1:0")
+                .expect("bind")
+                .local_addr()
+                .expect("addr")
+        })
         .collect()
 }
 
@@ -28,13 +33,16 @@ fn main() -> Result<(), SmrError> {
     let replicas: Vec<_> = (0..n as u16)
         .map(|i| {
             let id = ReplicaId(i);
-            let network = TcpReplicaNetwork::bind(id, peer_addrs.clone())
-                .expect("bind replica port");
+            let network =
+                TcpReplicaNetwork::bind(id, peer_addrs.clone()).expect("bind replica port");
             let listener =
                 TcpClientListener::bind("127.0.0.1:0".parse().expect("addr")).expect("bind");
             let addr = listener.local_addr().expect("addr");
             client_addrs.push(addr);
-            println!("  replica {id}: peers {}, clients {addr}", peer_addrs[i as usize]);
+            println!(
+                "  replica {id}: peers {}, clients {addr}",
+                peer_addrs[i as usize]
+            );
             ReplicaBuilder::new(id, config.clone())
                 .service(Box::new(KvService::new()))
                 .network(Arc::new(network))

@@ -4,8 +4,8 @@
 
 use std::time::Duration;
 
-use smr::prelude::*;
 use smr::core::KvService;
+use smr::prelude::*;
 
 fn config(n: usize) -> ClusterConfig {
     ClusterConfig::builder(n)
@@ -30,11 +30,15 @@ fn five_replica_cluster_with_churn() {
     let cluster = InProcessCluster::start(config(5), |_| Box::new(KvService::new()));
     let mut client = cluster.client();
     for i in 0..20u32 {
-        client.execute(&KvService::put(format!("k{i}").as_bytes(), b"x")).unwrap();
+        client
+            .execute(&KvService::put(format!("k{i}").as_bytes(), b"x"))
+            .unwrap();
     }
     cluster.crash(ReplicaId(0)); // leader
     for i in 20..30u32 {
-        client.execute(&KvService::put(format!("k{i}").as_bytes(), b"y")).unwrap();
+        client
+            .execute(&KvService::put(format!("k{i}").as_bytes(), b"y"))
+            .unwrap();
     }
     // All pre- and post-crash writes visible.
     let a = client.execute(&KvService::get(b"k5")).unwrap();
@@ -54,7 +58,12 @@ fn tcp_stack_end_to_end() {
     let n = 3;
     let cfg = config(n);
     let peer_addrs: Vec<std::net::SocketAddr> = (0..n)
-        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap())
+        .map(|_| {
+            TcpListener::bind("127.0.0.1:0")
+                .unwrap()
+                .local_addr()
+                .unwrap()
+        })
         .collect();
     let mut client_addrs = Vec::new();
     let replicas: Vec<_> = (0..n as u16)
@@ -82,7 +91,9 @@ fn tcp_stack_end_to_end() {
     )
     .with_timeouts(Duration::from_millis(500), Duration::from_secs(30));
     for i in 0..10 {
-        client.execute(&KvService::put(format!("t{i}").as_bytes(), b"tcp")).unwrap();
+        client
+            .execute(&KvService::put(format!("t{i}").as_bytes(), b"tcp"))
+            .unwrap();
     }
     let got = client.execute(&KvService::get(b"t3")).unwrap();
     assert_eq!(KvService::decode_value(&got), Some(b"tcp".to_vec()));

@@ -35,7 +35,10 @@ fn different_seeds_are_close_but_not_identical_runs() {
     // The seed only drives client start staggering; steady-state
     // throughput must be stable across seeds (within a few percent).
     let ratio = a.throughput_rps / b.throughput_rps;
-    assert!((0.9..1.1).contains(&ratio), "seed-robust steady state: {ratio}");
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "seed-robust steady state: {ratio}"
+    );
 }
 
 #[test]

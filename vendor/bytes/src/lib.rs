@@ -1,0 +1,279 @@
+//! Offline stand-in for the `bytes` crate (see `vendor/README.md`).
+//!
+//! [`BytesMut`] is a growable byte buffer backed by `Vec<u8>` plus a
+//! consumed-prefix offset, exposing the subset of the real API the
+//! workspace's codec and framing use. [`BytesMut::split_to`] copies the
+//! head out (the real crate refcounts it) but advances the offset in
+//! O(1), so repeatedly splitting small frames off a large receive buffer
+//! — the `FrameDecoder` hot path — stays linear in total bytes, not
+//! quadratic. The dead prefix is compacted once it exceeds both a fixed
+//! floor and half the live length.
+
+use std::ops::{Deref, DerefMut};
+
+/// A mutable, growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+    /// Bytes of `inner` already consumed by `split_to`; everything before
+    /// this index is dead. Invariant: `start <= inner.len()`.
+    start: usize,
+}
+
+impl BytesMut {
+    /// Dead-prefix size below which compaction is never triggered.
+    const COMPACT_FLOOR: usize = 4096;
+
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        BytesMut {
+            inner: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Creates an empty buffer that can hold `capacity` bytes without
+    /// reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+            start: 0,
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Appends `src` to the buffer.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Removes and returns the first `at` bytes of the buffer.
+    ///
+    /// The head is copied out (O(`at`)); the remainder is not moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(
+            at <= self.len(),
+            "split_to({at}) out of bounds (len {})",
+            self.len()
+        );
+        let head = self.inner[self.start..self.start + at].to_vec();
+        self.start += at;
+        self.maybe_compact();
+        BytesMut {
+            inner: head,
+            start: 0,
+        }
+    }
+
+    /// Removes all contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+        self.start = 0;
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.inner.truncate(self.start + len);
+        }
+    }
+
+    /// Consumes the buffer, returning the underlying bytes. The real
+    /// crate returns a shared `Bytes`; a plain `Vec<u8>` covers every use
+    /// in this workspace.
+    pub fn freeze(mut self) -> Vec<u8> {
+        self.compact();
+        self.inner
+    }
+
+    /// Drops the dead prefix when it outweighs the live bytes, keeping
+    /// `split_to` amortized O(bytes consumed).
+    fn maybe_compact(&mut self) {
+        if self.start > Self::COMPACT_FLOOR && self.start > self.inner.len() - self.start {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.inner.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for BytesMut {}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Vec<u8> {
+        buf.freeze()
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> BytesMut {
+        BytesMut { inner, start: 0 }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> BytesMut {
+        BytesMut {
+            inner: src.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+/// Write-side buffer trait, mirroring `bytes::BufMut` for the methods the
+/// workspace uses.
+pub trait BufMut {
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian u16.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian u32.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian u64.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_split_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xAB);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_slice(b"xy");
+        assert_eq!(buf.len(), 7);
+        let head = buf.split_to(5);
+        assert_eq!(&head[..], &[0xAB, 0xEF, 0xBE, 0xAD, 0xDE]);
+        assert_eq!(&buf[..], b"xy");
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(0x0102);
+        buf.put_u64_le(1);
+        assert_eq!(&buf[..], &[0x02, 0x01, 1, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn split_interleaved_with_appends() {
+        // Exercises the offset bookkeeping: append, split, append again,
+        // truncate, and convert out — all on one buffer.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"hello world");
+        assert_eq!(&buf.split_to(6)[..], b"hello ");
+        buf.put_slice(b"!!");
+        assert_eq!(&buf[..], b"world!!");
+        buf.truncate(5);
+        assert_eq!(&buf[..], b"world");
+        assert_eq!(Vec::from(buf), b"world".to_vec());
+    }
+
+    #[test]
+    fn many_small_splits_compact_the_dead_prefix() {
+        let mut buf = BytesMut::new();
+        let frame = [7u8; 64];
+        for _ in 0..4096 {
+            buf.put_slice(&frame);
+        }
+        for _ in 0..4095 {
+            assert_eq!(buf.split_to(64).len(), 64);
+        }
+        assert_eq!(buf.len(), 64);
+        // Compaction kept the backing allocation near the live size
+        // rather than the total bytes ever buffered.
+        assert!(buf.inner.len() < 2 * BytesMut::COMPACT_FLOOR + 128);
+    }
+
+    #[test]
+    fn equality_ignores_consumed_prefix() {
+        let mut a = BytesMut::from(b"xxabc".as_slice());
+        a.split_to(2);
+        let b = BytesMut::from(b"abc".as_slice());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Benches written against this shim keep criterion 0.5's API
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `iter` /
+//! `iter_custom`, `Throughput`) and produce one summary line per
+//! benchmark: median ns/iter over a fixed number of samples, plus a
+//! derived rate when a throughput is set. There is no statistical
+//! analysis, warm-up tuning, or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Returns its argument, preventing the optimizer from deleting the
+/// computation that produced it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work performed per iteration, used to derive a rate from elapsed time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// The benchmark harness handle passed to each target function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration. The shim accepts and ignores
+    /// the arguments cargo-bench passes (e.g. `--bench`).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Registers a standalone benchmark (group of one).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.clone()).bench_function(id, f);
+        self
+    }
+
+    /// Prints the final summary. The shim prints per-bench lines eagerly,
+    /// so this is a no-op kept for API compatibility.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing sample and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-iteration work used to derive rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its summary line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iters: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = if samples.is_empty() {
+            0.0
+        } else {
+            samples[samples.len() / 2]
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  {:.2} Melem/s", n as f64 / median * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  {:.2} MiB/s", n as f64 / median * 1e9 / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: median {:.1} ns/iter{}", self.name, id, median, rate);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times the closure under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Wall-clock budget one sample aims for. Like real criterion, the
+    /// iteration count is calibrated from a measured probe so that a
+    /// sample of a nanosecond-scale routine still accumulates measurable
+    /// time while a millisecond-scale routine doesn't run for minutes.
+    const SAMPLE_BUDGET: Duration = Duration::from_millis(10);
+
+    /// Upper bound on iterations per sample, so free routines don't spin
+    /// the full budget resolution-limited.
+    const MAX_ITERS: u64 = 100_000;
+
+    /// Picks an iteration count so `probe`-per-iteration work roughly
+    /// fills [`Self::SAMPLE_BUDGET`].
+    fn calibrate(probe: Duration) -> u64 {
+        let per_iter = probe.as_nanos().max(1);
+        let budget = Self::SAMPLE_BUDGET.as_nanos();
+        ((budget / per_iter) as u64).clamp(1, Self::MAX_ITERS)
+    }
+
+    /// Times calibrated back-to-back calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let probe_start = Instant::now();
+        std::hint::black_box(routine());
+        self.iters = Self::calibrate(probe_start.elapsed());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hands the iteration count to `routine`, which returns the elapsed
+    /// time it measured itself (criterion's `iter_custom`).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let probe = routine(1);
+        self.iters = Self::calibrate(probe);
+        self.elapsed = routine(self.iters);
+    }
+}
+
+/// Bundles benchmark targets into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_elapsed_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(1));
+        let mut runs = 0u64;
+        group.bench_function("counts", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.finish();
+        // Two samples, each a probe plus at least one timed iteration.
+        assert!(runs >= 4);
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_duration() {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_custom(Duration::from_nanos);
+        assert_eq!(b.elapsed, Duration::from_nanos(b.iters));
+    }
+}

@@ -1,0 +1,54 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Only `crossbeam::channel::bounded` is used (as a comparison baseline in
+//! the queue microbench); it is backed by `std::sync::mpsc::sync_channel`,
+//! which has the same blocking-bounded semantics if not the same
+//! performance.
+
+pub mod channel {
+    //! Bounded MPSC channels.
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Sender<T> {
+        /// Blocks until there is capacity, then sends `value`.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value is available.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+    }
+
+    /// Creates a channel that holds at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn send_recv_in_order() {
+            let (tx, rx) = super::bounded(4);
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+    }
+}

@@ -2,22 +2,23 @@
 //!
 //! The inter-module queues are on the per-request critical path (a
 //! request crosses at least four of them), so their overhead bounds the
-//! whole architecture's throughput.
+//! whole architecture's throughput. The bulk-op and contended-MPMC cases
+//! measure the batch fast path: a burst moves under one lock acquisition
+//! with one condvar notification, instead of paying both per item.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use smr_queue::BoundedQueue;
+
+/// Items per bulk burst in the bulk-op benches.
+const BURST: u64 = 64;
 
 fn bench_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("queue");
     group.sample_size(30);
 
     group.bench_function("bounded_push_pop_uncontended", |b| {
-        let q = BoundedQueue::new("bench", 1024);
-        b.iter(|| {
-            q.push(std::hint::black_box(42u64)).unwrap();
-            std::hint::black_box(q.pop().unwrap());
-        });
+        b.iter_custom(|iters| smr_bench::queue_uncontended_scalar(iters).1);
     });
 
     // With the vendored crossbeam shim this is std::sync::mpsc under the
@@ -29,6 +30,20 @@ fn bench_queue(c: &mut Criterion) {
             tx.send(std::hint::black_box(42u64)).unwrap();
             std::hint::black_box(rx.recv().unwrap());
         });
+    });
+
+    // ns/iter here is per item, not per burst: the shared harness moves
+    // `iters` items in bursts of 64.
+    group.bench_function("bounded_bulk_push_pop_batch64", |b| {
+        b.iter_custom(|iters| smr_bench::queue_uncontended_bulk(iters, BURST).1);
+    });
+
+    group.bench_function("bounded_mpmc_4x4_scalar", |b| {
+        b.iter_custom(|iters| smr_bench::mpmc_4x4_scalar(iters).1);
+    });
+
+    group.bench_function("bounded_mpmc_4x4_bulk", |b| {
+        b.iter_custom(|iters| smr_bench::mpmc_4x4_bulk(iters, BURST).1);
     });
 
     group.bench_function("bounded_mpsc_4_producers", |b| {

@@ -1,0 +1,174 @@
+//! Perf-trajectory snapshot: runs the queue, codec, and CRC microbenches
+//! plus the in-memory cluster throughput loop, and writes the results as
+//! JSON to the path given as the first argument (e.g. `BENCH_PR5.json`).
+//!
+//! The committed snapshot starts the repo's perf trajectory: each perf
+//! PR re-runs this tool and commits a new `BENCH_PRn.json`, so numbers
+//! are always comparisons within one run on one machine, never across
+//! machines or commits.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smr_core::{InProcessCluster, NullService};
+use smr_types::{ClientId, ClusterConfig, RequestId, SeqNum};
+use smr_wire::{crc32, crc32_bytewise, Batch, Codec, Request};
+
+/// Items moved per contended MPMC measurement.
+const MPMC_ITEMS: u64 = 400_000;
+/// Items per bulk burst.
+const BURST: u64 = 64;
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    samples[samples.len() / 2]
+}
+
+/// Runs `f` `samples` times; returns the median throughput in
+/// items/second from the `(items_moved, elapsed)` pairs it reports.
+fn measure_throughput(samples: usize, mut f: impl FnMut() -> (u64, Duration)) -> f64 {
+    let rates: Vec<f64> = (0..samples)
+        .map(|_| {
+            let (items, elapsed) = f();
+            items as f64 / elapsed.as_secs_f64()
+        })
+        .collect();
+    median(rates)
+}
+
+/// Batch-of-8 encode+decode round trips; returns ns per round trip.
+fn codec_roundtrip_ns() -> f64 {
+    let batch = Batch::new(
+        (0..8u64)
+            .map(|i| Request::new(RequestId::new(ClientId(1), SeqNum(i)), vec![0xA5; 128]))
+            .collect(),
+    );
+    let iters = 50_000u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let bytes = batch.encode_to_vec();
+        let decoded = Batch::decode(&bytes).expect("roundtrip");
+        std::hint::black_box(decoded);
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// CRC over a 4 KiB buffer; returns GiB/s.
+fn crc_gibps(f: impl Fn(&[u8]) -> u32) -> f64 {
+    let buf: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+    let iters = 100_000u64;
+    let start = Instant::now();
+    let mut acc = 0u32;
+    for _ in 0..iters {
+        acc ^= f(std::hint::black_box(&buf));
+    }
+    std::hint::black_box(acc);
+    (iters * buf.len() as u64) as f64 / start.elapsed().as_secs_f64() / (1u64 << 30) as f64
+}
+
+/// In-memory 3-replica cluster with the paper's null service driven by
+/// closed-loop clients; returns requests/second.
+fn cluster_throughput_rps(clients: usize, window: Duration) -> f64 {
+    let cluster =
+        InProcessCluster::start(ClusterConfig::new(3), |_| Box::new(NullService::default()));
+    // Warm-up: let the leader settle before the timed window.
+    let mut warm = cluster.client();
+    for _ in 0..50 {
+        warm.execute(&[0u8; 128]).expect("warm-up request");
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let mut client = cluster.client();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let payload = [0u8; 128];
+                let mut done = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if client.execute(&payload).is_err() {
+                        break;
+                    }
+                    done += 1;
+                }
+                done
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let elapsed = start.elapsed();
+    cluster.shutdown();
+    total as f64 / elapsed.as_secs_f64()
+}
+
+fn json_number(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn main() {
+    // The path is required rather than defaulted so a later PR re-running
+    // the tool can't silently clobber an earlier trajectory file.
+    let Some(out_path) = std::env::args().nth(1) else {
+        eprintln!("usage: bench_snapshot <out-path>   (e.g. BENCH_PR5.json at the repo root)");
+        std::process::exit(2);
+    };
+    smr_bench::banner(
+        "bench_snapshot",
+        "queue/codec/crc microbenches + in-memory cluster throughput",
+    );
+
+    let scalar_unc = {
+        let (n, t) = smr_bench::queue_uncontended_scalar(2_000_000);
+        n as f64 / t.as_secs_f64()
+    };
+    println!("queue uncontended scalar      {:>12.0} ops/s", scalar_unc);
+    let bulk_unc = {
+        let (n, t) = smr_bench::queue_uncontended_bulk(2_000_000, BURST);
+        n as f64 / t.as_secs_f64()
+    };
+    println!("queue uncontended bulk(64)    {:>12.0} items/s", bulk_unc);
+    let scalar_mpmc = measure_throughput(5, || smr_bench::mpmc_4x4_scalar(MPMC_ITEMS));
+    println!(
+        "queue 4x4 MPMC scalar         {:>12.0} items/s",
+        scalar_mpmc
+    );
+    let bulk_mpmc = measure_throughput(5, || smr_bench::mpmc_4x4_bulk(MPMC_ITEMS, BURST));
+    println!("queue 4x4 MPMC bulk(64)       {:>12.0} items/s", bulk_mpmc);
+    let mpmc_ratio = bulk_mpmc / scalar_mpmc;
+    println!("queue 4x4 MPMC bulk/scalar    {:>12.2} x", mpmc_ratio);
+
+    let codec_ns = codec_roundtrip_ns();
+    println!("codec batch8x128B roundtrip   {:>12.0} ns", codec_ns);
+    let crc_fast = crc_gibps(crc32);
+    println!("crc32 slice-by-8 (4KiB)       {:>12.2} GiB/s", crc_fast);
+    let crc_slow = crc_gibps(crc32_bytewise);
+    println!("crc32 bytewise   (4KiB)       {:>12.2} GiB/s", crc_slow);
+
+    let cluster_rps = cluster_throughput_rps(8, Duration::from_secs(2));
+    println!("cluster n=3 null-service      {:>12.0} req/s", cluster_rps);
+
+    let mut json = String::from("{\n");
+    let mut field = |name: &str, value: f64| {
+        let _ = writeln!(json, "  \"{}\": {},", name, json_number(value));
+    };
+    field("queue_uncontended_scalar_ops_per_s", scalar_unc);
+    field("queue_uncontended_bulk64_items_per_s", bulk_unc);
+    field("queue_mpmc_4x4_scalar_items_per_s", scalar_mpmc);
+    field("queue_mpmc_4x4_bulk64_items_per_s", bulk_mpmc);
+    field("queue_mpmc_4x4_bulk_over_scalar", mpmc_ratio);
+    field("codec_batch8_128b_roundtrip_ns", codec_ns);
+    field("crc32_slice8_4kib_gib_per_s", crc_fast);
+    field("crc32_bytewise_4kib_gib_per_s", crc_slow);
+    field("cluster_n3_null_rps", cluster_rps);
+    json.push_str("  \"workload\": \"4x4 MPMC, burst 64, batch 8x128B, crc 4KiB, 8 closed-loop clients x 2s\"\n}\n");
+    std::fs::write(&out_path, json).expect("write snapshot");
+    println!("wrote {out_path}");
+}

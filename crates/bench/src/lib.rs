@@ -1,5 +1,8 @@
 //! Shared plumbing for the experiment binaries: table rendering and
-//! series printing in the paper's units.
+//! series printing in the paper's units, plus the contended-queue
+//! harnesses shared by the criterion benches and `bench_snapshot` (so
+//! the committed `BENCH_PRn.json` trajectory and `cargo bench` always
+//! measure the same workload).
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper (see DESIGN.md §4 for the index) and prints the same rows or
@@ -7,6 +10,118 @@
 //! paper-vs-measured side by side.
 
 use std::fmt::Write as _;
+use std::time::Duration;
+
+use smr_queue::{BoundedQueue, PopError};
+
+/// Uncontended harness: `pairs` scalar push+pop round trips on one
+/// thread. Returns `(items_moved, elapsed)`.
+pub fn queue_uncontended_scalar(pairs: u64) -> (u64, Duration) {
+    let q = BoundedQueue::new("uncontended", 1024);
+    let start = std::time::Instant::now();
+    for i in 0..pairs {
+        q.push(i).unwrap();
+        std::hint::black_box(q.pop().unwrap());
+    }
+    (pairs, start.elapsed())
+}
+
+/// Uncontended harness: moves `items` items through the bulk API in
+/// bursts of `burst` (`push_many` then `try_pop_all` into a reused
+/// buffer). Returns `(items_moved, elapsed)`.
+pub fn queue_uncontended_bulk(items: u64, burst: u64) -> (u64, Duration) {
+    // Capacity must hold a full burst: a single-threaded push_many on a
+    // smaller queue would block forever waiting for a consumer.
+    let q = BoundedQueue::new("uncontended", 1024.max(burst as usize));
+    let mut buf: Vec<u64> = Vec::with_capacity(burst as usize);
+    let mut moved = 0u64;
+    let start = std::time::Instant::now();
+    while moved < items {
+        let n = burst.min(items - moved);
+        q.push_many(std::hint::black_box(0..n)).unwrap();
+        q.try_pop_all(&mut buf).unwrap();
+        std::hint::black_box(&buf);
+        buf.clear();
+        moved += n;
+    }
+    (moved, start.elapsed())
+}
+
+/// Contended MPMC harness: 4 producers and 4 consumers move at least
+/// `items` items through one capacity-1024 `BoundedQueue` with scalar
+/// ops (`push`/`pop`). Returns `(items_moved, elapsed)`.
+pub fn mpmc_4x4_scalar(items: u64) -> (u64, Duration) {
+    let q = BoundedQueue::new("mpmc4x4", 1024);
+    let per = items.div_ceil(4);
+    let start = std::time::Instant::now();
+    let producers: Vec<_> = (0..4)
+        .map(|_| {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 0..per {
+                    q.push(i).unwrap();
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..4)
+        .map(|_| {
+            let q = q.clone();
+            std::thread::spawn(move || while q.pop().is_ok() {})
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    q.close();
+    for c in consumers {
+        c.join().unwrap();
+    }
+    (per * 4, start.elapsed())
+}
+
+/// Same shape as [`mpmc_4x4_scalar`] but on the bulk API: producers
+/// `push_many` bursts of `burst`, consumers drain via `pop_wait_all`.
+/// Returns `(items_moved, elapsed)`.
+pub fn mpmc_4x4_bulk(items: u64, burst: u64) -> (u64, Duration) {
+    let q = BoundedQueue::new("mpmc4x4", 1024);
+    let per = items.div_ceil(4);
+    let start = std::time::Instant::now();
+    let producers: Vec<_> = (0..4)
+        .map(|_| {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut i = 0;
+                while i < per {
+                    let end = (i + burst).min(per);
+                    q.push_many(i..end).unwrap();
+                    i = end;
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..4)
+        .map(|_| {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut buf = Vec::with_capacity(1024);
+                while let Ok(_) | Err(PopError::Empty) =
+                    q.pop_wait_all(&mut buf, 1024, Duration::from_millis(50))
+                {
+                    buf.clear();
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    q.close();
+    for c in consumers {
+        c.join().unwrap();
+    }
+    (per * 4, start.elapsed())
+}
 
 /// Renders a simple aligned table.
 ///
@@ -82,5 +197,15 @@ mod tests {
     #[test]
     fn kreq_matches_paper_unit() {
         assert_eq!(kreq(100_000.0), "100.0");
+    }
+
+    #[test]
+    fn mpmc_harnesses_move_all_items() {
+        let (n, elapsed) = mpmc_4x4_scalar(1000);
+        assert!(n >= 1000 && n % 4 == 0);
+        assert!(elapsed > Duration::ZERO);
+        let (n, elapsed) = mpmc_4x4_bulk(1000, 64);
+        assert!(n >= 1000 && n % 4 == 0);
+        assert!(elapsed > Duration::ZERO);
     }
 }

@@ -45,39 +45,49 @@ struct ConnState {
     pending: Option<Request>,
 }
 
+/// Most replies drained per wakeup while parked on an idle ReplyQueue
+/// (bounds how long the thread defers its connection scan when a reply
+/// burst lands; the busy path's `try_pop_all` drains everything queued).
+const REPLY_BURST: usize = 1024;
+
 /// One thread of the ClientIO pool: owns a subset of connections, decodes
 /// requests, probes the reply cache, forwards to the Batcher, and writes
-/// replies handed over by the ServiceManager.
+/// replies handed over by the ServiceManager. Replies and newly accepted
+/// connections are drained in bulk — one lock acquisition per burst.
 pub(crate) fn run_client_io(ctx: &Ctx, index: usize) {
     let handle = ctx.metrics.register_thread(format!("ClientIO-{index}"));
     let mut conns: HashMap<u64, ConnState> = HashMap::new();
     let mut dead: Vec<u64> = Vec::new();
+    let mut adopted: Vec<Box<dyn ClientConn>> = Vec::new();
+    let mut replies: Vec<(u64, Reply)> = Vec::new();
 
     while !ctx.is_shutdown() {
         let mut did_work = false;
 
         // Adopt newly accepted connections.
-        while let Ok(conn) = ctx.intake_qs[index].try_pop() {
-            conns.insert(
-                conn.id(),
-                ConnState {
-                    conn,
-                    pending: None,
-                },
-            );
+        if ctx.intake_qs[index].try_pop_all(&mut adopted).is_ok() {
             did_work = true;
+            for conn in adopted.drain(..) {
+                conns.insert(
+                    conn.id(),
+                    ConnState {
+                        conn,
+                        pending: None,
+                    },
+                );
+            }
         }
 
         // Write replies queued by the ServiceManager.
-        loop {
-            match ctx.reply_qs[index].try_pop() {
-                Ok((conn_id, reply)) => {
-                    did_work = true;
+        match ctx.reply_qs[index].try_pop_all(&mut replies) {
+            Ok(_) => {
+                did_work = true;
+                for (conn_id, reply) in replies.drain(..) {
                     deliver_reply(&mut conns, &mut dead, conn_id, reply);
                 }
-                Err(PopError::Empty) => break,
-                Err(PopError::Closed) => return,
             }
+            Err(PopError::Empty) => {}
+            Err(PopError::Closed) => return,
         }
 
         // Retry pushes that were paused on a full RequestQueue.
@@ -124,8 +134,17 @@ pub(crate) fn run_client_io(ctx: &Ctx, index: usize) {
         if !did_work {
             // Park on the reply queue: the most likely source of new work
             // when all connections are idle.
-            match ctx.reply_qs[index].pop_timeout_with(Duration::from_millis(1), &handle) {
-                Ok((conn_id, reply)) => deliver_reply(&mut conns, &mut dead, conn_id, reply),
+            match ctx.reply_qs[index].pop_wait_all_with(
+                &mut replies,
+                REPLY_BURST,
+                Duration::from_millis(1),
+                &handle,
+            ) {
+                Ok(_) => {
+                    for (conn_id, reply) in replies.drain(..) {
+                        deliver_reply(&mut conns, &mut dead, conn_id, reply);
+                    }
+                }
                 Err(PopError::Empty) => {}
                 Err(PopError::Closed) => return,
             }

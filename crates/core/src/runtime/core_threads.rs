@@ -6,16 +6,28 @@ use std::time::{Duration, Instant};
 use smr_metrics::ThreadState;
 use smr_paxos::{Action, BatchBuilder, Event, PaxosReplica};
 use smr_queue::PopError;
-use smr_types::View;
-use smr_wire::ProtocolMsg;
+use smr_types::{Slot, View};
+use smr_wire::{Batch, ProtocolMsg, Request};
 
 use super::{Ctx, RetransmitEntry};
 
+/// Most requests the Batcher moves out of the RequestQueue per lock
+/// acquisition.
+const REQUEST_BURST: usize = 1024;
+
+/// Most events the Protocol thread drains from the DispatcherQueue
+/// between pipelining-window checks.
+const EVENT_BURST: usize = 256;
+
 /// The Batcher thread (§V-C1): drains the RequestQueue into batches
-/// according to the batching policy and feeds the ProposalQueue.
+/// according to the batching policy and feeds the ProposalQueue. Bursts
+/// move under one RequestQueue lock acquisition, and every batch they
+/// complete is handed to the ProposalQueue in one bulk push.
 pub(crate) fn run_batcher(ctx: &Ctx) {
     let handle = ctx.metrics.register_thread("Batcher");
     let mut builder = BatchBuilder::new(ctx.config.batch());
+    let mut burst: Vec<Request> = Vec::new();
+    let mut completed: Vec<Batch> = Vec::new();
     loop {
         let now = ctx.shared.now_ns();
         // Wait at most until the open batch's deadline.
@@ -23,13 +35,20 @@ pub(crate) fn run_batcher(ctx: &Ctx) {
             Some(deadline) => Duration::from_nanos(deadline.saturating_sub(now).max(1)),
             None => Duration::from_millis(10),
         };
-        match ctx.request_q.pop_timeout_with(wait, &handle) {
-            Ok(request) => {
+        match ctx
+            .request_q
+            .pop_wait_all_with(&mut burst, REQUEST_BURST, wait, &handle)
+        {
+            Ok(_) => {
                 let now = ctx.shared.now_ns();
-                if let Some(batch) = builder.push(request, now) {
-                    if ctx.proposal_q.push_with(batch, &handle).is_err() {
-                        return;
-                    }
+                builder.push_all(burst.drain(..), now, &mut completed);
+                if !completed.is_empty()
+                    && ctx
+                        .proposal_q
+                        .push_many_with(completed.drain(..), &handle)
+                        .is_err()
+                {
+                    return;
                 }
             }
             Err(PopError::Empty) => {
@@ -52,8 +71,10 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
     let handle = ctx.metrics.register_thread("Protocol");
     let mut core = PaxosReplica::new(ctx.me, ctx.config.clone());
     let mut actions = Vec::new();
+    let mut deliveries: Vec<(Slot, Batch)> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
     core.handle(Event::Init, ctx.shared.now_ns(), &mut actions);
-    if apply_actions(ctx, &mut actions).is_err() {
+    if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
         return;
     }
     let tick_every = Duration::from_millis(25);
@@ -64,12 +85,13 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
         }
         // Pull proposals whenever the pipelining window has room. The
         // Batcher prepares batches concurrently (§V-C1), so starting a new
-        // ballot is one queue pop, not a batch construction.
+        // ballot is one queue pop, not a batch construction. This stays a
+        // per-item pop on purpose: the window check gates every proposal.
         while core.window_open() {
             match ctx.proposal_q.try_pop() {
                 Ok(batch) => {
                     core.handle(Event::Proposal(batch), ctx.shared.now_ns(), &mut actions);
-                    if apply_actions(ctx, &mut actions).is_err() {
+                    if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
                         return;
                     }
                     publish(ctx, &core);
@@ -78,14 +100,20 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
                 Err(PopError::Closed) => return,
             }
         }
-        match ctx
-            .dispatcher_q
-            .pop_timeout_with(Duration::from_millis(1), &handle)
-        {
-            Ok(event) => {
-                core.handle(event, ctx.shared.now_ns(), &mut actions);
-                if apply_actions(ctx, &mut actions).is_err() {
-                    return;
+        // Drain the DispatcherQueue in bulk between window checks: one
+        // lock acquisition moves the whole burst of peer messages.
+        match ctx.dispatcher_q.pop_wait_all_with(
+            &mut events,
+            EVENT_BURST,
+            Duration::from_millis(1),
+            &handle,
+        ) {
+            Ok(_) => {
+                for event in events.drain(..) {
+                    core.handle(event, ctx.shared.now_ns(), &mut actions);
+                    if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
+                        return;
+                    }
                 }
                 publish(ctx, &core);
             }
@@ -95,7 +123,7 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
         if last_tick.elapsed() >= tick_every {
             last_tick = Instant::now();
             core.handle(Event::Tick, ctx.shared.now_ns(), &mut actions);
-            if apply_actions(ctx, &mut actions).is_err() {
+            if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
                 return;
             }
         }
@@ -106,17 +134,19 @@ fn publish(ctx: &Ctx, core: &PaxosReplica) {
     ctx.shared.set_decided_upto(core.decided_upto());
 }
 
-/// Carries out the state machine's actions. Returns `Err(())` when the
-/// replica is shutting down.
-fn apply_actions(ctx: &Ctx, actions: &mut Vec<Action>) -> Result<(), ()> {
+/// Carries out the state machine's actions. `deliveries` is a reusable
+/// scratch buffer: `Deliver` decisions are staged there and handed to the
+/// DecisionQueue in one bulk push per action batch. Returns `Err(())`
+/// when the replica is shutting down.
+fn apply_actions(
+    ctx: &Ctx,
+    actions: &mut Vec<Action>,
+    deliveries: &mut Vec<(Slot, Batch)>,
+) -> Result<(), ()> {
     for action in actions.drain(..) {
         match action {
             Action::Send { to, msg } => ctx.send(to, &msg),
-            Action::Deliver { slot, batch } => {
-                if ctx.decision_q.push((slot, batch)).is_err() {
-                    return Err(());
-                }
-            }
+            Action::Deliver { slot, batch } => deliveries.push((slot, batch)),
             Action::ScheduleRetransmit { key, to, msg } => {
                 let entry = RetransmitEntry {
                     key,
@@ -144,6 +174,9 @@ fn apply_actions(ctx: &Ctx, actions: &mut Vec<Action>) -> Result<(), ()> {
                 ctx.shared.set_view(view, leader, ctx.me);
             }
         }
+    }
+    if !deliveries.is_empty() && ctx.decision_q.push_many(deliveries.drain(..)).is_err() {
+        return Err(());
     }
     Ok(())
 }

@@ -1,7 +1,8 @@
 //! The ServiceManager module (§V-D): the "Replica" thread of the paper's
 //! per-thread profiles.
 
-use smr_wire::Reply;
+use smr_types::Slot;
+use smr_wire::{Batch, Reply};
 
 use crate::reply_cache::ExecuteOutcome;
 use crate::service::Service;
@@ -9,37 +10,55 @@ use crate::service::Service;
 use super::Ctx;
 
 /// Executes decided batches in log order, updates the reply cache, and
-/// hands each reply to the ClientIO thread owning the client's
-/// connection.
+/// hands replies to the ClientIO threads owning the clients' connections.
+/// The thread parks on the first decision (so an idle replica costs
+/// nothing; `close` wakes it for shutdown), then drains whatever else is
+/// queued in one lock acquisition. Replies are grouped per ClientIO
+/// thread and flushed after every decided batch, so reply latency is
+/// bounded by one batch's execution no matter how deep the drained
+/// backlog is.
 pub(crate) fn run_service_manager(ctx: &Ctx, mut service: Box<dyn Service>) {
     let handle = ctx.metrics.register_thread("Replica");
+    let mut decisions: Vec<(Slot, Batch)> = Vec::new();
+    let mut outboxes: Vec<Vec<(u64, Reply)>> =
+        (0..ctx.reply_qs.len()).map(|_| Vec::new()).collect();
     loop {
         match ctx.decision_q.pop_with(&handle) {
-            Ok((_slot, batch)) => {
-                for request in batch.requests {
-                    let reply_payload = match ctx.cache.check_execute(request.id) {
-                        ExecuteOutcome::Fresh => {
-                            let reply = service.execute(&request.payload);
-                            ctx.cache.record(request.id, reply.clone());
-                            Some(reply)
-                        }
-                        // Ordered twice (client retry raced the pipeline):
-                        // do not re-execute; resend the cached reply.
-                        ExecuteOutcome::Duplicate(cached) => cached,
-                    };
-                    let Some(payload) = reply_payload else {
-                        continue;
-                    };
-                    let Some((cio, conn)) = ctx.shared.client_route(request.id.client) else {
-                        continue; // client gone or connected elsewhere
-                    };
-                    let reply = Reply::new(request.id, payload);
-                    if ctx.reply_qs[cio].push_with((conn, reply), &handle).is_err() {
-                        return;
+            Ok(first) => decisions.push(first),
+            Err(_) => return,
+        }
+        // Batch up the backlog behind the first decision; an error here
+        // (empty or closed) still leaves that decision to execute.
+        let _ = ctx.decision_q.try_pop_all(&mut decisions);
+        for (_slot, batch) in decisions.drain(..) {
+            for request in batch.requests {
+                let reply_payload = match ctx.cache.check_execute(request.id) {
+                    ExecuteOutcome::Fresh => {
+                        let reply = service.execute(&request.payload);
+                        ctx.cache.record(request.id, reply.clone());
+                        Some(reply)
                     }
+                    // Ordered twice (client retry raced the pipeline):
+                    // do not re-execute; resend the cached reply.
+                    ExecuteOutcome::Duplicate(cached) => cached,
+                };
+                let Some(payload) = reply_payload else {
+                    continue;
+                };
+                let Some((cio, conn)) = ctx.shared.client_route(request.id.client) else {
+                    continue; // client gone or connected elsewhere
+                };
+                outboxes[cio].push((conn, Reply::new(request.id, payload)));
+            }
+            for (cio, outbox) in outboxes.iter_mut().enumerate() {
+                if !outbox.is_empty()
+                    && ctx.reply_qs[cio]
+                        .push_many_with(outbox.drain(..), &handle)
+                        .is_err()
+                {
+                    return;
                 }
             }
-            Err(_) => return,
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,6 +39,20 @@ impl fmt::Display for PopError {
 
 impl std::error::Error for PopError {}
 
+/// The one wake-up per batch the bulk ops pay: nothing for an empty
+/// batch, a single waiter for a single item, everyone for more.
+fn notify_batch(cv: &Condvar, n: usize) {
+    match n {
+        0 => {}
+        1 => {
+            cv.notify_one();
+        }
+        _ => {
+            cv.notify_all();
+        }
+    }
+}
+
 /// Cumulative statistics of one queue.
 #[derive(Debug, Clone, Default)]
 pub struct QueueStats {
@@ -45,9 +60,10 @@ pub struct QueueStats {
     pub pushed: u64,
     /// Items popped over the queue's lifetime.
     pub popped: u64,
-    /// Number of pushes that had to wait for space.
+    /// Number of push calls that had to wait for space (a bulk push that
+    /// waits several times counts each wait episode).
     pub push_waits: u64,
-    /// Number of pops that had to wait for an item.
+    /// Number of pop calls that had to wait for an item.
     pub pop_waits: u64,
 }
 
@@ -56,7 +72,13 @@ struct Inner<T> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
-    closed: Mutex<bool>,
+    // A plain atomic, not a second mutex: readers on the hot path take
+    // exactly one lock (the queue mutex) per operation. The close-wakes
+    // -waiters handshake stays sound because `close` stores the flag and
+    // *then* acquires the queue mutex before notifying: any waiter that
+    // read `closed == false` under the mutex will release it in `wait`,
+    // letting `close` in to notify, and re-checks the flag on wake.
+    closed: AtomicBool,
     name: String,
     pushed: Counter,
     popped: Counter,
@@ -72,6 +94,16 @@ struct Inner<T> {
 /// [`ThreadState::Waiting`] — exactly what the JVM's `ThreadMXBean`
 /// reports for a thread parked on a `Condition`.
 ///
+/// # Bulk operations
+///
+/// A request crosses at least four of these queues on its way through
+/// the replica, so per-item overhead bounds end-to-end throughput. The
+/// bulk operations ([`BoundedQueue::push_many`],
+/// [`BoundedQueue::try_pop_all`], [`BoundedQueue::pop_wait_all`]) move a
+/// whole burst under a single lock acquisition with a single condvar
+/// notification per batch, draining into a caller-owned reusable buffer
+/// so the steady state allocates nothing.
+///
 /// # Examples
 ///
 /// ```
@@ -80,6 +112,11 @@ struct Inner<T> {
 /// let q = BoundedQueue::new("RequestQueue", 1000);
 /// q.push(42).unwrap();
 /// assert_eq!(q.pop().unwrap(), 42);
+///
+/// q.push_many(0..3).unwrap();
+/// let mut buf = Vec::new();
+/// assert_eq!(q.try_pop_all(&mut buf).unwrap(), 3);
+/// assert_eq!(buf, vec![0, 1, 2]);
 /// ```
 pub struct BoundedQueue<T> {
     inner: Arc<Inner<T>>,
@@ -117,7 +154,7 @@ impl<T> BoundedQueue<T> {
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
                 capacity,
-                closed: Mutex::new(false),
+                closed: AtomicBool::new(false),
                 name: name.into(),
                 pushed: Counter::new(),
                 popped: Counter::new(),
@@ -149,13 +186,13 @@ impl<T> BoundedQueue<T> {
 
     /// Whether [`BoundedQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        *self.inner.closed.lock()
+        self.inner.closed.load(Ordering::Acquire)
     }
 
     /// Closes the queue: subsequent pushes fail, pops drain remaining
     /// items and then report [`PopError::Closed`]. All waiters wake.
     pub fn close(&self) {
-        *self.inner.closed.lock() = true;
+        self.inner.closed.store(true, Ordering::Release);
         let _guard = self.inner.queue.lock();
         self.inner.not_empty.notify_all();
         self.inner.not_full.notify_all();
@@ -217,9 +254,112 @@ impl<T> BoundedQueue<T> {
     }
 
     fn is_closed_locked(&self) -> bool {
-        // `closed` uses its own lock so readers need not contend with the
-        // queue mutex on the fast path; both orders are taken consistently.
-        *self.inner.closed.lock()
+        // Callers hold the queue mutex, which already orders this load
+        // against `close`'s store-then-lock handshake; Relaxed suffices.
+        self.inner.closed.load(Ordering::Relaxed)
+    }
+
+    /// Blocking bulk push: moves every item of `items` into the queue,
+    /// filling whatever space is free under one lock acquisition and
+    /// waiting for room when full. Consumers are woken once per burst
+    /// (one `notify_one` for a single item, one `notify_all` for more)
+    /// instead of once per item. Returns the number of items pushed.
+    ///
+    /// The iterator is advanced while the queue's internal lock is held:
+    /// it must be cheap and must not touch this queue (calling any
+    /// method of the same queue from `next()` deadlocks). Pass drained
+    /// buffers, ranges, or plain maps — not iterators doing I/O.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] carrying the items not yet pushed if
+    /// the queue closes mid-way; items pushed before the close remain
+    /// poppable (close drains).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smr_queue::BoundedQueue;
+    ///
+    /// let q = BoundedQueue::new("ProposalQueue", 8);
+    /// assert_eq!(q.push_many(vec!["a", "b", "c"]).unwrap(), 3);
+    /// assert_eq!(q.len(), 3);
+    /// ```
+    pub fn push_many<I>(&self, items: I) -> Result<usize, PushError<Vec<T>>>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        self.push_many_impl(items, None)
+    }
+
+    /// Blocking bulk push; wait time is charged to `handle` as `Waiting`.
+    /// The iterator contract of [`BoundedQueue::push_many`] applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] carrying the items not yet pushed if
+    /// the queue closes mid-way.
+    pub fn push_many_with<I>(
+        &self,
+        items: I,
+        handle: &ThreadHandle,
+    ) -> Result<usize, PushError<Vec<T>>>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        self.push_many_impl(items, Some(handle))
+    }
+
+    fn push_many_impl<I>(
+        &self,
+        items: I,
+        handle: Option<&ThreadHandle>,
+    ) -> Result<usize, PushError<Vec<T>>>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        let mut iter = items.into_iter().peekable();
+        if iter.peek().is_none() {
+            return Ok(0);
+        }
+        if self.is_closed() {
+            return Err(PushError::Closed(iter.collect()));
+        }
+        let mut total = 0usize;
+        let mut q = self.inner.queue.lock();
+        loop {
+            if self.is_closed_locked() {
+                drop(q);
+                return Err(PushError::Closed(iter.collect()));
+            }
+            let mut pushed = 0usize;
+            while q.len() < self.inner.capacity && iter.peek().is_some() {
+                q.push_back(iter.next().expect("peeked item"));
+                pushed += 1;
+            }
+            if pushed > 0 {
+                self.inner.pushed.add(pushed as u64);
+                total += pushed;
+            }
+            if iter.peek().is_none() {
+                drop(q);
+                notify_batch(&self.inner.not_empty, pushed);
+                return Ok(total);
+            }
+            // Queue full with items remaining: hand the burst pushed so
+            // far to consumers (notify under the lock — we must keep it
+            // to wait), then block for space.
+            notify_batch(&self.inner.not_empty, pushed);
+            self.inner.push_waits.inc();
+            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            while q.len() >= self.inner.capacity {
+                if self.is_closed_locked() {
+                    drop(q);
+                    return Err(PushError::Closed(iter.collect()));
+                }
+                self.inner.not_full.wait(&mut q);
+            }
+        }
     }
 
     /// Non-blocking push.
@@ -303,6 +443,116 @@ impl<T> BoundedQueue<T> {
                 }
             }
         }
+    }
+
+    /// Non-blocking bulk pop: drains everything currently queued into
+    /// `buf` (appending) under one lock acquisition, waking producers
+    /// once per batch. Returns the number of items moved (at least 1 on
+    /// success).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopError::Empty`] when nothing is queued, or
+    /// [`PopError::Closed`] when closed and drained.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smr_queue::BoundedQueue;
+    ///
+    /// let q = BoundedQueue::new("ReplyQueue", 8);
+    /// q.push_many(0..4).unwrap();
+    /// let mut buf = Vec::new();
+    /// assert_eq!(q.try_pop_all(&mut buf).unwrap(), 4);
+    /// assert_eq!(buf, vec![0, 1, 2, 3]);
+    /// ```
+    pub fn try_pop_all(&self, buf: &mut Vec<T>) -> Result<usize, PopError> {
+        let mut q = self.inner.queue.lock();
+        let n = q.len();
+        if n == 0 {
+            return if self.is_closed_locked() {
+                Err(PopError::Closed)
+            } else {
+                Err(PopError::Empty)
+            };
+        }
+        buf.extend(q.drain(..));
+        self.inner.popped.add(n as u64);
+        drop(q);
+        notify_batch(&self.inner.not_full, n);
+        Ok(n)
+    }
+
+    /// Blocking bulk pop: waits up to `timeout` for the queue to become
+    /// non-empty, then drains up to `max` items into `buf` (appending)
+    /// under the same lock acquisition. Producers are woken once per
+    /// batch. Returns the number of items moved (at least 1 on success).
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Empty`] on timeout, [`PopError::Closed`] when closed
+    /// and drained.
+    pub fn pop_wait_all(
+        &self,
+        buf: &mut Vec<T>,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<usize, PopError> {
+        self.pop_wait_all_impl(buf, max, timeout, None)
+    }
+
+    /// Blocking bulk pop; wait time is charged to `handle` as `Waiting`.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Empty`] on timeout, [`PopError::Closed`] when closed
+    /// and drained.
+    pub fn pop_wait_all_with(
+        &self,
+        buf: &mut Vec<T>,
+        max: usize,
+        timeout: Duration,
+        handle: &ThreadHandle,
+    ) -> Result<usize, PopError> {
+        self.pop_wait_all_impl(buf, max, timeout, Some(handle))
+    }
+
+    fn pop_wait_all_impl(
+        &self,
+        buf: &mut Vec<T>,
+        max: usize,
+        timeout: Duration,
+        handle: Option<&ThreadHandle>,
+    ) -> Result<usize, PopError> {
+        if max == 0 {
+            return Err(PopError::Empty);
+        }
+        let mut q = self.inner.queue.lock();
+        if q.is_empty() {
+            self.inner.pop_waits.inc();
+            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            let deadline = std::time::Instant::now() + timeout;
+            while q.is_empty() {
+                if self.is_closed_locked() {
+                    return Err(PopError::Closed);
+                }
+                if self
+                    .inner
+                    .not_empty
+                    .wait_until(&mut q, deadline)
+                    .timed_out()
+                    && q.is_empty()
+                {
+                    return Err(PopError::Empty);
+                }
+            }
+        }
+        let n = q.len().min(max);
+        buf.extend(q.drain(..n));
+        self.inner.popped.add(n as u64);
+        drop(q);
+        notify_batch(&self.inner.not_full, n);
+        Ok(n)
     }
 
     /// Pop with a timeout.
@@ -538,5 +788,196 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _: BoundedQueue<u32> = BoundedQueue::new("t", 0);
+    }
+
+    #[test]
+    fn push_many_preserves_fifo() {
+        let q = BoundedQueue::new("t", 16);
+        assert_eq!(q.push_many(0..5).unwrap(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn push_many_empty_input_is_ok() {
+        let q: BoundedQueue<u32> = BoundedQueue::new("t", 4);
+        assert_eq!(q.push_many(std::iter::empty()).unwrap(), 0);
+        q.close();
+        assert_eq!(q.push_many(std::iter::empty()).unwrap(), 0);
+    }
+
+    #[test]
+    fn push_many_blocks_for_space_then_finishes() {
+        let q = BoundedQueue::new("t", 4);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.push_many(0..10).unwrap());
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            match q.pop_timeout(Duration::from_secs(5)) {
+                Ok(v) => got.push(v),
+                Err(e) => panic!("pop failed: {e}"),
+            }
+        }
+        assert_eq!(h.join().unwrap(), 10);
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(q.stats().push_waits >= 1, "bulk push waited for space");
+    }
+
+    #[test]
+    fn push_many_hands_back_remainder_on_close() {
+        let q = BoundedQueue::new("t", 2);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.push_many(0..6));
+        // Wait until the pusher filled the queue and blocked.
+        while q.len() < 2 {
+            thread::yield_now();
+        }
+        q.close();
+        match h.join().unwrap() {
+            Err(PushError::Closed(rest)) => {
+                assert_eq!(rest, vec![2, 3, 4, 5], "unpushed items handed back");
+            }
+            other => panic!("expected Closed with remainder, got {other:?}"),
+        }
+        // Items pushed before the close remain poppable (close drains).
+        assert_eq!(q.pop().unwrap(), 0);
+        assert_eq!(q.pop().unwrap(), 1);
+        assert_eq!(q.pop(), Err(PopError::Closed));
+    }
+
+    #[test]
+    fn try_pop_all_drains_and_reports_state() {
+        let q = BoundedQueue::new("t", 8);
+        let mut buf = Vec::new();
+        assert_eq!(q.try_pop_all(&mut buf), Err(PopError::Empty));
+        q.push_many(0..3).unwrap();
+        assert_eq!(q.try_pop_all(&mut buf).unwrap(), 3);
+        assert_eq!(buf, vec![0, 1, 2]);
+        assert!(q.is_empty());
+        q.close();
+        assert_eq!(q.try_pop_all(&mut buf), Err(PopError::Closed));
+    }
+
+    #[test]
+    fn pop_wait_all_respects_max() {
+        let q = BoundedQueue::new("t", 16);
+        q.push_many(0..10).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(
+            q.pop_wait_all(&mut buf, 4, Duration::from_millis(10))
+                .unwrap(),
+            4
+        );
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn pop_wait_all_times_out_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new("t", 4);
+        let mut buf = Vec::new();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            q.pop_wait_all(&mut buf, 8, Duration::from_millis(30)),
+            Err(PopError::Empty)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn pop_wait_all_wakes_on_bulk_push() {
+        let q = BoundedQueue::new("t", 64);
+        let q2 = q.clone();
+        let h = thread::spawn(move || {
+            let mut buf = Vec::new();
+            let n = q2
+                .pop_wait_all(&mut buf, 64, Duration::from_secs(5))
+                .unwrap();
+            (n, buf)
+        });
+        thread::sleep(Duration::from_millis(10));
+        q.push_many(0..8).unwrap();
+        let (n, buf) = h.join().unwrap();
+        assert!(n >= 1, "the single batch notification woke the popper");
+        assert_eq!(buf[0], 0);
+    }
+
+    #[test]
+    fn pop_wait_all_closed_after_drain() {
+        let q = BoundedQueue::new("t", 8);
+        q.push_many(0..2).unwrap();
+        q.close();
+        let mut buf = Vec::new();
+        assert_eq!(
+            q.pop_wait_all(&mut buf, 8, Duration::from_millis(10))
+                .unwrap(),
+            2,
+            "close drains remaining items first"
+        );
+        assert_eq!(
+            q.pop_wait_all(&mut buf, 8, Duration::from_millis(10)),
+            Err(PopError::Closed)
+        );
+    }
+
+    #[test]
+    fn bulk_ops_update_stats_totals() {
+        let q = BoundedQueue::new("t", 32);
+        q.push_many(0..10).unwrap();
+        let mut buf = Vec::new();
+        q.pop_wait_all(&mut buf, 4, Duration::from_millis(10))
+            .unwrap();
+        q.try_pop_all(&mut buf).unwrap();
+        let stats = q.stats();
+        assert_eq!(stats.pushed, 10);
+        assert_eq!(stats.popped, 10);
+    }
+
+    /// Loom-style stress (plain threads): close racing with scalar and
+    /// bulk waiters on both the empty and the full side. Every waiter
+    /// must wake and observe `Closed`; none may hang. This is the
+    /// ordering the `closed` AtomicBool + store-then-lock-then-notify
+    /// handshake in `close` guarantees.
+    #[test]
+    fn close_vs_waiters_stress() {
+        for _ in 0..100 {
+            let full: BoundedQueue<u32> = BoundedQueue::new("full", 1);
+            full.push(0).unwrap();
+            let empty: BoundedQueue<u32> = BoundedQueue::new("empty", 1);
+            let mut pushers = Vec::new();
+            for i in 0..2 {
+                let q = full.clone();
+                pushers.push(thread::spawn(move || q.push(i).is_err()));
+            }
+            let bulk_pusher = {
+                let q = full.clone();
+                thread::spawn(move || q.push_many(10..14).is_err())
+            };
+            let mut poppers = Vec::new();
+            for _ in 0..2 {
+                let q = empty.clone();
+                poppers.push(thread::spawn(move || q.pop() == Err(PopError::Closed)));
+            }
+            let bulk_popper = {
+                let q = empty.clone();
+                thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    q.pop_wait_all(&mut buf, 8, Duration::from_secs(10)) == Err(PopError::Closed)
+                })
+            };
+            thread::yield_now();
+            full.close();
+            empty.close();
+            for h in pushers {
+                assert!(h.join().unwrap(), "scalar pusher observed Closed");
+            }
+            assert!(bulk_pusher.join().unwrap(), "bulk pusher observed Closed");
+            for h in poppers {
+                assert!(h.join().unwrap(), "scalar popper observed Closed");
+            }
+            assert!(bulk_popper.join().unwrap(), "bulk popper observed Closed");
+        }
     }
 }

@@ -54,6 +54,96 @@ proptest! {
         }
     }
 
+    /// Bulk ops are observationally equivalent to scalar ops: with a mix
+    /// of `push`/`push_many` producers and `pop`/`pop_wait_all` consumers
+    /// the queue still loses nothing, duplicates nothing, keeps
+    /// per-producer FIFO order (each consumer's observed subsequence per
+    /// producer is strictly in order), and the `QueueStats` totals equal
+    /// the item count exactly as with scalar ops.
+    #[test]
+    fn bulk_ops_equivalent_to_scalar(
+        producers in 1usize..5,
+        per_producer in 1usize..150,
+        capacity in 1usize..64,
+        chunk in 1usize..17,
+    ) {
+        use std::time::Duration;
+        use smr_queue::PopError;
+
+        let q: BoundedQueue<(usize, usize)> = BoundedQueue::new("prop-bulk", capacity);
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    if p % 2 == 0 {
+                        // Bulk producer: bursts of `chunk` requests.
+                        let mut i = 0;
+                        while i < per_producer {
+                            let end = (i + chunk).min(per_producer);
+                            q.push_many((i..end).map(|j| (p, j))).unwrap();
+                            i = end;
+                        }
+                    } else {
+                        // Scalar producer.
+                        for i in 0..per_producer {
+                            q.push((p, i)).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|c| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    if c == 0 {
+                        // Bulk consumer.
+                        let mut buf = Vec::new();
+                        while let Ok(_) | Err(PopError::Empty) =
+                            q.pop_wait_all(&mut buf, 64, Duration::from_millis(50))
+                        {
+                            got.append(&mut buf);
+                        }
+                    } else {
+                        // Scalar consumer.
+                        while let Ok(v) = q.pop() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let per_consumer: Vec<Vec<(usize, usize)>> =
+            consumers.into_iter().map(|c| c.join().unwrap()).collect();
+        // Per-producer FIFO within each consumer's observation.
+        for got in &per_consumer {
+            let mut last: HashMap<usize, usize> = HashMap::new();
+            for &(p, i) in got {
+                if let Some(prev) = last.get(&p) {
+                    prop_assert!(i > *prev, "producer {}: {} after {}", p, i, prev);
+                }
+                last.insert(p, i);
+            }
+        }
+        // Conservation: nothing lost, nothing duplicated.
+        let mut all: Vec<(usize, usize)> = per_consumer.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expected: Vec<(usize, usize)> = (0..producers)
+            .flat_map(|p| (0..per_producer).map(move |i| (p, i)))
+            .collect();
+        prop_assert_eq!(&all, &expected);
+        // Stats totals identical to what scalar ops would record.
+        let stats = q.stats();
+        prop_assert_eq!(stats.pushed, (producers * per_producer) as u64);
+        prop_assert_eq!(stats.popped, (producers * per_producer) as u64);
+    }
+
     #[test]
     fn drain_plus_pops_account_for_everything(
         pushes in 0usize..100,

@@ -1,16 +1,24 @@
 //! CRC-32 (IEEE 802.3) checksum used by the frame layer.
 //!
-//! Implemented from scratch with a lazily-built 256-entry lookup table —
-//! part of the "no external serialization machinery" substrate.
+//! Implemented from scratch — part of the "no external serialization
+//! machinery" substrate. The frame layer checksums every message, so the
+//! hot path uses slice-by-8: eight lazily-built 256-entry tables let one
+//! step consume eight input bytes (two little-endian words) instead of
+//! one, with a bytewise tail for the remainder. The plain bytewise
+//! implementation is kept as [`crc32_bytewise`], the reference the
+//! equivalence tests and benches compare against.
 
 use std::sync::OnceLock;
 
-fn table() -> &'static [u32; 256] {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
-            let mut c = i as u32;
+/// `TABLES[0]` is the classic bytewise table; `TABLES[k][b]` is the CRC
+/// of byte `b` followed by `k` zero bytes, which is what lets eight
+/// table lookups advance the CRC over eight bytes at once.
+fn tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for i in 0..256u32 {
+            let mut c = i;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
                     0xEDB8_8320 ^ (c >> 1)
@@ -18,13 +26,19 @@ fn table() -> &'static [u32; 256] {
                     c >> 1
                 };
             }
-            *entry = c;
+            t[0][i as usize] = c;
         }
-        table
+        for k in 1..8 {
+            for i in 0..256 {
+                let prev = t[k - 1][i];
+                t[k][i] = t[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            }
+        }
+        t
     })
 }
 
-/// Computes the CRC-32 (IEEE) checksum of `data`.
+/// Computes the CRC-32 (IEEE) checksum of `data` (slice-by-8).
 ///
 /// # Examples
 ///
@@ -33,10 +47,37 @@ fn table() -> &'static [u32; 256] {
 /// assert_eq!(smr_wire::crc32(b"123456789"), 0xCBF4_3926);
 /// ```
 pub fn crc32(data: &[u8]) -> u32 {
-    let table = table();
+    let t = tables();
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")) ^ c;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// The one-byte-per-step reference implementation.
+///
+/// Exists so tests and benches can check the slice-by-8 fast path
+/// against an independently simple formulation; production code should
+/// call [`crc32`].
+pub fn crc32_bytewise(data: &[u8]) -> u32 {
+    let t = tables();
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
-        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        c = t[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -56,10 +97,48 @@ mod tests {
     }
 
     #[test]
+    fn bytewise_reference_matches_known_vectors() {
+        assert_eq!(crc32_bytewise(b""), 0);
+        assert_eq!(crc32_bytewise(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32_bytewise(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
     fn detects_single_bit_flip() {
         let mut data = b"hello world".to_vec();
         let orig = crc32(&data);
         data[3] ^= 0x01;
         assert_ne!(crc32(&data), orig);
+    }
+
+    #[test]
+    fn slice_by_8_equals_bytewise_on_random_buffers() {
+        // Deterministic xorshift so failures reproduce; lengths cover the
+        // empty, sub-word, word-aligned, and long-with-tail cases.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 255, 1024, 4093] {
+            let buf: Vec<u8> = (0..len).map(|_| (next() & 0xFF) as u8).collect();
+            assert_eq!(crc32(&buf), crc32_bytewise(&buf), "mismatch at len {len}");
+        }
+    }
+
+    #[test]
+    fn all_offsets_into_a_buffer_agree() {
+        let buf: Vec<u8> = (0..257u32).map(|i| (i * 31 % 251) as u8).collect();
+        for start in 0..16 {
+            for end in start..buf.len() {
+                let s = &buf[start..end];
+                assert_eq!(crc32(s), crc32_bytewise(s));
+            }
+        }
     }
 }

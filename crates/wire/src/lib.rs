@@ -39,7 +39,7 @@ mod request;
 
 pub use client::ClientMsg;
 pub use codec::{Codec, DecodeError, WireReader, WireWriter};
-pub use crc::crc32;
+pub use crc::{crc32, crc32_bytewise};
 pub use frame::Frame;
 pub use frame::{FrameDecoder, FrameError, MAX_FRAME_LEN};
 pub use protocol::{AcceptedEntry, ProtocolMsg};

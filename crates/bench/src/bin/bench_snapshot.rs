@@ -20,6 +20,15 @@ use smr_wire::{crc32, crc32_bytewise, Batch, Codec, Request};
 const MPMC_ITEMS: u64 = 400_000;
 /// Items per bulk burst.
 const BURST: u64 = 64;
+/// Hash-chain iterations per command in the CPU-heavy executor case.
+const EXEC_ROUNDS: u32 = 2_000;
+/// Worker pool for the CPU-heavy parallel case.
+const EXEC_WORKERS: usize = 4;
+/// Modeled per-command I/O stall in the stall-heavy executor case.
+const STALL: Duration = Duration::from_micros(150);
+const STALL_NONE: Duration = Duration::ZERO;
+/// Worker pool for the stall-heavy parallel case.
+const STALL_WORKERS: usize = 8;
 
 fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
@@ -155,6 +164,29 @@ fn main() {
     let cluster_rps = cluster_throughput_rps(8, Duration::from_secs(2));
     println!("cluster n=3 null-service      {:>12.0} req/s", cluster_rps);
 
+    // Sequential vs dependency-aware parallel execution of a heavyweight
+    // service on a conflict-free decided order. Two regimes: pure CPU
+    // (only wins with real cores — on a single-core host this records
+    // scheduler overhead) and modeled I/O stalls (overlaps on the worker
+    // pool regardless of core count).
+    let cpu_seq = measure_throughput(5, || {
+        smr_bench::exec_sequential(EXEC_ROUNDS, STALL_NONE, 2_000)
+    });
+    println!("exec cpu-heavy sequential     {:>12.0} cmds/s", cpu_seq);
+    let cpu_par = measure_throughput(5, || {
+        smr_bench::exec_parallel(EXEC_ROUNDS, STALL_NONE, 2_000, EXEC_WORKERS)
+    });
+    println!("exec cpu-heavy parallel(4)    {:>12.0} cmds/s", cpu_par);
+    let cpu_ratio = cpu_par / cpu_seq;
+    println!("exec cpu parallel/sequential  {:>12.2} x", cpu_ratio);
+    let stall_seq = measure_throughput(5, || smr_bench::exec_sequential(0, STALL, 512));
+    println!("exec stall-heavy sequential   {:>12.0} cmds/s", stall_seq);
+    let stall_par =
+        measure_throughput(5, || smr_bench::exec_parallel(0, STALL, 512, STALL_WORKERS));
+    println!("exec stall-heavy parallel(8)  {:>12.0} cmds/s", stall_par);
+    let stall_ratio = stall_par / stall_seq;
+    println!("exec stall parallel/sequential{:>12.2} x", stall_ratio);
+
     let mut json = String::from("{\n");
     let mut field = |name: &str, value: f64| {
         let _ = writeln!(json, "  \"{}\": {},", name, json_number(value));
@@ -168,7 +200,13 @@ fn main() {
     field("crc32_slice8_4kib_gib_per_s", crc_fast);
     field("crc32_bytewise_4kib_gib_per_s", crc_slow);
     field("cluster_n3_null_rps", cluster_rps);
-    json.push_str("  \"workload\": \"4x4 MPMC, burst 64, batch 8x128B, crc 4KiB, 8 closed-loop clients x 2s\"\n}\n");
+    field("exec_cpu_sequential_cmds_per_s", cpu_seq);
+    field("exec_cpu_parallel4_cmds_per_s", cpu_par);
+    field("exec_cpu_parallel_over_sequential", cpu_ratio);
+    field("exec_stall_sequential_cmds_per_s", stall_seq);
+    field("exec_stall_parallel8_cmds_per_s", stall_par);
+    field("exec_stall_parallel_over_sequential", stall_ratio);
+    json.push_str("  \"workload\": \"4x4 MPMC, burst 64, batch 8x128B, crc 4KiB, 8 closed-loop clients x 2s, exec 2000 cmds x 2000 hash rounds + 512 cmds x 150us stall\"\n}\n");
     std::fs::write(&out_path, json).expect("write snapshot");
     println!("wrote {out_path}");
 }

@@ -1,0 +1,162 @@
+//! Harness for the scalar-vs-parallel execution comparison in
+//! `bench_snapshot`: a heavyweight [`ConflictAwareService`] plus
+//! closed-form sequential and parallel drivers over a conflict-free
+//! command stream (distinct keys, distinct clients — the best case the
+//! dependency scheduler can exploit).
+//!
+//! The service has two cost knobs, because the two interesting regimes
+//! differ:
+//!
+//! * `rounds` — pure CPU work (a hash-chain loop) per command. Parallel
+//!   execution only beats sequential here when real cores are available;
+//!   on a single-core host the comparison measures scheduler overhead
+//!   instead, which is exactly what we want recorded.
+//! * `stall` — a modeled per-command wait (sleep), standing in for the
+//!   disk reads, fsyncs, or downstream RPCs a real replicated service
+//!   performs. Stalls overlap on a worker pool regardless of core count,
+//!   so this regime shows the scheduling win even on one core.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use smr_core::{ConcurrentKvService, ConflictAwareService, KvService, ParallelExecutor};
+use smr_types::{ClientId, KeySet, RequestId, SeqNum};
+use smr_wire::Request;
+
+/// A KV service made deliberately expensive: every command burns
+/// `rounds` iterations of a hash chain and then waits `stall` before
+/// touching the (sharded, concurrently accessible) store. Conflict
+/// classification and state digesting are inherited from
+/// [`ConcurrentKvService`], so commands on distinct keys are
+/// independent.
+pub struct CpuHashService {
+    store: ConcurrentKvService,
+    rounds: u32,
+    stall: Duration,
+}
+
+impl CpuHashService {
+    /// A service costing `rounds` hash iterations plus `stall` of
+    /// modeled I/O wait per command.
+    pub fn new(rounds: u32, stall: Duration) -> Self {
+        CpuHashService {
+            store: ConcurrentKvService::default(),
+            rounds,
+            stall,
+        }
+    }
+
+    /// The CPU burn: a data-dependent hash chain the optimizer cannot
+    /// elide or vectorize away.
+    fn burn(&self, seed: u64) -> u64 {
+        let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+        for i in 0..self.rounds {
+            h = h
+                .rotate_left(13)
+                .wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+                .wrapping_add(u64::from(i));
+        }
+        h
+    }
+}
+
+impl ConflictAwareService for CpuHashService {
+    fn conflict_keys(&self, request: &[u8]) -> KeySet {
+        self.store.conflict_keys(request)
+    }
+
+    fn execute(&self, request: &[u8]) -> Vec<u8> {
+        let seed = request.iter().fold(0u64, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+        std::hint::black_box(self.burn(seed));
+        if !self.stall.is_zero() {
+            std::thread::sleep(self.stall);
+        }
+        self.store.execute(request)
+    }
+
+    fn state_hash(&self) -> u64 {
+        self.store.state_hash()
+    }
+}
+
+/// The conflict-free command stream: `n` puts to `n` distinct keys from
+/// `n` distinct clients, so neither key conflicts nor per-client chains
+/// serialize anything.
+fn commands(n: u64) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            Request::new(
+                RequestId::new(ClientId(i + 1), SeqNum(0)),
+                KvService::put(&i.to_le_bytes(), &[0xAB; 16]),
+            )
+        })
+        .collect()
+}
+
+/// Sequential baseline: the decided order executed one command at a
+/// time on the calling thread, exactly like the default ServiceManager.
+/// Returns `(commands, elapsed)`.
+pub fn exec_sequential(rounds: u32, stall: Duration, n: u64) -> (u64, Duration) {
+    let service = CpuHashService::new(rounds, stall);
+    let cmds = commands(n);
+    let start = std::time::Instant::now();
+    for cmd in &cmds {
+        std::hint::black_box(service.execute(&cmd.payload));
+    }
+    (n, start.elapsed())
+}
+
+/// Parallel run: the same decided order submitted to a
+/// [`ParallelExecutor`] with `workers` threads. Returns
+/// `(commands, elapsed)`; elapsed covers submit through last completion.
+pub fn exec_parallel(rounds: u32, stall: Duration, n: u64, workers: usize) -> (u64, Duration) {
+    let service = Arc::new(CpuHashService::new(rounds, stall));
+    let mut exec = ParallelExecutor::new(service, workers);
+    let cmds = commands(n);
+    let mut replies = Vec::with_capacity(n as usize);
+    let start = std::time::Instant::now();
+    for cmd in cmds {
+        exec.submit(cmd);
+    }
+    exec.wait_idle(&mut replies);
+    let elapsed = start.elapsed();
+    assert_eq!(replies.len(), n as usize, "every command completed");
+    exec.shutdown();
+    (n, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_drivers_reach_the_same_state() {
+        let seq = CpuHashService::new(10, Duration::ZERO);
+        for cmd in commands(20) {
+            seq.execute(&cmd.payload);
+        }
+        let par = Arc::new(CpuHashService::new(10, Duration::ZERO));
+        let mut exec = ParallelExecutor::new(par.clone(), 3);
+        for cmd in commands(20) {
+            exec.submit(cmd);
+        }
+        let mut replies = Vec::new();
+        exec.wait_idle(&mut replies);
+        exec.shutdown();
+        assert_eq!(replies.len(), 20);
+        assert_eq!(seq.state_hash(), par.state_hash());
+    }
+
+    #[test]
+    fn stalls_overlap_on_the_worker_pool() {
+        // 16 commands x 2ms stall: ≥32ms sequentially, far less on 8
+        // workers even on one core. Generous threshold to stay
+        // CI-stable.
+        let (_, seq) = exec_sequential(0, Duration::from_millis(2), 16);
+        let (_, par) = exec_parallel(0, Duration::from_millis(2), 16, 8);
+        assert!(seq >= Duration::from_millis(30), "sequential lower bound");
+        assert!(par < seq, "overlap beats serial stalls: {par:?} vs {seq:?}");
+    }
+}

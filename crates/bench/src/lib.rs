@@ -14,6 +14,10 @@ use std::time::Duration;
 
 use smr_queue::{BoundedQueue, PopError};
 
+mod exec;
+
+pub use exec::{exec_parallel, exec_sequential, CpuHashService};
+
 /// Uncontended harness: `pairs` scalar push+pop round trips on one
 /// thread. Returns `(items_moved, elapsed)`.
 pub fn queue_uncontended_scalar(pairs: u64) -> (u64, Duration) {

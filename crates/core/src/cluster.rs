@@ -11,7 +11,7 @@ use smr_types::{ClientId, ClusterConfig, ReplicaId};
 
 use crate::client::SmrClient;
 use crate::runtime::{Replica, ReplicaBuilder};
-use crate::service::Service;
+use crate::service::{ConflictAwareService, Service};
 
 /// A fully wired in-process cluster.
 ///
@@ -61,6 +61,42 @@ impl InProcessCluster {
             .map(|id| {
                 ReplicaBuilder::new(id, config.clone())
                     .service(service_factory(id))
+                    .network(std::sync::Arc::new(hub.replica_network(id)))
+                    .client_listener(Box::new(hub.client_listener(id)))
+                    .start()
+                    .expect("replica starts")
+            })
+            .collect();
+        InProcessCluster {
+            hub,
+            replicas,
+            config,
+            next_client: AtomicU64::new(1),
+        }
+    }
+
+    /// Like [`InProcessCluster::start`], but every replica runs its
+    /// service in dependency-aware parallel execution mode with a pool
+    /// of `workers` threads (see
+    /// [`crate::ReplicaBuilder::parallel_service`]). All replicas still
+    /// converge to identical state: conflicting commands execute in
+    /// decided order everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replica fails to start (configuration is validated by
+    /// [`ClusterConfig`], so this indicates a bug).
+    pub fn start_parallel(
+        config: ClusterConfig,
+        service_factory: impl Fn(ReplicaId) -> std::sync::Arc<dyn ConflictAwareService>,
+        workers: usize,
+    ) -> Self {
+        let hub = MemoryHub::new(config.n(), 0xC0FF_EE00);
+        let replicas = config
+            .replicas()
+            .map(|id| {
+                ReplicaBuilder::new(id, config.clone())
+                    .parallel_service(service_factory(id), workers)
                     .network(std::sync::Arc::new(hub.replica_network(id)))
                     .client_listener(Box::new(hub.client_listener(id)))
                     .start()

@@ -1,0 +1,724 @@
+//! Dependency-aware parallel command execution (the "parallel replica").
+//!
+//! The paper makes ordering cheap enough that the single ServiceManager
+//! thread becomes the bottleneck for CPU-heavy or stall-heavy services.
+//! This module removes that ceiling the way the parallel
+//! state-machine-replication literature does ("Rethinking State-Machine
+//! Replication for Parallelism", "Early Scheduling in Parallel State
+//! Machine Replication"): commands are classified by the keys they touch
+//! ([`smr_types::KeySet`], declared by a
+//! [`ConflictAwareService`]), a scheduler builds the per-key dependency
+//! DAG from the decided order, and ready (dependency-free) commands are
+//! dispatched to a worker pool while conflicting commands wait for their
+//! predecessors.
+//!
+//! Determinism is preserved because the DAG is built from the decided
+//! log order, which is identical on every replica: two conflicting
+//! commands always execute in log order, and two non-conflicting
+//! commands cannot observe each other by definition, so any interleaving
+//! of them yields the same state and the same replies.
+//!
+//! The moving parts:
+//!
+//! * [`DepGraph`] (crate-private) — the bookkeeping: per-key last-writer
+//!   and readers-since, per-client chains, and the global-command
+//!   barrier. Pure data structure, no threads, exhaustively unit-tested.
+//! * [`ParallelExecutor`] — the runtime: a worker pool fed through a
+//!   bounded dispatch queue, completions returned through a bounded
+//!   completion queue (both using the bulk queue API, one lock per
+//!   burst), and the scheduler state driven by whichever thread owns the
+//!   executor (the ServiceManager thread in a replica; the test thread
+//!   in the determinism proptests).
+//!
+//! Two scheduling details matter for correctness beyond key conflicts:
+//!
+//! * **Per-client chains.** Commands from the same client are linked in
+//!   decided order even when their keys do not conflict. This preserves
+//!   per-client reply order and makes the reply cache's
+//!   highest-sequence-number bookkeeping race-free, because a client's
+//!   retry can never be in flight concurrently with its original.
+//! * **Global commands.** A command classified [`KeySet::global`]
+//!   depends on *every* incomplete command and every later command
+//!   depends on it — a full barrier, the safe treatment for commands
+//!   whose footprint is unknown.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use smr_metrics::ThreadHandle;
+use smr_queue::{BoundedQueue, PopError};
+use smr_types::{AccessMode, KeySet, RequestId};
+use smr_wire::Request;
+
+use crate::reply_cache::{ExecuteOutcome, ReplyCache};
+use crate::service::ConflictAwareService;
+
+/// Maximum commands a worker pulls per dispatch-queue drain.
+const WORKER_DRAIN_MAX: usize = 256;
+/// How long an idle worker parks before re-checking for shutdown.
+const WORKER_PARK: Duration = Duration::from_millis(100);
+/// Capacity of the dispatch queue (scheduler → workers).
+const DISPATCH_CAPACITY: usize = 4096;
+
+/// Everything the scheduler tracks about one incomplete command.
+struct TaskNode {
+    /// `Some` until the command is dispatched to a worker.
+    request: Option<Request>,
+    /// The command's declared footprint (needed again at completion to
+    /// unwind the per-key bookkeeping).
+    keys: KeySet,
+    /// The issuing client, for unwinding the per-client chain.
+    client: u64,
+    /// Number of incomplete commands this one waits for.
+    unmet: usize,
+    /// Commands waiting for this one.
+    dependents: Vec<u64>,
+}
+
+/// Per-key scheduling state: the incomplete commands that last touched
+/// the key. Entries only reference incomplete commands — completion
+/// removes them — so the map's size is bounded by in-flight work, not by
+/// the key space.
+#[derive(Default)]
+struct KeyUsers {
+    /// The most recent incomplete writer of the key.
+    last_writer: Option<u64>,
+    /// Incomplete readers admitted since that writer.
+    readers: Vec<u64>,
+}
+
+/// The dependency DAG over decided-but-incomplete commands.
+///
+/// `submit` assigns each command the next sequence number (the decided
+/// order) and computes its dependencies; `complete` retires a command
+/// and surfaces newly unblocked ones. Commands with no unmet
+/// dependencies accumulate in an internal ready list drained by
+/// [`DepGraph::take_ready`].
+#[derive(Default)]
+pub(crate) struct DepGraph {
+    next_seq: u64,
+    tasks: HashMap<u64, TaskNode>,
+    keys: HashMap<u64, KeyUsers>,
+    clients: HashMap<u64, u64>,
+    last_global: Option<u64>,
+    ready: Vec<(u64, Request)>,
+}
+
+impl DepGraph {
+    pub(crate) fn new() -> Self {
+        DepGraph::default()
+    }
+
+    /// Incomplete (submitted, not yet completed) commands.
+    pub(crate) fn pending(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Admits the next command of the decided order with its declared
+    /// footprint. If it conflicts with nothing incomplete it becomes
+    /// ready immediately.
+    pub(crate) fn submit(&mut self, request: Request, keys: KeySet) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        let mut deps: Vec<u64> = Vec::new();
+        if keys.is_global() {
+            // A global command is a barrier: it waits for everything.
+            deps.extend(self.tasks.keys().copied());
+            self.last_global = Some(seq);
+        } else {
+            for &(key, mode) in keys.entries() {
+                let users = self.keys.entry(key).or_default();
+                match mode {
+                    AccessMode::Write => {
+                        // A writer waits for the previous writer and for
+                        // every reader admitted since, then becomes the
+                        // key's writer frontier.
+                        if let Some(w) = users.last_writer {
+                            deps.push(w);
+                        }
+                        deps.extend(users.readers.iter().copied());
+                        users.last_writer = Some(seq);
+                        users.readers.clear();
+                    }
+                    AccessMode::Read => {
+                        // A reader waits only for the last writer;
+                        // concurrent readers share.
+                        if let Some(w) = users.last_writer {
+                            deps.push(w);
+                        }
+                        users.readers.push(seq);
+                    }
+                }
+            }
+            // Everything ordered after an incomplete global command
+            // waits for it.
+            if let Some(g) = self.last_global {
+                deps.push(g);
+            }
+        }
+
+        // Per-client chain: decided order within one client is execution
+        // order, whatever the keys (reply order + reply-cache safety).
+        let client = request.id.client.0;
+        if let Some(&prev) = self.clients.get(&client) {
+            deps.push(prev);
+        }
+        self.clients.insert(client, seq);
+
+        deps.sort_unstable();
+        deps.dedup();
+        let mut unmet = 0;
+        for dep in deps {
+            // All bookkeeping references incomplete commands only, but
+            // stay defensive: a missing entry is simply already done.
+            if let Some(node) = self.tasks.get_mut(&dep) {
+                node.dependents.push(seq);
+                unmet += 1;
+            }
+        }
+
+        if unmet == 0 {
+            self.tasks.insert(
+                seq,
+                TaskNode {
+                    request: None,
+                    keys,
+                    client,
+                    unmet: 0,
+                    dependents: Vec::new(),
+                },
+            );
+            self.ready.push((seq, request));
+        } else {
+            self.tasks.insert(
+                seq,
+                TaskNode {
+                    request: Some(request),
+                    keys,
+                    client,
+                    unmet,
+                    dependents: Vec::new(),
+                },
+            );
+        }
+    }
+
+    /// Retires a completed command, unwinding its key/client/global
+    /// bookkeeping and moving newly unblocked dependents to the ready
+    /// list.
+    pub(crate) fn complete(&mut self, seq: u64) {
+        let node = self.tasks.remove(&seq).expect("completed task exists");
+        if node.keys.is_global() {
+            if self.last_global == Some(seq) {
+                self.last_global = None;
+            }
+        } else {
+            for &(key, mode) in node.keys.entries() {
+                if let std::collections::hash_map::Entry::Occupied(mut entry) = self.keys.entry(key)
+                {
+                    let users = entry.get_mut();
+                    match mode {
+                        AccessMode::Write => {
+                            if users.last_writer == Some(seq) {
+                                users.last_writer = None;
+                            }
+                        }
+                        AccessMode::Read => users.readers.retain(|r| *r != seq),
+                    }
+                    if users.last_writer.is_none() && users.readers.is_empty() {
+                        entry.remove();
+                    }
+                }
+            }
+        }
+        if self.clients.get(&node.client) == Some(&seq) {
+            self.clients.remove(&node.client);
+        }
+        for dep in node.dependents {
+            let waiter = self.tasks.get_mut(&dep).expect("dependent is incomplete");
+            waiter.unmet -= 1;
+            if waiter.unmet == 0 {
+                let request = waiter.request.take().expect("undispatched request");
+                self.ready.push((dep, request));
+            }
+        }
+    }
+
+    /// Moves up to `max` ready commands into `out` (appending), oldest
+    /// first. Returns how many were moved.
+    pub(crate) fn take_ready(&mut self, out: &mut Vec<(u64, Request)>, max: usize) -> usize {
+        let n = self.ready.len().min(max);
+        out.extend(self.ready.drain(..n));
+        n
+    }
+}
+
+/// A finished command on its way back from a worker.
+struct Completion {
+    seq: u64,
+    id: RequestId,
+    /// `None` when the reply cache suppressed a stale duplicate.
+    reply: Option<Vec<u8>>,
+}
+
+/// The dependency-aware parallel executor: a dependency-graph scheduler
+/// in front of a worker pool executing a shared [`ConflictAwareService`].
+///
+/// The executor is driven by its owning thread: [`ParallelExecutor::submit`]
+/// admits decided commands in log order, [`ParallelExecutor::poll`]
+/// (or [`ParallelExecutor::wait_idle`]) harvests completed replies and
+/// dispatches newly unblocked work. Inside a replica the owning thread
+/// is the ServiceManager; the executor is also usable standalone, which
+/// is how the sequential-vs-parallel equivalence proptests drive it.
+///
+/// Replies are reported in completion order, which preserves each
+/// client's issue order (same-client commands are chained) but is not
+/// globally the log order — exactly the guarantee a replicated service
+/// client gets anyway.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use smr_core::{ConcurrentKvService, KvService, ParallelExecutor};
+/// use smr_types::{ClientId, RequestId, SeqNum};
+/// use smr_wire::Request;
+///
+/// let service = Arc::new(ConcurrentKvService::new(4));
+/// let mut exec = ParallelExecutor::new(service.clone(), 2);
+/// let id = |c, s| RequestId::new(ClientId(c), SeqNum(s));
+/// exec.submit(Request::new(id(1, 0), KvService::put(b"a", b"1")));
+/// exec.submit(Request::new(id(2, 0), KvService::put(b"b", b"2")));
+/// let mut replies = Vec::new();
+/// exec.wait_idle(&mut replies);
+/// assert_eq!(replies.len(), 2);
+/// assert_eq!(service.len(), 2);
+/// exec.shutdown();
+/// ```
+pub struct ParallelExecutor {
+    service: Arc<dyn ConflictAwareService>,
+    graph: DepGraph,
+    work_q: BoundedQueue<(u64, Request)>,
+    done_q: BoundedQueue<Completion>,
+    workers: Vec<JoinHandle<()>>,
+    dispatch_buf: Vec<(u64, Request)>,
+    completion_buf: Vec<Completion>,
+    finished: Vec<(RequestId, Option<Vec<u8>>)>,
+}
+
+impl std::fmt::Debug for ParallelExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelExecutor")
+            .field("workers", &self.workers.len())
+            .field("pending", &self.graph.pending())
+            .finish()
+    }
+}
+
+impl ParallelExecutor {
+    /// Spawns a pool of `workers` threads executing `service`.
+    /// `workers` is clamped to at least 1.
+    pub fn new(service: Arc<dyn ConflictAwareService>, workers: usize) -> Self {
+        Self::with_reply_cache(service, workers, None)
+    }
+
+    /// Like [`ParallelExecutor::new`], with at-most-once semantics: when
+    /// a cache is given, workers consult it before executing (skipping
+    /// already-executed duplicates and resending their cached reply) and
+    /// record every fresh reply. Safe because same-client commands are
+    /// chained, so one client's cache entry is never raced.
+    pub fn with_reply_cache(
+        service: Arc<dyn ConflictAwareService>,
+        workers: usize,
+        cache: Option<Arc<dyn ReplyCache>>,
+    ) -> Self {
+        let workers = workers.max(1);
+        let work_q: BoundedQueue<(u64, Request)> =
+            BoundedQueue::new("ExecDispatchQueue", DISPATCH_CAPACITY);
+        // Sized so a worker's bulk completion push can never block for
+        // long: everything dispatched always fits.
+        let done_q: BoundedQueue<Completion> =
+            BoundedQueue::new("ExecCompletionQueue", DISPATCH_CAPACITY + workers);
+        let handles = (0..workers)
+            .map(|i| {
+                let service = Arc::clone(&service);
+                let cache = cache.clone();
+                let work_q = work_q.clone();
+                let done_q = done_q.clone();
+                std::thread::Builder::new()
+                    .name(format!("ExecWorker-{i}"))
+                    .spawn(move || {
+                        run_worker(&*service, cache.as_deref(), &work_q, &done_q, workers)
+                    })
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        ParallelExecutor {
+            service,
+            graph: DepGraph::new(),
+            work_q,
+            done_q,
+            workers: handles,
+            dispatch_buf: Vec::new(),
+            completion_buf: Vec::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// Commands submitted but not yet completed.
+    pub fn pending(&self) -> usize {
+        self.graph.pending()
+    }
+
+    /// Admits the next command of the decided order: classifies it,
+    /// links it into the dependency graph, and dispatches it (and
+    /// anything a drained completion unblocked) to the worker pool.
+    /// Completed replies accumulate internally until the next
+    /// [`ParallelExecutor::poll`].
+    pub fn submit(&mut self, request: Request) {
+        let keys = self.service.conflict_keys(&request.payload);
+        self.graph.submit(request, keys);
+        self.drain_completions();
+        self.dispatch_ready();
+    }
+
+    /// Harvests completed commands into `out` (appending
+    /// `(request id, reply)` pairs; the reply is `None` when the reply
+    /// cache suppressed a duplicate) and dispatches newly unblocked
+    /// work. Blocks up to `timeout` only when work is in flight and no
+    /// completion is immediately available. Returns the number of pairs
+    /// appended.
+    pub fn poll(
+        &mut self,
+        out: &mut Vec<(RequestId, Option<Vec<u8>>)>,
+        timeout: Duration,
+    ) -> usize {
+        self.poll_impl(out, timeout, None)
+    }
+
+    /// [`ParallelExecutor::poll`] with the wait charged to `handle` as
+    /// [`smr_metrics::ThreadState::Waiting`].
+    pub fn poll_with(
+        &mut self,
+        out: &mut Vec<(RequestId, Option<Vec<u8>>)>,
+        timeout: Duration,
+        handle: &ThreadHandle,
+    ) -> usize {
+        self.poll_impl(out, timeout, Some(handle))
+    }
+
+    fn poll_impl(
+        &mut self,
+        out: &mut Vec<(RequestId, Option<Vec<u8>>)>,
+        timeout: Duration,
+        handle: Option<&ThreadHandle>,
+    ) -> usize {
+        self.drain_completions();
+        if self.finished.is_empty() && self.graph.pending() > 0 && !timeout.is_zero() {
+            // Nothing done yet but something is running (the DAG always
+            // has a dispatched source): wait for the first completion.
+            self.completion_buf.clear();
+            let popped = match handle {
+                Some(h) => {
+                    self.done_q
+                        .pop_wait_all_with(&mut self.completion_buf, usize::MAX, timeout, h)
+                }
+                None => self
+                    .done_q
+                    .pop_wait_all(&mut self.completion_buf, usize::MAX, timeout),
+            };
+            if popped.is_ok() {
+                self.process_completions();
+            }
+        }
+        self.dispatch_ready();
+        let n = self.finished.len();
+        out.append(&mut self.finished);
+        n
+    }
+
+    /// Drives the executor until every submitted command has completed,
+    /// appending all replies to `out`.
+    pub fn wait_idle(&mut self, out: &mut Vec<(RequestId, Option<Vec<u8>>)>) {
+        while self.graph.pending() > 0 {
+            self.poll_impl(out, Duration::from_millis(100), None);
+        }
+        out.append(&mut self.finished);
+    }
+
+    /// Stops the worker pool and joins it. Dropping the executor does
+    /// the same; this form just makes shutdown explicit at call sites.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.work_q.close();
+        self.done_q.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Non-blocking harvest of finished work into the internal buffer.
+    fn drain_completions(&mut self) {
+        self.completion_buf.clear();
+        if self.done_q.try_pop_all(&mut self.completion_buf).is_ok() {
+            self.process_completions();
+        }
+    }
+
+    fn process_completions(&mut self) {
+        for c in self.completion_buf.drain(..) {
+            self.graph.complete(c.seq);
+            self.finished.push((c.id, c.reply));
+        }
+    }
+
+    /// Moves ready commands onto the dispatch queue. The scheduler is
+    /// the queue's only producer, so `capacity - len` space is
+    /// guaranteed still free and the bulk push can never block (which is
+    /// what makes the scheduler/worker loop deadlock-free by
+    /// construction). Commands that do not fit stay in the ready list
+    /// until completions free queue space.
+    fn dispatch_ready(&mut self) {
+        loop {
+            let room = self.work_q.capacity().saturating_sub(self.work_q.len());
+            if room == 0 {
+                return;
+            }
+            self.dispatch_buf.clear();
+            if self.graph.take_ready(&mut self.dispatch_buf, room) == 0 {
+                return;
+            }
+            if self.work_q.push_many(self.dispatch_buf.drain(..)).is_err() {
+                return; // shut down
+            }
+        }
+    }
+}
+
+impl Drop for ParallelExecutor {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The worker loop: drain a burst of dispatched commands, execute each
+/// against the shared service (with at-most-once bookkeeping when a
+/// reply cache is attached), and push the burst's completions back in
+/// one bulk operation.
+///
+/// The burst size adapts to load: roughly `queue depth / pool size`, so
+/// a deep backlog of cheap commands amortizes the queue lock while a
+/// shallow burst of expensive commands still spreads across the whole
+/// pool (a fixed greedy burst would let one worker serialize it).
+fn run_worker(
+    service: &dyn ConflictAwareService,
+    cache: Option<&dyn ReplyCache>,
+    work_q: &BoundedQueue<(u64, Request)>,
+    done_q: &BoundedQueue<Completion>,
+    workers: usize,
+) {
+    let mut in_buf: Vec<(u64, Request)> = Vec::new();
+    let mut out: Vec<Completion> = Vec::new();
+    loop {
+        in_buf.clear();
+        let fair_share = (work_q.len() / workers).clamp(1, WORKER_DRAIN_MAX);
+        match work_q.pop_wait_all(&mut in_buf, fair_share, WORKER_PARK) {
+            Ok(_) => {}
+            Err(PopError::Empty) => continue,
+            Err(PopError::Closed) => return,
+        }
+        for (seq, request) in in_buf.drain(..) {
+            let reply = match cache {
+                Some(c) => match c.check_execute(request.id) {
+                    ExecuteOutcome::Fresh => {
+                        let r = service.execute(&request.payload);
+                        c.record(request.id, r.clone());
+                        Some(r)
+                    }
+                    // Ordered twice (client retry raced the pipeline):
+                    // do not re-execute; resend the cached reply.
+                    ExecuteOutcome::Duplicate(cached) => cached,
+                },
+                None => Some(service.execute(&request.payload)),
+            };
+            out.push(Completion {
+                seq,
+                id: request.id,
+                reply,
+            });
+        }
+        if done_q.push_many(out.drain(..)).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_types::{ClientId, SeqNum};
+
+    fn req(client: u64, seq: u64) -> Request {
+        Request::new(RequestId::new(ClientId(client), SeqNum(seq)), Vec::new())
+    }
+
+    fn ready_seqs(g: &mut DepGraph) -> Vec<u64> {
+        let mut out = Vec::new();
+        g.take_ready(&mut out, usize::MAX);
+        out.into_iter().map(|(s, _)| s).collect()
+    }
+
+    #[test]
+    fn independent_keys_all_ready() {
+        let mut g = DepGraph::new();
+        g.submit(req(1, 0), KeySet::write(10));
+        g.submit(req(2, 0), KeySet::write(11));
+        g.submit(req(3, 0), KeySet::read(12));
+        assert_eq!(ready_seqs(&mut g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn write_write_chain_serializes() {
+        let mut g = DepGraph::new();
+        g.submit(req(1, 0), KeySet::write(10));
+        g.submit(req(2, 0), KeySet::write(10));
+        g.submit(req(3, 0), KeySet::write(10));
+        assert_eq!(ready_seqs(&mut g), vec![0]);
+        g.complete(0);
+        assert_eq!(ready_seqs(&mut g), vec![1]);
+        g.complete(1);
+        assert_eq!(ready_seqs(&mut g), vec![2]);
+        g.complete(2);
+        assert_eq!(g.pending(), 0);
+    }
+
+    #[test]
+    fn readers_share_then_block_writer() {
+        let mut g = DepGraph::new();
+        g.submit(req(1, 0), KeySet::write(10));
+        g.submit(req(2, 0), KeySet::read(10));
+        g.submit(req(3, 0), KeySet::read(10));
+        g.submit(req(4, 0), KeySet::write(10));
+        assert_eq!(ready_seqs(&mut g), vec![0]);
+        g.complete(0);
+        // Both readers unblock together; the writer waits for both.
+        assert_eq!(ready_seqs(&mut g), vec![1, 2]);
+        g.complete(1);
+        assert_eq!(ready_seqs(&mut g), Vec::<u64>::new());
+        g.complete(2);
+        assert_eq!(ready_seqs(&mut g), vec![3]);
+    }
+
+    #[test]
+    fn global_is_a_full_barrier() {
+        let mut g = DepGraph::new();
+        g.submit(req(1, 0), KeySet::write(10));
+        g.submit(req(2, 0), KeySet::write(11));
+        g.submit(req(3, 0), KeySet::global());
+        g.submit(req(4, 0), KeySet::write(12));
+        // Only the two pre-barrier writes run.
+        assert_eq!(ready_seqs(&mut g), vec![0, 1]);
+        g.complete(0);
+        assert_eq!(ready_seqs(&mut g), Vec::<u64>::new());
+        g.complete(1);
+        // The barrier runs alone; the post-barrier write still waits.
+        assert_eq!(ready_seqs(&mut g), vec![2]);
+        g.complete(2);
+        assert_eq!(ready_seqs(&mut g), vec![3]);
+    }
+
+    #[test]
+    fn same_client_chains_even_without_key_conflict() {
+        let mut g = DepGraph::new();
+        g.submit(req(7, 0), KeySet::write(10));
+        g.submit(req(7, 1), KeySet::write(11));
+        assert_eq!(ready_seqs(&mut g), vec![0]);
+        g.complete(0);
+        assert_eq!(ready_seqs(&mut g), vec![1]);
+    }
+
+    #[test]
+    fn empty_keyset_only_chains_on_client() {
+        let mut g = DepGraph::new();
+        g.submit(req(1, 0), KeySet::global());
+        g.submit(req(2, 0), KeySet::new());
+        // The empty-footprint command still waits for the barrier.
+        assert_eq!(ready_seqs(&mut g), vec![0]);
+        g.complete(0);
+        assert_eq!(ready_seqs(&mut g), vec![1]);
+    }
+
+    #[test]
+    fn bookkeeping_is_fully_unwound() {
+        let mut g = DepGraph::new();
+        g.submit(req(1, 0), KeySet::write(10));
+        g.submit(req(1, 1), KeySet::read(10));
+        g.submit(req(2, 0), KeySet::global());
+        let _ = ready_seqs(&mut g);
+        g.complete(0);
+        let _ = ready_seqs(&mut g);
+        g.complete(1);
+        let _ = ready_seqs(&mut g);
+        g.complete(2);
+        assert_eq!(g.pending(), 0);
+        assert!(g.keys.is_empty(), "key map drained");
+        assert!(g.clients.is_empty(), "client map drained");
+        assert!(g.last_global.is_none(), "barrier cleared");
+    }
+
+    #[test]
+    fn executor_runs_conflicting_workload_to_the_sequential_state() {
+        use crate::service::{ConcurrentKvService, KvService, Service};
+        let service = Arc::new(ConcurrentKvService::new(4));
+        let mut exec = ParallelExecutor::new(service.clone(), 3);
+        let mut reference = KvService::new();
+        let mut n = 0u64;
+        for round in 0..40u8 {
+            for key in 0..6u8 {
+                let cmd = if round % 3 == 0 {
+                    KvService::get(&[key])
+                } else {
+                    KvService::put(&[key], &[round, key])
+                };
+                reference.execute(&cmd);
+                exec.submit(Request::new(
+                    RequestId::new(ClientId(u64::from(key) % 3), SeqNum(n)),
+                    cmd,
+                ));
+                n += 1;
+            }
+        }
+        let mut replies = Vec::new();
+        exec.wait_idle(&mut replies);
+        assert_eq!(replies.len(), n as usize);
+        assert_eq!(service.entries(), reference.entries());
+        assert_eq!(service.state_hash(), reference.state_hash());
+        exec.shutdown();
+    }
+
+    #[test]
+    fn executor_with_cache_suppresses_duplicates() {
+        use crate::reply_cache::ShardedReplyCache;
+        use crate::service::{ConcurrentKvService, KvService};
+        let service = Arc::new(ConcurrentKvService::new(4));
+        let cache: Arc<dyn ReplyCache> = Arc::new(ShardedReplyCache::new(4));
+        let mut exec = ParallelExecutor::with_reply_cache(service.clone(), 2, Some(cache));
+        let id = RequestId::new(ClientId(1), SeqNum(0));
+        // The same request ordered twice (a retry raced the pipeline):
+        // it must execute once and reply twice with the same payload.
+        exec.submit(Request::new(id, KvService::put(b"k", b"v")));
+        exec.submit(Request::new(id, KvService::put(b"k", b"v")));
+        let mut replies = Vec::new();
+        exec.wait_idle(&mut replies);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].1, replies[1].1, "cached reply resent");
+        assert_eq!(service.len(), 1);
+        exec.shutdown();
+    }
+}

@@ -33,6 +33,14 @@
 //! * **ServiceManager** (§V-D): the "Replica" thread executing decided
 //!   batches against the [`Service`] and routing replies through the
 //!   sharded [`ShardedReplyCache`].
+//! * **Parallel execution** (beyond the paper): an opt-in
+//!   [`ParallelExecutor`] behind the ServiceManager that runs
+//!   non-conflicting decided commands concurrently on a worker pool,
+//!   scheduling by the per-key footprints a [`ConflictAwareService`]
+//!   declares. Enable it per replica with
+//!   [`ReplicaBuilder::parallel_service`] or per cluster with
+//!   [`InProcessCluster::start_parallel`]; the sequential path stays the
+//!   default.
 //!
 //! # Examples
 //!
@@ -52,6 +60,7 @@
 
 mod client;
 mod cluster;
+mod exec;
 mod reply_cache;
 mod runtime;
 mod service;
@@ -59,9 +68,13 @@ mod shared;
 
 pub use client::{Connector, SmrClient};
 pub use cluster::InProcessCluster;
+pub use exec::ParallelExecutor;
 pub use reply_cache::{
     CacheOutcome, CoarseReplyCache, ExecuteOutcome, ReplyCache, ShardedReplyCache,
 };
 pub use runtime::{Replica, ReplicaBuilder};
-pub use service::{KvService, LockService, NullService, SequencerService, Service};
+pub use service::{
+    ConcurrentKvService, ConflictAwareService, KvService, LockService, NullService,
+    SequencerService, Service,
+};
 pub use shared::SharedState;

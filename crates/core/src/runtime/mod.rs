@@ -20,8 +20,20 @@ use smr_types::{ClusterConfig, ReplicaId, Slot, SmrError};
 use smr_wire::{Batch, ProtocolMsg, Reply, Request};
 
 use crate::reply_cache::{ReplyCache, ShardedReplyCache};
-use crate::service::Service;
+use crate::service::{ConflictAwareService, Service};
 use crate::shared::SharedState;
+
+/// How the ServiceManager executes decided commands.
+enum ServiceMode {
+    /// One thread, strict log order (the paper's architecture; default).
+    Sequential(Box<dyn Service>),
+    /// Dependency-aware parallel execution on a worker pool (see
+    /// [`crate::ParallelExecutor`]).
+    Parallel {
+        service: Arc<dyn ConflictAwareService>,
+        workers: usize,
+    },
+}
 
 /// A message awaiting retransmission (§V-C4).
 #[derive(Debug, Clone)]
@@ -90,7 +102,7 @@ impl Ctx {
 pub struct ReplicaBuilder {
     me: ReplicaId,
     config: ClusterConfig,
-    service: Option<Box<dyn Service>>,
+    service: Option<ServiceMode>,
     network: Option<Arc<dyn ReplicaNetwork>>,
     listener: Option<Box<dyn ClientListener>>,
     metrics: Option<MetricsRegistry>,
@@ -111,9 +123,29 @@ impl ReplicaBuilder {
         }
     }
 
-    /// Sets the replicated service (required).
+    /// Sets the replicated service, executed sequentially in decided-log
+    /// order (required unless [`ReplicaBuilder::parallel_service`] is
+    /// used).
     pub fn service(mut self, service: Box<dyn Service>) -> Self {
-        self.service = Some(service);
+        self.service = Some(ServiceMode::Sequential(service));
+        self
+    }
+
+    /// Sets the replicated service in dependency-aware parallel mode:
+    /// decided commands that do not conflict (per the service's
+    /// [`ConflictAwareService::conflict_keys`] classification) execute
+    /// concurrently on a pool of `workers` threads, conflicting ones in
+    /// decided order. Replaces any service set earlier; `workers` is
+    /// clamped to at least 1.
+    pub fn parallel_service(
+        mut self,
+        service: Arc<dyn ConflictAwareService>,
+        workers: usize,
+    ) -> Self {
+        self.service = Some(ServiceMode::Parallel {
+            service,
+            workers: workers.max(1),
+        });
         self
     }
 
@@ -267,7 +299,14 @@ impl ReplicaBuilder {
             let ctx2 = Arc::clone(&ctx);
             threads.push(spawn(
                 "Replica".into(),
-                Box::new(move || service_manager::run_service_manager(&ctx2, service)),
+                match service {
+                    ServiceMode::Sequential(service) => {
+                        Box::new(move || service_manager::run_service_manager(&ctx2, service))
+                    }
+                    ServiceMode::Parallel { service, workers } => Box::new(move || {
+                        service_manager::run_parallel_service_manager(&ctx2, service, workers)
+                    }),
+                },
             ));
         }
 

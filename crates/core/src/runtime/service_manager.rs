@@ -1,13 +1,23 @@
 //! The ServiceManager module (§V-D): the "Replica" thread of the paper's
-//! per-thread profiles.
+//! per-thread profiles, in both execution modes (sequential by default,
+//! dependency-aware parallel opt-in).
 
-use smr_types::Slot;
+use std::sync::Arc;
+use std::time::Duration;
+
+use smr_metrics::ThreadHandle;
+use smr_types::{RequestId, Slot};
 use smr_wire::{Batch, Reply};
 
+use crate::exec::ParallelExecutor;
 use crate::reply_cache::ExecuteOutcome;
-use crate::service::Service;
+use crate::service::{ConflictAwareService, Service};
 
 use super::Ctx;
+
+/// How long the parallel manager waits for worker completions before
+/// re-checking the DecisionQueue for new work.
+const COMPLETION_POLL: Duration = Duration::from_millis(1);
 
 /// Executes decided batches in log order, updates the reply cache, and
 /// hands replies to the ClientIO threads owning the clients' connections.
@@ -20,6 +30,7 @@ use super::Ctx;
 pub(crate) fn run_service_manager(ctx: &Ctx, mut service: Box<dyn Service>) {
     let handle = ctx.metrics.register_thread("Replica");
     let mut decisions: Vec<(Slot, Batch)> = Vec::new();
+    let mut replies: Vec<(RequestId, Option<Vec<u8>>)> = Vec::new();
     let mut outboxes: Vec<Vec<(u64, Reply)>> =
         (0..ctx.reply_qs.len()).map(|_| Vec::new()).collect();
     loop {
@@ -42,23 +53,89 @@ pub(crate) fn run_service_manager(ctx: &Ctx, mut service: Box<dyn Service>) {
                     // do not re-execute; resend the cached reply.
                     ExecuteOutcome::Duplicate(cached) => cached,
                 };
-                let Some(payload) = reply_payload else {
-                    continue;
-                };
-                let Some((cio, conn)) = ctx.shared.client_route(request.id.client) else {
-                    continue; // client gone or connected elsewhere
-                };
-                outboxes[cio].push((conn, Reply::new(request.id, payload)));
+                replies.push((request.id, reply_payload));
             }
-            for (cio, outbox) in outboxes.iter_mut().enumerate() {
-                if !outbox.is_empty()
-                    && ctx.reply_qs[cio]
-                        .push_many_with(outbox.drain(..), &handle)
-                        .is_err()
-                {
-                    return;
-                }
+            if !route_replies(ctx, &handle, &mut replies, &mut outboxes) {
+                return;
             }
         }
     }
+}
+
+/// The parallel-mode "Replica" thread: same inputs and outputs as
+/// [`run_service_manager`], but decided commands are fed to a
+/// [`ParallelExecutor`] that runs non-conflicting ones concurrently on a
+/// worker pool. At-most-once bookkeeping moves into the workers (the
+/// executor owns the reply-cache interaction), which is safe because the
+/// executor chains same-client commands.
+///
+/// The loop alternates between two waits: empty executor → park on the
+/// DecisionQueue exactly like the sequential path; work in flight →
+/// drain the DecisionQueue without blocking and wait briefly for worker
+/// completions instead, so new decisions keep feeding the DAG while
+/// earlier commands are still executing.
+pub(crate) fn run_parallel_service_manager(
+    ctx: &Ctx,
+    service: Arc<dyn ConflictAwareService>,
+    workers: usize,
+) {
+    let handle = ctx.metrics.register_thread("Replica");
+    let mut exec =
+        ParallelExecutor::with_reply_cache(service, workers, Some(Arc::clone(&ctx.cache)));
+    let mut decisions: Vec<(Slot, Batch)> = Vec::new();
+    let mut replies: Vec<(RequestId, Option<Vec<u8>>)> = Vec::new();
+    let mut outboxes: Vec<Vec<(u64, Reply)>> =
+        (0..ctx.reply_qs.len()).map(|_| Vec::new()).collect();
+    loop {
+        if exec.pending() == 0 {
+            // Idle: park until something is decided (or shutdown).
+            match ctx.decision_q.pop_with(&handle) {
+                Ok(first) => decisions.push(first),
+                Err(_) => return,
+            }
+        }
+        let _ = ctx.decision_q.try_pop_all(&mut decisions);
+        for (_slot, batch) in decisions.drain(..) {
+            for request in batch.requests {
+                exec.submit(request);
+            }
+        }
+        if exec.poll_with(&mut replies, COMPLETION_POLL, &handle) > 0
+            && !route_replies(ctx, &handle, &mut replies, &mut outboxes)
+        {
+            return;
+        }
+    }
+}
+
+/// Routes a burst of executed replies to the ClientIO threads owning the
+/// clients' connections: `None` payloads (duplicates the reply cache
+/// suppressed) and departed clients are skipped, the rest are grouped
+/// per ClientIO thread and flushed with one bulk push each. Returns
+/// `false` when a reply queue has closed (shutdown).
+fn route_replies(
+    ctx: &Ctx,
+    handle: &ThreadHandle,
+    replies: &mut Vec<(RequestId, Option<Vec<u8>>)>,
+    outboxes: &mut [Vec<(u64, Reply)>],
+) -> bool {
+    for (id, payload) in replies.drain(..) {
+        let Some(payload) = payload else {
+            continue;
+        };
+        let Some((cio, conn)) = ctx.shared.client_route(id.client) else {
+            continue; // client gone or connected elsewhere
+        };
+        outboxes[cio].push((conn, Reply::new(id, payload)));
+    }
+    for (cio, outbox) in outboxes.iter_mut().enumerate() {
+        if !outbox.is_empty()
+            && ctx.reply_qs[cio]
+                .push_many_with(outbox.drain(..), handle)
+                .is_err()
+        {
+            return false;
+        }
+    }
+    true
 }

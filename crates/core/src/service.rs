@@ -8,6 +8,11 @@
 //! This module ships all of those shapes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use smr_types::{key_hash, KeySet};
 
 /// A deterministic state machine replicated by the cluster.
 ///
@@ -18,6 +23,68 @@ use std::collections::HashMap;
 pub trait Service: Send + 'static {
     /// Executes one request and returns the reply payload.
     fn execute(&mut self, request: &[u8]) -> Vec<u8>;
+}
+
+/// A [`Service`] that additionally declares, per command, which keys the
+/// command touches — enabling dependency-aware parallel execution.
+///
+/// The parallel executor ([`crate::ParallelExecutor`]) serializes
+/// commands whose [`KeySet`]s conflict (read/write or write/write on a
+/// common key, or either set global) in decided-log order and runs
+/// everything else concurrently on a worker pool. That is only sound if
+/// the implementation upholds two contracts:
+///
+/// 1. **Footprint honesty** ([`ConflictAwareService::conflict_keys`]):
+///    executing a command must read or write *only* state covered by the
+///    keys it declared. Declaring too much costs parallelism; declaring
+///    too little silently breaks replica determinism. When the footprint
+///    cannot be determined from the payload, return [`KeySet::global`].
+/// 2. **Conflict-serialized determinism**
+///    ([`ConflictAwareService::execute`]): `execute` takes `&self` and is
+///    called from several worker threads at once, but never concurrently
+///    for two *conflicting* commands. Given that guarantee, the reply and
+///    the state change must depend only on the current state of the
+///    declared keys and the payload — exactly the [`Service`] determinism
+///    rule, per key instead of per machine.
+///
+/// Any `Arc<impl ConflictAwareService>` is also a plain sequential
+/// [`Service`] (see the blanket impl), so one implementation can run in
+/// both execution modes and be compared for bit-identical state.
+pub trait ConflictAwareService: Send + Sync + 'static {
+    /// Classifies one command: the keys it reads/writes, as hashes
+    /// (use [`smr_types::key_hash`]). Must be a pure function of the
+    /// payload.
+    fn conflict_keys(&self, request: &[u8]) -> KeySet;
+
+    /// Executes one request and returns the reply payload. Called
+    /// concurrently, but never for two conflicting commands at once.
+    fn execute(&self, request: &[u8]) -> Vec<u8>;
+
+    /// A deterministic, iteration-order-independent digest of the full
+    /// service state. Replicas that executed the same decided order must
+    /// report identical digests regardless of execution mode — this is
+    /// what the determinism tests assert.
+    fn state_hash(&self) -> u64;
+}
+
+/// Sequential adapter: a shared conflict-aware service is also a plain
+/// [`Service`], executing on the calling thread. This is what lets the
+/// determinism tests run one implementation in both execution modes.
+impl<S: ConflictAwareService + ?Sized> Service for Arc<S> {
+    fn execute(&mut self, request: &[u8]) -> Vec<u8> {
+        ConflictAwareService::execute(&**self, request)
+    }
+}
+
+/// Combines one key/value pair into the commutative state digest used by
+/// [`ConflictAwareService::state_hash`] implementations. The per-entry
+/// hashes are combined with `wrapping_add`, so the digest is independent
+/// of map iteration order.
+fn entry_hash(key: &[u8], value: &[u8]) -> u64 {
+    key_hash(key)
+        .rotate_left(17)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ key_hash(value)
 }
 
 impl<F> Service for F
@@ -116,6 +183,37 @@ impl KvService {
         }
     }
 
+    /// Classifies a KV command for parallel execution: gets read their
+    /// key, puts and deletes write it; anything unparseable is global
+    /// (conflicts with everything), the conservative safe default.
+    pub fn conflict_keys(request: &[u8]) -> KeySet {
+        match Self::parse(request) {
+            Some((b'G', key, _)) => KeySet::read(key_hash(key)),
+            Some((b'P' | b'D', key, _)) => KeySet::write(key_hash(key)),
+            _ => KeySet::global(),
+        }
+    }
+
+    /// A deterministic, order-independent digest of the store's contents
+    /// (same digest function as [`ConcurrentKvService::state_hash`], so
+    /// the two implementations can be compared).
+    pub fn state_hash(&self) -> u64 {
+        self.map.iter().fold(self.map.len() as u64, |acc, (k, v)| {
+            acc.wrapping_add(entry_hash(k, v))
+        })
+    }
+
+    /// Every key/value pair, sorted by key — for test comparisons.
+    pub fn entries(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all: Vec<_> = self
+            .map
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        all.sort();
+        all
+    }
+
     fn parse(request: &[u8]) -> Option<(u8, &[u8], &[u8])> {
         if request.len() < 3 {
             return None;
@@ -154,6 +252,128 @@ impl Service for KvService {
             },
             _ => vec![0u8],
         }
+    }
+}
+
+/// The replicated key-value store built for parallel execution: the same
+/// command format and replies as [`KvService`], with the map sharded
+/// under fine-grained locks so non-conflicting commands can execute
+/// concurrently on the worker pool.
+///
+/// The per-shard locks are *not* what makes execution deterministic —
+/// the parallel executor's dependency graph already serializes
+/// conflicting commands in decided order. The locks only make concurrent
+/// access to unrelated keys that share a shard memory-safe; which thread
+/// wins such a race is irrelevant because racing commands never touch
+/// the same key.
+///
+/// # Examples
+///
+/// ```
+/// use smr_core::{ConcurrentKvService, KvService};
+///
+/// let kv = ConcurrentKvService::new(4);
+/// use smr_core::ConflictAwareService;
+/// assert_eq!(kv.execute(&KvService::put(b"k", b"v")), vec![0]);
+/// assert_eq!(
+///     KvService::decode_value(&kv.execute(&KvService::get(b"k"))),
+///     Some(b"v".to_vec())
+/// );
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentKvService {
+    shards: Vec<Mutex<HashMap<Vec<u8>, Vec<u8>>>>,
+}
+
+impl Default for ConcurrentKvService {
+    fn default() -> Self {
+        ConcurrentKvService::new(16)
+    }
+}
+
+impl ConcurrentKvService {
+    /// Creates an empty store with `shards` independently locked shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ConcurrentKvService {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<HashMap<Vec<u8>, Vec<u8>>> {
+        &self.shards[(key_hash(key) >> 32) as usize % self.shards.len()]
+    }
+
+    /// Number of keys stored, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every key/value pair, sorted by key — for test comparisons
+    /// against [`KvService::entries`].
+    pub fn entries(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock();
+            all.extend(map.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        all.sort();
+        all
+    }
+}
+
+impl ConflictAwareService for ConcurrentKvService {
+    fn conflict_keys(&self, request: &[u8]) -> KeySet {
+        KvService::conflict_keys(request)
+    }
+
+    fn execute(&self, request: &[u8]) -> Vec<u8> {
+        match KvService::parse(request) {
+            Some((b'P', key, value)) => {
+                let mut shard = self.shard(key).lock();
+                match shard.insert(key.to_vec(), value.to_vec()) {
+                    Some(old) => KvService::found(&old),
+                    None => vec![0u8],
+                }
+            }
+            Some((b'G', key, _)) => {
+                let shard = self.shard(key).lock();
+                match shard.get(key) {
+                    Some(v) => KvService::found(v),
+                    None => vec![0u8],
+                }
+            }
+            Some((b'D', key, _)) => {
+                let mut shard = self.shard(key).lock();
+                match shard.remove(key) {
+                    Some(old) => KvService::found(&old),
+                    None => vec![0u8],
+                }
+            }
+            _ => vec![0u8],
+        }
+    }
+
+    fn state_hash(&self) -> u64 {
+        let mut acc = 0u64;
+        let mut count = 0u64;
+        for shard in &self.shards {
+            let map = shard.lock();
+            count += map.len() as u64;
+            for (k, v) in map.iter() {
+                acc = acc.wrapping_add(entry_hash(k, v));
+            }
+        }
+        count.wrapping_add(acc)
     }
 }
 

@@ -1,0 +1,167 @@
+//! End-to-end tests of the opt-in parallel execution mode inside the
+//! full replica runtime: a cluster whose ServiceManagers schedule
+//! decided commands onto worker pools must be indistinguishable — to
+//! clients and across replicas — from the default sequential cluster.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smr_core::{ConcurrentKvService, ConflictAwareService, InProcessCluster, KvService};
+use smr_types::{ClusterConfig, ReplicaId};
+
+fn small_config(n: usize) -> ClusterConfig {
+    ClusterConfig::builder(n)
+        .heartbeat_interval(Duration::from_millis(40))
+        .suspect_timeout(Duration::from_millis(200))
+        .build()
+        .unwrap()
+}
+
+/// Runs `ops` through a fresh cluster and returns the replies.
+fn run_workload(cluster: &InProcessCluster, ops: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let mut client = cluster.client();
+    ops.iter().map(|op| client.execute(op).unwrap()).collect()
+}
+
+fn workload() -> Vec<Vec<u8>> {
+    // Conflict-heavy: 8 keys, interleaved puts/gets/deletes.
+    let mut ops = Vec::new();
+    for round in 0..30u8 {
+        for key in 0..8u8 {
+            let k = [b'k', key];
+            ops.push(match (round + key) % 4 {
+                0 | 1 => KvService::put(&k, &[round, key]),
+                2 => KvService::get(&k),
+                _ => KvService::delete(&k),
+            });
+        }
+    }
+    ops
+}
+
+/// Waits until every replica's service has converged to one state hash
+/// (followers apply decisions asynchronously) and returns it.
+fn converged_hash(services: &[Arc<ConcurrentKvService>]) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let hashes: Vec<u64> = services.iter().map(|s| s.state_hash()).collect();
+        if hashes.windows(2).all(|w| w[0] == w[1]) {
+            return hashes[0];
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replicas did not converge: {hashes:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn parallel_cluster_serves_the_kv_contract() {
+    let cluster = InProcessCluster::start_parallel(
+        small_config(3),
+        |_| Arc::new(ConcurrentKvService::default()) as _,
+        4,
+    );
+    let mut client = cluster.client();
+    for i in 0..50u32 {
+        let key = format!("key-{}", i % 10);
+        let value = format!("value-{i}");
+        client
+            .execute(&KvService::put(key.as_bytes(), value.as_bytes()))
+            .unwrap();
+    }
+    for i in 40..50u32 {
+        let key = format!("key-{}", i % 10);
+        let got = client.execute(&KvService::get(key.as_bytes())).unwrap();
+        assert_eq!(
+            KvService::decode_value(&got),
+            Some(format!("value-{i}").into_bytes())
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn sequential_and_parallel_modes_produce_identical_state_and_replies() {
+    let ops = workload();
+
+    // Sequential mode, plain KvService.
+    let seq_services: Vec<Arc<ConcurrentKvService>> = (0..3)
+        .map(|_| Arc::new(ConcurrentKvService::default()))
+        .collect();
+    let seq_cluster = {
+        let services = seq_services.clone();
+        // The sequential cluster runs the *same* service type through the
+        // blanket `Service for Arc<S: ConflictAwareService>` adapter, so
+        // the comparison isolates the execution mode.
+        InProcessCluster::start(small_config(3), move |id: ReplicaId| {
+            Box::new(Arc::clone(&services[id.index()]))
+        })
+    };
+    let seq_replies = run_workload(&seq_cluster, &ops);
+    let seq_hash = converged_hash(&seq_services);
+    seq_cluster.shutdown();
+
+    // Parallel mode, 4 workers.
+    let par_services: Vec<Arc<ConcurrentKvService>> = (0..3)
+        .map(|_| Arc::new(ConcurrentKvService::default()))
+        .collect();
+    let par_cluster = {
+        let services = par_services.clone();
+        InProcessCluster::start_parallel(
+            small_config(3),
+            move |id: ReplicaId| Arc::clone(&services[id.index()]) as _,
+            4,
+        )
+    };
+    let par_replies = run_workload(&par_cluster, &ops);
+    let par_hash = converged_hash(&par_services);
+    par_cluster.shutdown();
+
+    assert_eq!(seq_replies, par_replies, "same replies in both modes");
+    assert_eq!(seq_hash, par_hash, "same final state in both modes");
+    assert_eq!(
+        seq_services[0].entries(),
+        par_services[0].entries(),
+        "bit-identical entries"
+    );
+}
+
+#[test]
+fn parallel_replicas_agree_under_concurrent_clients() {
+    let services: Vec<Arc<ConcurrentKvService>> = (0..3)
+        .map(|_| Arc::new(ConcurrentKvService::default()))
+        .collect();
+    let cluster = {
+        let services = services.clone();
+        Arc::new(InProcessCluster::start_parallel(
+            small_config(3),
+            move |id: ReplicaId| Arc::clone(&services[id.index()]) as _,
+            4,
+        ))
+    };
+    // Several clients race on an overlapping key space.
+    let threads: Vec<_> = (0..6u8)
+        .map(|c| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let mut client = cluster.client();
+                for i in 0..40u8 {
+                    let key = [b'k', i % 5];
+                    let op = if i % 3 == 0 {
+                        KvService::get(&key)
+                    } else {
+                        KvService::put(&key, &[c, i])
+                    };
+                    client.execute(&op).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    converged_hash(&services); // asserts agreement
+    Arc::try_unwrap(cluster).unwrap().shutdown();
+}

@@ -1,0 +1,228 @@
+//! Command classification for dependency-aware parallel execution.
+//!
+//! The parallel executor (in `smr-core`) runs decided commands
+//! concurrently when they cannot observe each other, and serializes them
+//! when they can. Whether two commands *can* observe each other is a
+//! property of the service, not of the replication layer, so the service
+//! declares it: every command maps to a [`KeySet`] — the keys it reads
+//! and writes, as 64-bit hashes — and two commands conflict iff their key
+//! sets conflict (see [`KeySet::conflicts_with`]).
+//!
+//! The classification follows the standard read/write rule from the
+//! parallel state-machine-replication literature ("Rethinking
+//! State-Machine Replication for Parallelism", "Early Scheduling in
+//! Parallel State Machine Replication"):
+//!
+//! * **read/read** on the same key — no conflict, may run concurrently;
+//! * **read/write** or **write/write** on the same key — conflict, must
+//!   execute in decided-log order;
+//! * a **global** command (see [`KeySet::global`]) conflicts with
+//!   everything — the safe classification for commands whose footprint
+//!   cannot be determined from the payload (unparseable requests,
+//!   whole-state scans, schema changes).
+//!
+//! Keys are compared by 64-bit hash ([`key_hash`]), never by value: a
+//! hash collision between two distinct keys only creates a *false*
+//! conflict, which costs parallelism but never correctness.
+//!
+//! # Examples
+//!
+//! ```
+//! use smr_types::{key_hash, AccessMode, KeySet};
+//!
+//! let put_a = KeySet::write(key_hash(b"a"));
+//! let get_a = KeySet::read(key_hash(b"a"));
+//! let get_b = KeySet::read(key_hash(b"b"));
+//! assert!(put_a.conflicts_with(&get_a), "write/read on one key");
+//! assert!(!get_a.conflicts_with(&get_b), "different keys");
+//! assert!(!get_a.conflicts_with(&get_a.clone()), "read/read");
+//! assert!(KeySet::global().conflicts_with(&get_b), "global vs anything");
+//! ```
+
+/// How a command touches one key: reads may share, writes exclude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// The command observes the key's state without changing it.
+    Read,
+    /// The command may change the key's state (includes read-modify-write
+    /// and delete).
+    Write,
+}
+
+impl AccessMode {
+    /// Whether two accesses to the *same* key conflict: everything except
+    /// read/read.
+    pub fn conflicts_with(self, other: AccessMode) -> bool {
+        !(self == AccessMode::Read && other == AccessMode::Read)
+    }
+}
+
+/// The declared footprint of one command: which keys it touches and how.
+///
+/// Built by the service's classifier, consumed by the parallel
+/// executor's dependency tracker. An empty key set means the command
+/// touches no shared state and conflicts with nothing; a *global* key
+/// set means the footprint is unknown and conflicts with everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KeySet {
+    entries: Vec<(u64, AccessMode)>,
+    global: bool,
+}
+
+impl KeySet {
+    /// An empty key set: the command touches no shared state.
+    pub fn new() -> Self {
+        KeySet::default()
+    }
+
+    /// A key set reading exactly one key.
+    pub fn read(key: u64) -> Self {
+        let mut s = KeySet::new();
+        s.add_read(key);
+        s
+    }
+
+    /// A key set writing exactly one key.
+    pub fn write(key: u64) -> Self {
+        let mut s = KeySet::new();
+        s.add_write(key);
+        s
+    }
+
+    /// The conservative classification: conflicts with every other
+    /// command. Use for commands whose footprint cannot be determined.
+    pub fn global() -> Self {
+        KeySet {
+            entries: Vec::new(),
+            global: true,
+        }
+    }
+
+    /// Adds a key read in place.
+    pub fn add_read(&mut self, key: u64) {
+        self.add(key, AccessMode::Read);
+    }
+
+    /// Adds a key write in place.
+    pub fn add_write(&mut self, key: u64) {
+        self.add(key, AccessMode::Write);
+    }
+
+    /// Adds an access, merging duplicates (a write subsumes a read of the
+    /// same key, so `entries` holds at most one entry per key).
+    pub fn add(&mut self, key: u64, mode: AccessMode) {
+        for entry in &mut self.entries {
+            if entry.0 == key {
+                if mode == AccessMode::Write {
+                    entry.1 = AccessMode::Write;
+                }
+                return;
+            }
+        }
+        self.entries.push((key, mode));
+    }
+
+    /// The merged `(key hash, access)` entries, at most one per key.
+    /// Empty for [`KeySet::global`] sets — check [`KeySet::is_global`]
+    /// first.
+    pub fn entries(&self) -> &[(u64, AccessMode)] {
+        &self.entries
+    }
+
+    /// Whether this is the conflicts-with-everything classification.
+    pub fn is_global(&self) -> bool {
+        self.global
+    }
+
+    /// Whether the command declared no footprint at all (and is not
+    /// global): it conflicts with nothing.
+    pub fn is_empty(&self) -> bool {
+        !self.global && self.entries.is_empty()
+    }
+
+    /// Whether two commands with these footprints must execute in decided
+    /// order: either is global, or they access a common key and at least
+    /// one of the accesses is a write.
+    pub fn conflicts_with(&self, other: &KeySet) -> bool {
+        if self.global || other.global {
+            return true;
+        }
+        self.entries.iter().any(|(k, m)| {
+            other
+                .entries
+                .iter()
+                .any(|(ok, om)| k == ok && m.conflicts_with(*om))
+        })
+    }
+}
+
+/// Hashes a key's bytes to the 64-bit space [`KeySet`] works in
+/// (FNV-1a). Deterministic across replicas, platforms, and runs — a
+/// requirement, since every replica must build the identical dependency
+/// graph from the identical decided order.
+pub fn key_hash(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_read_does_not_conflict() {
+        let a = KeySet::read(1);
+        let b = KeySet::read(1);
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn write_conflicts_with_read_and_write() {
+        assert!(KeySet::write(1).conflicts_with(&KeySet::read(1)));
+        assert!(KeySet::read(1).conflicts_with(&KeySet::write(1)));
+        assert!(KeySet::write(1).conflicts_with(&KeySet::write(1)));
+    }
+
+    #[test]
+    fn distinct_keys_never_conflict() {
+        assert!(!KeySet::write(1).conflicts_with(&KeySet::write(2)));
+    }
+
+    #[test]
+    fn global_conflicts_with_everything() {
+        assert!(KeySet::global().conflicts_with(&KeySet::new()));
+        assert!(KeySet::new().conflicts_with(&KeySet::global()));
+        assert!(KeySet::global().conflicts_with(&KeySet::global()));
+        assert!(KeySet::global().is_global());
+    }
+
+    #[test]
+    fn empty_conflicts_with_nothing_but_global() {
+        let empty = KeySet::new();
+        assert!(empty.is_empty());
+        assert!(!empty.conflicts_with(&KeySet::write(1)));
+        assert!(!empty.conflicts_with(&KeySet::new()));
+    }
+
+    #[test]
+    fn write_subsumes_read_of_same_key() {
+        let mut s = KeySet::read(7);
+        s.add_write(7);
+        assert_eq!(s.entries(), &[(7, AccessMode::Write)]);
+        let mut s = KeySet::write(7);
+        s.add_read(7);
+        assert_eq!(s.entries(), &[(7, AccessMode::Write)]);
+    }
+
+    #[test]
+    fn key_hash_is_stable_and_spreads() {
+        // Pinned value: replicas on different machines must agree.
+        assert_eq!(key_hash(b""), 0xCBF2_9CE4_8422_2325);
+        assert_ne!(key_hash(b"a"), key_hash(b"b"));
+        assert_ne!(key_hash(b"ab"), key_hash(b"ba"));
+    }
+}

@@ -4,8 +4,9 @@
 //! This crate is deliberately tiny and dependency-free: it defines the
 //! vocabulary of the system — who the replicas are ([`ReplicaId`]), how
 //! consensus instances are numbered ([`Slot`]), how leadership epochs are
-//! ordered ([`View`]), and how a deployment is described
-//! ([`ClusterConfig`]).
+//! ordered ([`View`]), how a deployment is described ([`ClusterConfig`]),
+//! and how commands declare the keys they touch for dependency-aware
+//! parallel execution ([`KeySet`]).
 //!
 //! # Examples
 //!
@@ -19,9 +20,11 @@
 //! ```
 
 mod config;
+mod conflict;
 mod error;
 mod ids;
 
 pub use config::{BatchPolicy, ClusterConfig, ClusterConfigBuilder, RetransmitPolicy};
+pub use conflict::{key_hash, AccessMode, KeySet};
 pub use error::{ConfigError, SmrError};
 pub use ids::{ClientId, ReplicaId, RequestId, SeqNum, Slot, View};

@@ -2,9 +2,9 @@
 //!
 //! Implements the subset of the proptest 1.x API this workspace's tests
 //! use: the [`proptest!`] test macro with `#![proptest_config(..)]`,
-//! [`Strategy`] with `prop_map`, [`any`], integer-range strategies, tuple
-//! strategies, [`collection::vec`], [`option::of`], [`prop_oneof!`] and
-//! the `prop_assert*` macros.
+//! [`strategy::Strategy`] with `prop_map`, [`arbitrary::any`],
+//! integer-range strategies, tuple strategies, [`collection::vec`],
+//! [`option::of`], [`prop_oneof!`] and the `prop_assert*` macros.
 //!
 //! Differences from the real crate, by design:
 //!

@@ -29,6 +29,10 @@ const STALL: Duration = Duration::from_micros(150);
 const STALL_NONE: Duration = Duration::ZERO;
 /// Worker pool for the stall-heavy parallel case.
 const STALL_WORKERS: usize = 8;
+/// KV entries in the snapshot write/restore measurements.
+const SNAP_KEYS: u64 = 10_000;
+/// WAL batches (8 requests each) in the recovery-replay measurement.
+const REPLAY_BATCHES: u64 = 4_000;
 
 fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
@@ -187,6 +191,22 @@ fn main() {
     let stall_ratio = stall_par / stall_seq;
     println!("exec stall parallel/sequential{:>12.2} x", stall_ratio);
 
+    // Durability path: snapshot serialization/deserialization over a
+    // populated KV state, and cold-start WAL recovery (open + CRC scan +
+    // replay), the crash-recovery critical path.
+    let snap_write = measure_throughput(5, || smr_bench::snapshot_write(SNAP_KEYS, 20));
+    println!(
+        "snapshot write 10k entries    {:>12.0} entries/s",
+        snap_write
+    );
+    let snap_restore = measure_throughput(5, || smr_bench::snapshot_restore(SNAP_KEYS, 20));
+    println!(
+        "snapshot restore 10k entries  {:>12.0} entries/s",
+        snap_restore
+    );
+    let replay = measure_throughput(5, || smr_bench::recovery_replay(REPLAY_BATCHES, 8));
+    println!("recovery replay wal 8/batch   {:>12.0} reqs/s", replay);
+
     let mut json = String::from("{\n");
     let mut field = |name: &str, value: f64| {
         let _ = writeln!(json, "  \"{}\": {},", name, json_number(value));
@@ -206,7 +226,10 @@ fn main() {
     field("exec_stall_sequential_cmds_per_s", stall_seq);
     field("exec_stall_parallel8_cmds_per_s", stall_par);
     field("exec_stall_parallel_over_sequential", stall_ratio);
-    json.push_str("  \"workload\": \"4x4 MPMC, burst 64, batch 8x128B, crc 4KiB, 8 closed-loop clients x 2s, exec 2000 cmds x 2000 hash rounds + 512 cmds x 150us stall\"\n}\n");
+    field("snapshot_write_10k_entries_per_s", snap_write);
+    field("snapshot_restore_10k_entries_per_s", snap_restore);
+    field("recovery_replay_wal_reqs_per_s", replay);
+    json.push_str("  \"workload\": \"4x4 MPMC, burst 64, batch 8x128B, crc 4KiB, 8 closed-loop clients x 2s, exec 2000 cmds x 2000 hash rounds + 512 cmds x 150us stall, snapshot 10k entries x 20, replay 4000 wal batches x 8\"\n}\n");
     std::fs::write(&out_path, json).expect("write snapshot");
     println!("wrote {out_path}");
 }

@@ -19,7 +19,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use smr_core::{ConcurrentKvService, ConflictAwareService, KvService, ParallelExecutor};
+use smr_core::{
+    ConcurrentKvService, ConflictAwareService, KvService, ParallelExecutor, ServiceState,
+};
 use smr_types::{ClientId, KeySet, RequestId, SeqNum};
 use smr_wire::Request;
 
@@ -75,7 +77,9 @@ impl ConflictAwareService for CpuHashService {
         }
         self.store.execute(request)
     }
+}
 
+impl ServiceState for CpuHashService {
     fn state_hash(&self) -> u64 {
         self.store.state_hash()
     }

@@ -15,8 +15,10 @@ use std::time::Duration;
 use smr_queue::{BoundedQueue, PopError};
 
 mod exec;
+mod recovery;
 
 pub use exec::{exec_parallel, exec_sequential, CpuHashService};
+pub use recovery::{recovery_replay, snapshot_restore, snapshot_write};
 
 /// Uncontended harness: `pairs` scalar push+pop round trips on one
 /// thread. Returns `(items_moved, elapsed)`.

@@ -1,0 +1,91 @@
+//! Harnesses for the durability measurements in `bench_snapshot`:
+//! snapshot write/restore over a populated KV service, and cold-start
+//! recovery replay straight from a write-ahead log on disk.
+
+use std::time::{Duration, Instant};
+
+use smr_core::{KvService, Service, SnapshotService};
+use smr_storage::Storage;
+use smr_types::{ClientId, RequestId, SeqNum, Slot};
+use smr_wire::{Batch, Request};
+
+/// A KV service populated with `keys` distinct 16-byte-value entries.
+fn populated(keys: u64) -> KvService {
+    let mut service = KvService::new();
+    for i in 0..keys {
+        service.execute(&KvService::put(&i.to_le_bytes(), &[0xAB; 16]));
+    }
+    service
+}
+
+/// Snapshot-write throughput: serializes the full state of a service
+/// holding `keys` entries, `iters` times. Returns `(entries_serialized,
+/// elapsed)` — entries/second is the paper-style rate for sizing how
+/// often a replica can afford to checkpoint.
+pub fn snapshot_write(keys: u64, iters: u64) -> (u64, Duration) {
+    let service = populated(keys);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(service.snapshot());
+    }
+    (keys * iters, start.elapsed())
+}
+
+/// Snapshot-restore throughput: deserializes one snapshot of `keys`
+/// entries into a fresh service, `iters` times. Returns
+/// `(entries_restored, elapsed)` — the rate bounding how fast a lagging
+/// replica can install a transferred snapshot.
+pub fn snapshot_restore(keys: u64, iters: u64) -> (u64, Duration) {
+    let blob = populated(keys).snapshot();
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut service = KvService::new();
+        service.restore(&blob).expect("restore benchmark snapshot");
+        std::hint::black_box(&service);
+    }
+    (keys * iters, start.elapsed())
+}
+
+/// Recovery-replay throughput: writes `batches` WAL batches of
+/// `per_batch` puts to a scratch directory, then measures a cold
+/// [`Storage::open`] (segment scan, CRC verification, decode) plus
+/// sequential re-execution of the tail — the full crash-recovery path
+/// minus the thread spawn. Returns `(requests_replayed, elapsed)`.
+pub fn recovery_replay(batches: u64, per_batch: u64) -> (u64, Duration) {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "smr-bench-replay-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    {
+        let (mut storage, _) = Storage::open(&dir).expect("open scratch wal");
+        for b in 0..batches {
+            let requests = (0..per_batch)
+                .map(|i| {
+                    let n = b * per_batch + i;
+                    Request::new(
+                        RequestId::new(ClientId(n % 64 + 1), SeqNum(n / 64)),
+                        KvService::put(&n.to_le_bytes(), &[0xCD; 16]),
+                    )
+                })
+                .collect();
+            storage.append(Slot(b), &Batch::new(requests)).unwrap();
+        }
+        storage.sync().unwrap();
+    }
+    let start = Instant::now();
+    let (_storage, recovered) = Storage::open(&dir).expect("recover scratch wal");
+    let mut service = KvService::new();
+    let mut replayed = 0u64;
+    for (_slot, batch) in &recovered.tail {
+        for request in &batch.requests {
+            std::hint::black_box(service.execute(&request.payload));
+            replayed += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(replayed, batches * per_batch, "whole tail replayed");
+    let _ = std::fs::remove_dir_all(&dir);
+    (replayed, elapsed)
+}

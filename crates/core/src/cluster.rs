@@ -1,7 +1,11 @@
 //! An in-process cluster: n replicas over the in-memory fabric.
 //!
 //! The one-call way to stand up a replicated service for tests, examples,
-//! and benches.
+//! and benches. Replicas can be stopped and restarted in place
+//! ([`InProcessCluster::stop_replica`],
+//! [`InProcessCluster::restart_replica`]), which is how the crash-recovery
+//! tests kill a replica mid-workload and bring it back from its durable
+//! directory.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -30,7 +34,10 @@ use crate::service::{ConflictAwareService, Service};
 /// ```
 pub struct InProcessCluster {
     hub: MemoryHub,
-    replicas: Vec<Replica>,
+    /// `None` while a replica is stopped (between
+    /// [`stop_replica`](InProcessCluster::stop_replica) and
+    /// [`restart_replica`](InProcessCluster::restart_replica)).
+    replicas: Vec<Option<Replica>>,
     config: ClusterConfig,
     next_client: AtomicU64,
 }
@@ -55,31 +62,16 @@ impl InProcessCluster {
         config: ClusterConfig,
         service_factory: impl Fn(ReplicaId) -> Box<dyn Service>,
     ) -> Self {
-        let hub = MemoryHub::new(config.n(), 0xC0FF_EE00);
-        let replicas = config
-            .replicas()
-            .map(|id| {
-                ReplicaBuilder::new(id, config.clone())
-                    .service(service_factory(id))
-                    .network(std::sync::Arc::new(hub.replica_network(id)))
-                    .client_listener(Box::new(hub.client_listener(id)))
-                    .start()
-                    .expect("replica starts")
-            })
-            .collect();
-        InProcessCluster {
-            hub,
-            replicas,
-            config,
-            next_client: AtomicU64::new(1),
-        }
+        Self::start_with(config, move |id, builder| {
+            builder.with_service(service_factory(id))
+        })
     }
 
     /// Like [`InProcessCluster::start`], but every replica runs its
     /// service in dependency-aware parallel execution mode with a pool
     /// of `workers` threads (see
-    /// [`crate::ReplicaBuilder::parallel_service`]). All replicas still
-    /// converge to identical state: conflicting commands execute in
+    /// [`crate::ReplicaBuilder::with_parallel_service`]). All replicas
+    /// still converge to identical state: conflicting commands execute in
     /// decided order everywhere.
     ///
     /// # Panics
@@ -91,16 +83,37 @@ impl InProcessCluster {
         service_factory: impl Fn(ReplicaId) -> std::sync::Arc<dyn ConflictAwareService>,
         workers: usize,
     ) -> Self {
+        Self::start_with(config, move |id, builder| {
+            builder.with_parallel_service(service_factory(id), workers)
+        })
+    }
+
+    /// The fully general entry point: starts `config.n()` replicas, each
+    /// configured by `customize` on a builder that is already wired to
+    /// the in-memory fabric. The customizer must set a service; it may
+    /// also add durability, compaction, metrics, and so on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replica fails to start — with a customizer this can
+    /// be a real configuration error (say, durability without a
+    /// snapshot-capable service), reported in the panic message.
+    pub fn start_with(
+        config: ClusterConfig,
+        mut customize: impl FnMut(ReplicaId, ReplicaBuilder) -> ReplicaBuilder,
+    ) -> Self {
         let hub = MemoryHub::new(config.n(), 0xC0FF_EE00);
         let replicas = config
             .replicas()
             .map(|id| {
-                ReplicaBuilder::new(id, config.clone())
-                    .parallel_service(service_factory(id), workers)
-                    .network(std::sync::Arc::new(hub.replica_network(id)))
-                    .client_listener(Box::new(hub.client_listener(id)))
-                    .start()
-                    .expect("replica starts")
+                let builder = ReplicaBuilder::new(id, config.clone())
+                    .with_network(std::sync::Arc::new(hub.replica_network(id)))
+                    .with_client_listener(Box::new(hub.client_listener(id)));
+                Some(
+                    customize(id, builder)
+                        .start()
+                        .unwrap_or_else(|e| panic!("replica {id} failed to start: {e}")),
+                )
             })
             .collect();
         InProcessCluster {
@@ -122,8 +135,14 @@ impl InProcessCluster {
     }
 
     /// Access to a running replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is currently stopped.
     pub fn replica(&self, id: ReplicaId) -> &Replica {
-        &self.replicas[id.index()]
+        self.replicas[id.index()]
+            .as_ref()
+            .expect("replica is running")
     }
 
     /// A new client with an auto-assigned id and test-friendly timeouts.
@@ -155,9 +174,46 @@ impl InProcessCluster {
         self.hub.isolate(replica, false);
     }
 
-    /// Shuts down every replica and the fabric.
+    /// Kills a replica outright: its threads stop and join, its network
+    /// endpoint detaches (the fabric stays up for the others). Anything
+    /// not persisted to a durable directory is gone — exactly the crash
+    /// model the recovery tests need. No-op if already stopped.
+    pub fn stop_replica(&mut self, id: ReplicaId) {
+        if let Some(replica) = self.replicas[id.index()].take() {
+            replica.shutdown();
+        }
+    }
+
+    /// Brings a stopped replica back with a fresh network endpoint,
+    /// configured by `customize` (typically the same closure the cluster
+    /// was started with, pointing at the same durable directory so the
+    /// replica recovers its pre-crash state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is still running or fails to start.
+    pub fn restart_replica(
+        &mut self,
+        id: ReplicaId,
+        customize: impl FnOnce(ReplicaId, ReplicaBuilder) -> ReplicaBuilder,
+    ) {
+        assert!(
+            self.replicas[id.index()].is_none(),
+            "replica {id} is still running; stop_replica first"
+        );
+        let builder = ReplicaBuilder::new(id, self.config.clone())
+            .with_network(std::sync::Arc::new(self.hub.replica_network(id)))
+            .with_client_listener(Box::new(self.hub.client_listener(id)));
+        self.replicas[id.index()] = Some(
+            customize(id, builder)
+                .start()
+                .unwrap_or_else(|e| panic!("replica {id} failed to restart: {e}")),
+        );
+    }
+
+    /// Shuts down every running replica and the fabric.
     pub fn shutdown(self) {
-        for r in self.replicas {
+        for r in self.replicas.into_iter().flatten() {
             r.shutdown();
         }
         self.hub.shutdown();

@@ -674,7 +674,7 @@ mod tests {
 
     #[test]
     fn executor_runs_conflicting_workload_to_the_sequential_state() {
-        use crate::service::{ConcurrentKvService, KvService, Service};
+        use crate::service::{ConcurrentKvService, KvService, Service, ServiceState};
         let service = Arc::new(ConcurrentKvService::new(4));
         let mut exec = ParallelExecutor::new(service.clone(), 3);
         let mut reference = KvService::new();

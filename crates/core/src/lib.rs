@@ -38,9 +38,16 @@
 //!   non-conflicting decided commands concurrently on a worker pool,
 //!   scheduling by the per-key footprints a [`ConflictAwareService`]
 //!   declares. Enable it per replica with
-//!   [`ReplicaBuilder::parallel_service`] or per cluster with
+//!   [`ReplicaBuilder::with_parallel_service`] or per cluster with
 //!   [`InProcessCluster::start_parallel`]; the sequential path stays the
 //!   default.
+//! * **Durability & recovery** (beyond the paper): services implementing
+//!   [`SnapshotService`] (or [`SharedSnapshotService`] in parallel mode)
+//!   can persist a write-ahead log and periodic snapshots via
+//!   [`ReplicaBuilder::with_durability`]; on restart the replica rebuilds
+//!   its state from disk before serving. Snapshots also drive log
+//!   compaction ([`smr_types::CompactionPolicy`]) and let lagging peers
+//!   catch up by state transfer instead of slot-by-slot replay.
 //!
 //! # Examples
 //!
@@ -75,6 +82,7 @@ pub use reply_cache::{
 pub use runtime::{Replica, ReplicaBuilder};
 pub use service::{
     ConcurrentKvService, ConflictAwareService, KvService, LockService, NullService,
-    SequencerService, Service,
+    RecoverableService, SequencerService, Service, ServiceState, SharedSnapshotService,
+    SnapshotService,
 };
 pub use shared::SharedState;

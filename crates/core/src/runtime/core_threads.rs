@@ -9,7 +9,7 @@ use smr_queue::PopError;
 use smr_types::{Slot, View};
 use smr_wire::{Batch, ProtocolMsg, Request};
 
-use super::{Ctx, RetransmitEntry};
+use super::{Ctx, Decision, RetransmitEntry};
 
 /// Most requests the Batcher moves out of the RequestQueue per lock
 /// acquisition.
@@ -70,18 +70,36 @@ pub(crate) fn run_batcher(ctx: &Ctx) {
 pub(crate) fn run_protocol(ctx: &Ctx) {
     let handle = ctx.metrics.register_thread("Protocol");
     let mut core = PaxosReplica::new(ctx.me, ctx.config.clone());
+    core.set_compaction(ctx.compaction);
     let mut actions = Vec::new();
-    let mut deliveries: Vec<(Slot, Batch)> = Vec::new();
+    let mut deliveries: Vec<Decision> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
     core.handle(Event::Init, ctx.shared.now_ns(), &mut actions);
     if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
         return;
+    }
+    // The ServiceManager publishes snapshots through the SnapshotStore;
+    // the watermark atomic is the Protocol thread's cue to fast-forward
+    // past recovered state and compact the in-memory log.
+    let mut seen_watermark = ctx.snapshots.watermark();
+    if seen_watermark > Slot::ZERO {
+        core.note_snapshot(seen_watermark);
+        publish(ctx, &core);
     }
     let tick_every = Duration::from_millis(25);
     let mut last_tick = Instant::now();
     loop {
         if ctx.is_shutdown() {
             return;
+        }
+        let watermark = ctx.snapshots.watermark();
+        if watermark > seen_watermark {
+            seen_watermark = watermark;
+            core.note_snapshot(watermark);
+            if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
+                return;
+            }
+            publish(ctx, &core);
         }
         // Pull proposals whenever the pipelining window has room. The
         // Batcher prepares batches concurrently (§V-C1), so starting a new
@@ -110,6 +128,20 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
         ) {
             Ok(_) => {
                 for event in events.drain(..) {
+                    // A service that cannot restore a snapshot must not
+                    // install one: drop peer snapshots on the floor and
+                    // keep catching up slot by slot.
+                    if !ctx.snapshot_capable
+                        && matches!(
+                            &event,
+                            Event::Message {
+                                msg: ProtocolMsg::Snapshot { .. },
+                                ..
+                            }
+                        )
+                    {
+                        continue;
+                    }
                     core.handle(event, ctx.shared.now_ns(), &mut actions);
                     if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
                         return;
@@ -135,18 +167,37 @@ fn publish(ctx: &Ctx, core: &PaxosReplica) {
 }
 
 /// Carries out the state machine's actions. `deliveries` is a reusable
-/// scratch buffer: `Deliver` decisions are staged there and handed to the
-/// DecisionQueue in one bulk push per action batch. Returns `Err(())`
-/// when the replica is shutting down.
+/// scratch buffer: `Deliver` decisions and snapshot installs are staged
+/// there (relative order preserved) and handed to the DecisionQueue in
+/// one bulk push per action batch. Returns `Err(())` when the replica is
+/// shutting down.
 fn apply_actions(
     ctx: &Ctx,
     actions: &mut Vec<Action>,
-    deliveries: &mut Vec<(Slot, Batch)>,
+    deliveries: &mut Vec<Decision>,
 ) -> Result<(), ()> {
     for action in actions.drain(..) {
         match action {
             Action::Send { to, msg } => ctx.send(to, &msg),
-            Action::Deliver { slot, batch } => deliveries.push((slot, batch)),
+            Action::Deliver { slot, batch } => deliveries.push(Decision::Apply(slot, batch)),
+            Action::SendSnapshot { to } => {
+                // Materialize the newest published snapshot; nothing to
+                // send if none exists yet (the peer falls back to slot
+                // catch-up from other replicas).
+                if let Some(blob) = ctx.snapshots.latest() {
+                    ctx.send(
+                        to,
+                        &ProtocolMsg::Snapshot {
+                            applied_upto: blob.applied_upto,
+                            state_hash: blob.state_hash,
+                            state: blob.state.clone(),
+                        },
+                    );
+                }
+            }
+            Action::InstallSnapshot { snapshot } => {
+                deliveries.push(Decision::Install(snapshot));
+            }
             Action::ScheduleRetransmit { key, to, msg } => {
                 let entry = RetransmitEntry {
                     key,

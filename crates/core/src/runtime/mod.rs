@@ -6,7 +6,8 @@ mod replica_io;
 mod service_manager;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -16,23 +17,99 @@ use smr_metrics::{Counter, MetricsRegistry};
 use smr_net::{ClientConn, ClientListener, ReplicaNetwork};
 use smr_paxos::{RetransmitKey, Target};
 use smr_queue::{BoundedQueue, CancelHandle, TimerQueue};
-use smr_types::{ClusterConfig, ReplicaId, Slot, SmrError};
+use smr_storage::Storage;
+use smr_types::{
+    ClusterConfig, CompactionPolicy, ConfigError, ReplicaId, Slot, SmrError, SnapshotBlob,
+};
 use smr_wire::{Batch, ProtocolMsg, Reply, Request};
 
-use crate::reply_cache::{ReplyCache, ShardedReplyCache};
-use crate::service::{ConflictAwareService, Service};
+use crate::reply_cache::{ExecuteOutcome, ReplyCache, ShardedReplyCache};
+use crate::service::{
+    ConflictAwareService, RecoverableService, Service, SharedOps, SharedSnapshotOps,
+    SharedSnapshotService,
+};
 use crate::shared::SharedState;
+
+pub(crate) use service_manager::SnapshotRig;
 
 /// How the ServiceManager executes decided commands.
 enum ServiceMode {
     /// One thread, strict log order (the paper's architecture; default).
     Sequential(Box<dyn Service>),
+    /// One thread, strict log order, with snapshot/restore — unlocks
+    /// durability, snapshot-driven compaction, and snapshot transfer.
+    SequentialSnapshot(Box<dyn RecoverableService>),
     /// Dependency-aware parallel execution on a worker pool (see
-    /// [`crate::ParallelExecutor`]).
+    /// [`crate::ParallelExecutor`]). `snapshot` carries the lifecycle
+    /// operations when the service supports them.
     Parallel {
         service: Arc<dyn ConflictAwareService>,
         workers: usize,
+        snapshot: Option<Box<dyn SharedSnapshotOps>>,
     },
+}
+
+impl ServiceMode {
+    /// Whether this mode can produce and restore snapshots.
+    fn snapshot_capable(&self) -> bool {
+        match self {
+            ServiceMode::Sequential(_) => false,
+            ServiceMode::SequentialSnapshot(_) => true,
+            ServiceMode::Parallel { snapshot, .. } => snapshot.is_some(),
+        }
+    }
+}
+
+/// One unit of work on the DecisionQueue.
+#[derive(Debug)]
+pub(crate) enum Decision {
+    /// Execute the decided batch of `slot` (strictly increasing, gap-free
+    /// except across a preceding `Install`).
+    Apply(Slot, Batch),
+    /// Replace the service state with a peer's snapshot before applying
+    /// anything at or above its watermark.
+    Install(SnapshotBlob),
+}
+
+/// The replica's published snapshot state: the newest blob (for serving
+/// snapshot transfer) and its watermark (an atomic the Protocol thread
+/// polls to drive compaction without locking).
+pub(crate) struct SnapshotStore {
+    latest: Mutex<Option<Arc<SnapshotBlob>>>,
+    watermark: AtomicU64,
+}
+
+impl SnapshotStore {
+    fn new() -> Self {
+        SnapshotStore {
+            latest: Mutex::new(None),
+            watermark: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes a newer snapshot. Blob first, watermark second: anyone
+    /// who observes the watermark will find a blob at least as new.
+    pub fn publish(&self, blob: Arc<SnapshotBlob>) {
+        let upto = blob.applied_upto;
+        {
+            let mut latest = self.latest.lock();
+            if latest.as_ref().is_some_and(|cur| cur.applied_upto >= upto) {
+                return;
+            }
+            *latest = Some(blob);
+        }
+        self.watermark.fetch_max(upto.0, Ordering::Release);
+    }
+
+    /// The newest published snapshot, if any.
+    pub fn latest(&self) -> Option<Arc<SnapshotBlob>> {
+        self.latest.lock().clone()
+    }
+
+    /// Watermark of the newest published snapshot.
+    pub fn watermark(&self) -> Slot {
+        Slot(self.watermark.load(Ordering::Acquire))
+    }
 }
 
 /// A message awaiting retransmission (§V-C4).
@@ -55,7 +132,13 @@ pub(crate) struct Ctx {
     pub request_q: BoundedQueue<Request>,
     pub proposal_q: BoundedQueue<Batch>,
     pub dispatcher_q: BoundedQueue<smr_paxos::Event>,
-    pub decision_q: BoundedQueue<(Slot, Batch)>,
+    pub decision_q: BoundedQueue<Decision>,
+    /// Newest snapshot (blob + watermark) this replica can serve.
+    pub snapshots: SnapshotStore,
+    /// Whether the configured service supports snapshot/restore.
+    pub snapshot_capable: bool,
+    /// The compaction policy threaded into the Protocol core.
+    pub compaction: CompactionPolicy,
     /// Indexed by peer replica id (own slot unused).
     pub send_qs: Vec<BoundedQueue<ProtocolMsg>>,
     /// Indexed by ClientIO thread.
@@ -99,6 +182,12 @@ impl Ctx {
 }
 
 /// Builder for a [`Replica`] ([C-BUILDER]).
+///
+/// The surface is `with_*` setters: a service (one of the four service
+/// setters), [`with_network`](ReplicaBuilder::with_network), and
+/// [`with_client_listener`](ReplicaBuilder::with_client_listener) are
+/// required; durability, compaction, metrics, and the reply cache are
+/// optional.
 pub struct ReplicaBuilder {
     me: ReplicaId,
     config: ClusterConfig,
@@ -107,6 +196,9 @@ pub struct ReplicaBuilder {
     listener: Option<Box<dyn ClientListener>>,
     metrics: Option<MetricsRegistry>,
     cache: Option<Arc<dyn ReplyCache>>,
+    durability: Option<PathBuf>,
+    compaction: Option<CompactionPolicy>,
+    snapshot_every: u64,
 }
 
 impl ReplicaBuilder {
@@ -120,14 +212,30 @@ impl ReplicaBuilder {
             listener: None,
             metrics: None,
             cache: None,
+            durability: None,
+            compaction: None,
+            snapshot_every: 1024,
         }
     }
 
     /// Sets the replicated service, executed sequentially in decided-log
-    /// order (required unless [`ReplicaBuilder::parallel_service`] is
-    /// used).
-    pub fn service(mut self, service: Box<dyn Service>) -> Self {
+    /// order. Exactly one of the four service setters is required.
+    ///
+    /// A service set this way cannot snapshot: durability and
+    /// snapshot-driven compaction are unavailable. Prefer
+    /// [`with_snapshot_service`](ReplicaBuilder::with_snapshot_service)
+    /// when the service implements [`SnapshotService`](crate::SnapshotService).
+    pub fn with_service(mut self, service: Box<dyn Service>) -> Self {
         self.service = Some(ServiceMode::Sequential(service));
+        self
+    }
+
+    /// Sets a sequential service that also supports snapshot/restore,
+    /// unlocking [`with_durability`](ReplicaBuilder::with_durability),
+    /// snapshot-driven compaction, and snapshot transfer to lagging
+    /// peers.
+    pub fn with_snapshot_service(mut self, service: Box<dyn RecoverableService>) -> Self {
+        self.service = Some(ServiceMode::SequentialSnapshot(service));
         self
     }
 
@@ -137,7 +245,7 @@ impl ReplicaBuilder {
     /// concurrently on a pool of `workers` threads, conflicting ones in
     /// decided order. Replaces any service set earlier; `workers` is
     /// clamped to at least 1.
-    pub fn parallel_service(
+    pub fn with_parallel_service(
         mut self,
         service: Arc<dyn ConflictAwareService>,
         workers: usize,
@@ -145,47 +253,136 @@ impl ReplicaBuilder {
         self.service = Some(ServiceMode::Parallel {
             service,
             workers: workers.max(1),
+            snapshot: None,
         });
         self
     }
 
+    /// Sets a parallel service that also supports shared
+    /// snapshot/restore ([`SharedSnapshotService`]), combining parallel
+    /// execution with durability, compaction, and snapshot transfer.
+    pub fn with_parallel_snapshot_service<S>(mut self, service: Arc<S>, workers: usize) -> Self
+    where
+        S: ConflictAwareService + SharedSnapshotService + 'static,
+    {
+        let ops: Box<dyn SharedSnapshotOps> = Box::new(SharedOps(Arc::clone(&service)));
+        self.service = Some(ServiceMode::Parallel {
+            service,
+            workers: workers.max(1),
+            snapshot: Some(ops),
+        });
+        self
+    }
+
+    /// Persists the decided log and snapshots under `dir`, and recovers
+    /// from them on startup. Requires a snapshot-capable service
+    /// ([`with_snapshot_service`](ReplicaBuilder::with_snapshot_service)
+    /// or
+    /// [`with_parallel_snapshot_service`](ReplicaBuilder::with_parallel_snapshot_service)).
+    pub fn with_durability(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durability = Some(dir.into());
+        self
+    }
+
+    /// Sets the log compaction policy (optional; defaults to
+    /// [`CompactionPolicy::SnapshotDriven`] for snapshot-capable
+    /// services and `KeepSlots(4096)` otherwise).
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = Some(policy);
+        self
+    }
+
+    /// Takes a snapshot every `n` applied slots (optional; default
+    /// 1024). Clamped to at least 1; only meaningful for
+    /// snapshot-capable services.
+    pub fn with_snapshot_every(mut self, n: u64) -> Self {
+        self.snapshot_every = n.max(1);
+        self
+    }
+
     /// Sets the replica-to-replica network (required).
-    pub fn network(mut self, network: Arc<dyn ReplicaNetwork>) -> Self {
+    pub fn with_network(mut self, network: Arc<dyn ReplicaNetwork>) -> Self {
         self.network = Some(network);
         self
     }
 
     /// Sets the client listener (required).
-    pub fn client_listener(mut self, listener: Box<dyn ClientListener>) -> Self {
+    pub fn with_client_listener(mut self, listener: Box<dyn ClientListener>) -> Self {
         self.listener = Some(listener);
         self
     }
 
     /// Uses an existing metrics registry (optional).
-    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
         self.metrics = Some(metrics);
         self
     }
 
     /// Overrides the reply cache (optional; defaults to a
     /// [`ShardedReplyCache`] with the configured shard count).
-    pub fn reply_cache(mut self, cache: Arc<dyn ReplyCache>) -> Self {
+    pub fn with_reply_cache(mut self, cache: Arc<dyn ReplyCache>) -> Self {
         self.cache = Some(cache);
         self
     }
 
+    /// Deprecated alias for [`with_service`](ReplicaBuilder::with_service).
+    #[deprecated(since = "0.7.0", note = "use with_service")]
+    pub fn service(self, service: Box<dyn Service>) -> Self {
+        self.with_service(service)
+    }
+
+    /// Deprecated alias for
+    /// [`with_parallel_service`](ReplicaBuilder::with_parallel_service).
+    #[deprecated(since = "0.7.0", note = "use with_parallel_service")]
+    pub fn parallel_service(self, service: Arc<dyn ConflictAwareService>, workers: usize) -> Self {
+        self.with_parallel_service(service, workers)
+    }
+
+    /// Deprecated alias for [`with_network`](ReplicaBuilder::with_network).
+    #[deprecated(since = "0.7.0", note = "use with_network")]
+    pub fn network(self, network: Arc<dyn ReplicaNetwork>) -> Self {
+        self.with_network(network)
+    }
+
+    /// Deprecated alias for
+    /// [`with_client_listener`](ReplicaBuilder::with_client_listener).
+    #[deprecated(since = "0.7.0", note = "use with_client_listener")]
+    pub fn client_listener(self, listener: Box<dyn ClientListener>) -> Self {
+        self.with_client_listener(listener)
+    }
+
+    /// Deprecated alias for [`with_metrics`](ReplicaBuilder::with_metrics).
+    #[deprecated(since = "0.7.0", note = "use with_metrics")]
+    pub fn metrics(self, metrics: MetricsRegistry) -> Self {
+        self.with_metrics(metrics)
+    }
+
+    /// Deprecated alias for
+    /// [`with_reply_cache`](ReplicaBuilder::with_reply_cache).
+    #[deprecated(since = "0.7.0", note = "use with_reply_cache")]
+    pub fn reply_cache(self, cache: Arc<dyn ReplyCache>) -> Self {
+        self.with_reply_cache(cache)
+    }
+
     /// Spawns every thread of the architecture and returns the handle.
+    ///
+    /// When durability is configured, recovery runs first, before any
+    /// thread starts: the newest valid snapshot on disk is restored into
+    /// the service, the durable log tail beyond it is replayed, and a
+    /// fresh snapshot is written at the recovered frontier (rotating the
+    /// log so the next recovery starts there).
     ///
     /// # Errors
     ///
-    /// Returns [`SmrError::Config`] if a required component is missing or
-    /// `me` is not part of `config`.
+    /// Returns [`SmrError::Config`] if a required component is missing,
+    /// `me` is not part of `config`, durability is requested for a
+    /// service that cannot snapshot, or recovery from the durable
+    /// directory fails.
     pub fn start(self) -> Result<Replica, SmrError> {
-        use smr_types::ConfigError;
         if !self.config.contains(self.me) {
             return Err(ConfigError::invalid("replica id outside cluster").into());
         }
-        let service = self
+        let mut service = self
             .service
             .ok_or_else(|| ConfigError::invalid("service is required"))?;
         let network = self
@@ -198,6 +395,43 @@ impl ReplicaBuilder {
         let cache = self
             .cache
             .unwrap_or_else(|| Arc::new(ShardedReplyCache::new(self.config.reply_cache_shards())));
+
+        let snapshot_capable = service.snapshot_capable();
+        if self.durability.is_some() && !snapshot_capable {
+            return Err(ConfigError::invalid(
+                "durability requires a snapshot-capable service \
+                 (with_snapshot_service or with_parallel_snapshot_service)",
+            )
+            .into());
+        }
+        if self.compaction == Some(CompactionPolicy::SnapshotDriven) && !snapshot_capable {
+            return Err(ConfigError::invalid(
+                "snapshot-driven compaction requires a snapshot-capable service",
+            )
+            .into());
+        }
+        let compaction = self.compaction.unwrap_or(if snapshot_capable {
+            CompactionPolicy::SnapshotDriven
+        } else {
+            CompactionPolicy::KeepSlots(4096)
+        });
+
+        // Crash recovery, strictly before any thread spawns: the service
+        // is rebuilt from disk while it is still exclusively ours.
+        let mut rig = None;
+        let mut recovered_blob: Option<Arc<SnapshotBlob>> = None;
+        if snapshot_capable {
+            let mut r = SnapshotRig {
+                storage: None,
+                watermark: Slot::ZERO,
+                last_snapshot: Slot::ZERO,
+                every: self.snapshot_every,
+            };
+            if let Some(dir) = &self.durability {
+                recovered_blob = recover(dir, &mut service, &cache, &mut r)?;
+            }
+            rig = Some(r);
+        }
 
         let config = self.config;
         let me = self.me;
@@ -226,8 +460,17 @@ impl ReplicaBuilder {
             timers: TimerQueue::new(),
             retransmits: Mutex::new(HashMap::new()),
             send_drops: Counter::new(),
+            snapshots: SnapshotStore::new(),
+            snapshot_capable,
+            compaction,
             config,
         });
+        // Publish the recovered snapshot before any thread starts, so
+        // the Protocol thread compacts from it and peers can fetch it
+        // immediately.
+        if let Some(blob) = recovered_blob {
+            ctx.snapshots.publish(blob);
+        }
 
         let mut threads = Vec::new();
         let spawn = |name: String, f: Box<dyn FnOnce() + Send>| -> JoinHandle<()> {
@@ -303,7 +546,29 @@ impl ReplicaBuilder {
                     ServiceMode::Sequential(service) => {
                         Box::new(move || service_manager::run_service_manager(&ctx2, service))
                     }
-                    ServiceMode::Parallel { service, workers } => Box::new(move || {
+                    ServiceMode::SequentialSnapshot(service) => {
+                        let rig = rig.take().expect("rig exists for snapshot-capable mode");
+                        Box::new(move || {
+                            service_manager::run_durable_service_manager(&ctx2, service, rig)
+                        })
+                    }
+                    ServiceMode::Parallel {
+                        service,
+                        workers,
+                        snapshot: Some(ops),
+                    } => {
+                        let rig = rig.take().expect("rig exists for snapshot-capable mode");
+                        Box::new(move || {
+                            service_manager::run_durable_parallel_service_manager(
+                                &ctx2, service, workers, ops, rig,
+                            )
+                        })
+                    }
+                    ServiceMode::Parallel {
+                        service,
+                        workers,
+                        snapshot: None,
+                    } => Box::new(move || {
                         service_manager::run_parallel_service_manager(&ctx2, service, workers)
                     }),
                 },
@@ -315,6 +580,84 @@ impl ReplicaBuilder {
             threads: Some(threads),
         })
     }
+}
+
+/// Restores `service` from the durable directory: newest valid snapshot
+/// first, then replay of the log tail through the reply cache (so
+/// post-restart client retries still dedup). Finishes by writing a fresh
+/// snapshot at the recovered frontier — rotating the log so the next
+/// recovery starts there — and returns the snapshot to publish.
+fn recover(
+    dir: &std::path::Path,
+    service: &mut ServiceMode,
+    cache: &Arc<dyn ReplyCache>,
+    rig: &mut SnapshotRig,
+) -> Result<Option<Arc<SnapshotBlob>>, SmrError> {
+    let bad = |e: String| ConfigError::invalid(format!("durability: {e}"));
+    let (mut storage, recovered) = Storage::open(dir).map_err(|e| bad(e.to_string()))?;
+    let mut blob = None;
+    if let Some(snap) = recovered.snapshot {
+        match service {
+            ServiceMode::SequentialSnapshot(s) => {
+                s.restore(&snap.state).map_err(|e| bad(e.to_string()))?;
+                if s.state_hash() != snap.state_hash {
+                    return Err(bad("snapshot hash mismatch after restore".into()).into());
+                }
+            }
+            ServiceMode::Parallel {
+                snapshot: Some(ops),
+                ..
+            } => {
+                ops.restore(&snap.state).map_err(|e| bad(e.to_string()))?;
+                if ops.state_hash() != snap.state_hash {
+                    return Err(bad("snapshot hash mismatch after restore".into()).into());
+                }
+            }
+            _ => unreachable!("durability requires a snapshot-capable service"),
+        }
+        rig.watermark = snap.applied_upto;
+        rig.last_snapshot = snap.applied_upto;
+        blob = Some(Arc::new(snap));
+    }
+    for (slot, batch) in recovered.tail {
+        for request in &batch.requests {
+            if let ExecuteOutcome::Fresh = cache.check_execute(request.id) {
+                let reply = match service {
+                    ServiceMode::SequentialSnapshot(s) => s.execute(&request.payload),
+                    ServiceMode::Parallel { service, .. } => service.execute(&request.payload),
+                    ServiceMode::Sequential(_) => {
+                        unreachable!("durability requires a snapshot-capable service")
+                    }
+                };
+                cache.record(request.id, reply);
+            }
+        }
+        rig.watermark = slot.next();
+    }
+    if rig.watermark > rig.last_snapshot {
+        // Replay advanced past the snapshot on disk: checkpoint here so
+        // recovery work is not repeated (and the old log is pruned).
+        let (state_hash, state) = match service {
+            ServiceMode::SequentialSnapshot(s) => (s.state_hash(), s.snapshot()),
+            ServiceMode::Parallel {
+                snapshot: Some(ops),
+                ..
+            } => (ops.state_hash(), ops.snapshot()),
+            _ => unreachable!("durability requires a snapshot-capable service"),
+        };
+        let fresh = SnapshotBlob {
+            applied_upto: rig.watermark,
+            state_hash,
+            state,
+        };
+        storage
+            .install_snapshot(&fresh)
+            .map_err(|e| bad(e.to_string()))?;
+        rig.last_snapshot = rig.watermark;
+        blob = Some(Arc::new(fresh));
+    }
+    rig.storage = Some(storage);
+    Ok(blob)
 }
 
 /// A running replica: the full thread ensemble of Fig. 3.
@@ -360,6 +703,21 @@ impl Replica {
     /// Frames dropped on full SendQueues so far.
     pub fn send_drops(&self) -> u64 {
         self.ctx.send_drops.get()
+    }
+
+    /// Watermark of the newest snapshot this replica has published —
+    /// every slot below it has been folded into a snapshot (and, under
+    /// [`CompactionPolicy::SnapshotDriven`], compacted out of the
+    /// in-memory log). `Slot::ZERO` when no snapshot exists yet or the
+    /// service cannot snapshot.
+    pub fn snapshot_watermark(&self) -> Slot {
+        self.ctx.snapshots.watermark()
+    }
+
+    /// The newest snapshot this replica can serve to lagging peers, if
+    /// any.
+    pub fn latest_snapshot(&self) -> Option<Arc<SnapshotBlob>> {
+        self.ctx.snapshots.latest()
     }
 
     /// Stops every thread and joins them.

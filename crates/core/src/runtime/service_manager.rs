@@ -1,23 +1,66 @@
 //! The ServiceManager module (§V-D): the "Replica" thread of the paper's
 //! per-thread profiles, in both execution modes (sequential by default,
-//! dependency-aware parallel opt-in).
+//! dependency-aware parallel opt-in), with optional durability: decided
+//! batches are appended to the write-ahead log before execution, and
+//! periodic snapshots bound both recovery time and log growth.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use smr_metrics::ThreadHandle;
-use smr_types::{RequestId, Slot};
+use smr_storage::Storage;
+use smr_types::{RequestId, Slot, SnapshotBlob};
 use smr_wire::{Batch, Reply};
 
 use crate::exec::ParallelExecutor;
 use crate::reply_cache::ExecuteOutcome;
-use crate::service::{ConflictAwareService, Service};
+use crate::service::{ConflictAwareService, RecoverableService, Service, SharedSnapshotOps};
 
-use super::Ctx;
+use super::{Ctx, Decision};
 
 /// How long the parallel manager waits for worker completions before
 /// re-checking the DecisionQueue for new work.
 const COMPLETION_POLL: Duration = Duration::from_millis(1);
+
+/// The durability/snapshot harness a snapshot-capable ServiceManager
+/// carries: the (optional) on-disk storage, the apply watermark (next
+/// slot to execute), and the snapshot cadence.
+pub(crate) struct SnapshotRig {
+    /// On-disk log + snapshots; `None` when the service is
+    /// snapshot-capable but durability was not requested (snapshots then
+    /// live only in memory, for transfer and compaction).
+    pub storage: Option<Storage>,
+    /// Next slot this replica will apply (everything below is covered by
+    /// executed batches or an installed snapshot).
+    pub watermark: Slot,
+    /// Watermark of the most recent snapshot taken or installed.
+    pub last_snapshot: Slot,
+    /// Take a snapshot every this many applied slots.
+    pub every: u64,
+}
+
+impl SnapshotRig {
+    /// Whether enough slots have been applied since the last snapshot.
+    fn snapshot_due(&self) -> bool {
+        self.watermark.0.saturating_sub(self.last_snapshot.0) >= self.every
+    }
+
+    /// Persists (when durable) and publishes `blob`, advancing
+    /// `last_snapshot`. Returns `false` on a storage error, which is
+    /// fatal for the manager thread.
+    fn commit_snapshot(&mut self, ctx: &Ctx, blob: SnapshotBlob) -> bool {
+        let blob = Arc::new(blob);
+        if let Some(storage) = self.storage.as_mut() {
+            if let Err(e) = storage.install_snapshot(&blob) {
+                eprintln!("smr-core: replica {}: snapshot write failed: {e}", ctx.me.0);
+                return false;
+            }
+        }
+        self.last_snapshot = blob.applied_upto;
+        ctx.snapshots.publish(blob);
+        true
+    }
+}
 
 /// Executes decided batches in log order, updates the reply cache, and
 /// hands replies to the ClientIO threads owning the clients' connections.
@@ -29,7 +72,7 @@ const COMPLETION_POLL: Duration = Duration::from_millis(1);
 /// backlog is.
 pub(crate) fn run_service_manager(ctx: &Ctx, mut service: Box<dyn Service>) {
     let handle = ctx.metrics.register_thread("Replica");
-    let mut decisions: Vec<(Slot, Batch)> = Vec::new();
+    let mut decisions: Vec<Decision> = Vec::new();
     let mut replies: Vec<(RequestId, Option<Vec<u8>>)> = Vec::new();
     let mut outboxes: Vec<Vec<(u64, Reply)>> =
         (0..ctx.reply_qs.len()).map(|_| Vec::new()).collect();
@@ -41,21 +84,100 @@ pub(crate) fn run_service_manager(ctx: &Ctx, mut service: Box<dyn Service>) {
         // Batch up the backlog behind the first decision; an error here
         // (empty or closed) still leaves that decision to execute.
         let _ = ctx.decision_q.try_pop_all(&mut decisions);
-        for (_slot, batch) in decisions.drain(..) {
-            for request in batch.requests {
-                let reply_payload = match ctx.cache.check_execute(request.id) {
-                    ExecuteOutcome::Fresh => {
-                        let reply = service.execute(&request.payload);
-                        ctx.cache.record(request.id, reply.clone());
-                        Some(reply)
-                    }
-                    // Ordered twice (client retry raced the pipeline):
-                    // do not re-execute; resend the cached reply.
-                    ExecuteOutcome::Duplicate(cached) => cached,
-                };
-                replies.push((request.id, reply_payload));
-            }
+        for decision in decisions.drain(..) {
+            let Decision::Apply(_slot, batch) = decision else {
+                // Snapshot installs are gated out by the Protocol thread
+                // for services that cannot restore one.
+                continue;
+            };
+            execute_batch(ctx, service.as_mut(), batch, &mut replies);
             if !route_replies(ctx, &handle, &mut replies, &mut outboxes) {
+                return;
+            }
+        }
+    }
+}
+
+/// The snapshot-capable sequential "Replica" thread: the same log-order
+/// execution as [`run_service_manager`] plus the durability protocol —
+/// append to the WAL *before* executing, sync once per drained burst,
+/// snapshot every `rig.every` applied slots, and install snapshots
+/// shipped by peers (replacing local state wholesale).
+pub(crate) fn run_durable_service_manager(
+    ctx: &Ctx,
+    mut service: Box<dyn RecoverableService>,
+    mut rig: SnapshotRig,
+) {
+    let handle = ctx.metrics.register_thread("Replica");
+    let mut decisions: Vec<Decision> = Vec::new();
+    let mut replies: Vec<(RequestId, Option<Vec<u8>>)> = Vec::new();
+    let mut outboxes: Vec<Vec<(u64, Reply)>> =
+        (0..ctx.reply_qs.len()).map(|_| Vec::new()).collect();
+    loop {
+        match ctx.decision_q.pop_with(&handle) {
+            Ok(first) => decisions.push(first),
+            Err(_) => return,
+        }
+        let _ = ctx.decision_q.try_pop_all(&mut decisions);
+        let mut appended = false;
+        for decision in decisions.drain(..) {
+            match decision {
+                Decision::Install(blob) => {
+                    if blob.applied_upto <= rig.watermark {
+                        continue; // already at or past this state
+                    }
+                    if let Err(e) = service.restore(&blob.state) {
+                        eprintln!("smr-core: replica {}: {e}", ctx.me.0);
+                        return;
+                    }
+                    if service.state_hash() != blob.state_hash {
+                        eprintln!(
+                            "smr-core: replica {}: snapshot hash mismatch after restore",
+                            ctx.me.0
+                        );
+                        return;
+                    }
+                    rig.watermark = blob.applied_upto;
+                    if !rig.commit_snapshot(ctx, blob) {
+                        return;
+                    }
+                }
+                Decision::Apply(slot, batch) => {
+                    if slot < rig.watermark {
+                        continue; // covered by an installed snapshot
+                    }
+                    if let Some(storage) = rig.storage.as_mut() {
+                        // WAL before execution: a crash after the append
+                        // re-executes (dedup'd by slot), never loses.
+                        if let Err(e) = storage.append(slot, &batch) {
+                            eprintln!("smr-core: replica {}: wal append failed: {e}", ctx.me.0);
+                            return;
+                        }
+                        appended = true;
+                    }
+                    execute_batch(ctx, service.as_mut(), batch, &mut replies);
+                    rig.watermark = slot.next();
+                    if !route_replies(ctx, &handle, &mut replies, &mut outboxes) {
+                        return;
+                    }
+                }
+            }
+        }
+        if appended {
+            if let Some(storage) = rig.storage.as_mut() {
+                if let Err(e) = storage.sync() {
+                    eprintln!("smr-core: replica {}: wal sync failed: {e}", ctx.me.0);
+                    return;
+                }
+            }
+        }
+        if rig.snapshot_due() {
+            let blob = SnapshotBlob {
+                applied_upto: rig.watermark,
+                state_hash: service.state_hash(),
+                state: service.snapshot(),
+            };
+            if !rig.commit_snapshot(ctx, blob) {
                 return;
             }
         }
@@ -82,7 +204,7 @@ pub(crate) fn run_parallel_service_manager(
     let handle = ctx.metrics.register_thread("Replica");
     let mut exec =
         ParallelExecutor::with_reply_cache(service, workers, Some(Arc::clone(&ctx.cache)));
-    let mut decisions: Vec<(Slot, Batch)> = Vec::new();
+    let mut decisions: Vec<Decision> = Vec::new();
     let mut replies: Vec<(RequestId, Option<Vec<u8>>)> = Vec::new();
     let mut outboxes: Vec<Vec<(u64, Reply)>> =
         (0..ctx.reply_qs.len()).map(|_| Vec::new()).collect();
@@ -95,7 +217,10 @@ pub(crate) fn run_parallel_service_manager(
             }
         }
         let _ = ctx.decision_q.try_pop_all(&mut decisions);
-        for (_slot, batch) in decisions.drain(..) {
+        for decision in decisions.drain(..) {
+            let Decision::Apply(_slot, batch) = decision else {
+                continue; // gated out by the Protocol thread (see above)
+            };
             for request in batch.requests {
                 exec.submit(request);
             }
@@ -105,6 +230,129 @@ pub(crate) fn run_parallel_service_manager(
         {
             return;
         }
+    }
+}
+
+/// The snapshot-capable parallel "Replica" thread: parallel execution
+/// with the durability protocol of [`run_durable_service_manager`].
+/// Snapshots are only taken (and peer snapshots only installed) at a
+/// quiescent point — the executor drained — so the shared service state
+/// is a consistent prefix of the decided log.
+pub(crate) fn run_durable_parallel_service_manager(
+    ctx: &Ctx,
+    service: Arc<dyn ConflictAwareService>,
+    workers: usize,
+    ops: Box<dyn SharedSnapshotOps>,
+    mut rig: SnapshotRig,
+) {
+    let handle = ctx.metrics.register_thread("Replica");
+    let mut exec =
+        ParallelExecutor::with_reply_cache(service, workers, Some(Arc::clone(&ctx.cache)));
+    let mut decisions: Vec<Decision> = Vec::new();
+    let mut replies: Vec<(RequestId, Option<Vec<u8>>)> = Vec::new();
+    let mut outboxes: Vec<Vec<(u64, Reply)>> =
+        (0..ctx.reply_qs.len()).map(|_| Vec::new()).collect();
+    loop {
+        if exec.pending() == 0 {
+            match ctx.decision_q.pop_with(&handle) {
+                Ok(first) => decisions.push(first),
+                Err(_) => return,
+            }
+        }
+        let _ = ctx.decision_q.try_pop_all(&mut decisions);
+        let mut appended = false;
+        for decision in decisions.drain(..) {
+            match decision {
+                Decision::Install(blob) => {
+                    if blob.applied_upto <= rig.watermark {
+                        continue;
+                    }
+                    // Quiesce: everything submitted so far must finish
+                    // (and its replies flush) before state is replaced.
+                    exec.wait_idle(&mut replies);
+                    if !route_replies(ctx, &handle, &mut replies, &mut outboxes) {
+                        return;
+                    }
+                    if let Err(e) = ops.restore(&blob.state) {
+                        eprintln!("smr-core: replica {}: {e}", ctx.me.0);
+                        return;
+                    }
+                    if ops.state_hash() != blob.state_hash {
+                        eprintln!(
+                            "smr-core: replica {}: snapshot hash mismatch after restore",
+                            ctx.me.0
+                        );
+                        return;
+                    }
+                    rig.watermark = blob.applied_upto;
+                    if !rig.commit_snapshot(ctx, blob) {
+                        return;
+                    }
+                }
+                Decision::Apply(slot, batch) => {
+                    if slot < rig.watermark {
+                        continue;
+                    }
+                    if let Some(storage) = rig.storage.as_mut() {
+                        if let Err(e) = storage.append(slot, &batch) {
+                            eprintln!("smr-core: replica {}: wal append failed: {e}", ctx.me.0);
+                            return;
+                        }
+                        appended = true;
+                    }
+                    for request in batch.requests {
+                        exec.submit(request);
+                    }
+                    rig.watermark = slot.next();
+                }
+            }
+        }
+        if appended {
+            if let Some(storage) = rig.storage.as_mut() {
+                if let Err(e) = storage.sync() {
+                    eprintln!("smr-core: replica {}: wal sync failed: {e}", ctx.me.0);
+                    return;
+                }
+            }
+        }
+        if rig.snapshot_due() && exec.pending() == 0 {
+            let blob = SnapshotBlob {
+                applied_upto: rig.watermark,
+                state_hash: ops.state_hash(),
+                state: ops.snapshot(),
+            };
+            if !rig.commit_snapshot(ctx, blob) {
+                return;
+            }
+        }
+        if exec.poll_with(&mut replies, COMPLETION_POLL, &handle) > 0
+            && !route_replies(ctx, &handle, &mut replies, &mut outboxes)
+        {
+            return;
+        }
+    }
+}
+
+/// Executes every request of one decided batch through the reply cache
+/// (at-most-once), collecting the reply payloads.
+fn execute_batch(
+    ctx: &Ctx,
+    service: &mut dyn Service,
+    batch: Batch,
+    replies: &mut Vec<(RequestId, Option<Vec<u8>>)>,
+) {
+    for request in batch.requests {
+        let reply_payload = match ctx.cache.check_execute(request.id) {
+            ExecuteOutcome::Fresh => {
+                let reply = service.execute(&request.payload);
+                ctx.cache.record(request.id, reply.clone());
+                Some(reply)
+            }
+            // Ordered twice (client retry raced the pipeline):
+            // do not re-execute; resend the cached reply.
+            ExecuteOutcome::Duplicate(cached) => cached,
+        };
+        replies.push((request.id, reply_payload));
     }
 }
 

@@ -10,9 +10,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::BytesMut;
 use parking_lot::Mutex;
 
-use smr_types::{key_hash, KeySet};
+use smr_types::{key_hash, KeySet, SnapshotError};
+use smr_wire::{WireReader, WireWriter};
 
 /// A deterministic state machine replicated by the cluster.
 ///
@@ -23,6 +25,120 @@ use smr_types::{key_hash, KeySet};
 pub trait Service: Send + 'static {
     /// Executes one request and returns the reply payload.
     fn execute(&mut self, request: &[u8]) -> Vec<u8>;
+}
+
+/// A service whose full state can be summarized as a digest.
+///
+/// This is the shared root of the service trait family: both execution
+/// modes ([`Service`] via [`SnapshotService`], [`ConflictAwareService`]
+/// directly) hang off it, so determinism tests and recovery verification
+/// use one method regardless of mode.
+pub trait ServiceState {
+    /// A deterministic, iteration-order-independent digest of the full
+    /// service state. Replicas that executed the same decided order must
+    /// report identical digests regardless of execution mode — this is
+    /// what the determinism tests assert, and what crash recovery checks
+    /// after restoring a snapshot.
+    fn state_hash(&self) -> u64;
+}
+
+/// A sequential service that can serialize and restore its full state —
+/// the substrate for durability, log compaction, and snapshot transfer.
+///
+/// The format of the blob is service-defined; the only contract is
+/// `restore(snapshot()) == identity` (including [`ServiceState::state_hash`]),
+/// on any replica.
+pub trait SnapshotService: ServiceState {
+    /// Serializes the full service state.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Replaces the service state with a previously captured snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when `bytes` is not a valid snapshot; the
+    /// service state is unspecified afterwards and the replica must not
+    /// continue executing.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
+}
+
+/// The shared-state counterpart of [`SnapshotService`], for services
+/// executed through `Arc` handles (the parallel mode): restore takes
+/// `&self` because the executor and the runtime share the service.
+///
+/// Every `Arc<impl SharedSnapshotService>` is automatically a
+/// [`SnapshotService`] (see the blanket impl), so one implementation
+/// serves both execution modes without duplicate impls.
+///
+/// Callers must quiesce execution (no in-flight commands) before calling
+/// [`SharedSnapshotService::restore_shared`]; implementations are not
+/// required to make restore atomic with respect to concurrent execution.
+pub trait SharedSnapshotService: ServiceState + Sync {
+    /// Serializes the full service state.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Replaces the service state with a previously captured snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when `bytes` is not a valid snapshot.
+    fn restore_shared(&self, bytes: &[u8]) -> Result<(), SnapshotError>;
+}
+
+/// The object-safe union the durable sequential runtime works with: a
+/// service that both executes and snapshots. Blanket-implemented — never
+/// implement it directly.
+pub trait RecoverableService: Service + SnapshotService {}
+
+impl<S: Service + SnapshotService> RecoverableService for S {}
+
+impl<S: ServiceState + ?Sized> ServiceState for Arc<S> {
+    fn state_hash(&self) -> u64 {
+        (**self).state_hash()
+    }
+}
+
+/// Object-safe snapshot operations over a shared service, used by the
+/// parallel runtime (which executes through a separate
+/// `Arc<dyn ConflictAwareService>` handle and cannot upcast it on this
+/// toolchain).
+pub(crate) trait SharedSnapshotOps: Send + Sync {
+    /// Serializes the full service state.
+    fn snapshot(&self) -> Vec<u8>;
+    /// Restores the service from snapshot bytes (caller must quiesce).
+    fn restore(&self, bytes: &[u8]) -> Result<(), SnapshotError>;
+    /// The service's state digest.
+    fn state_hash(&self) -> u64;
+}
+
+/// The one implementation of [`SharedSnapshotOps`]: a second `Arc` handle
+/// on the same service instance the executor runs.
+pub(crate) struct SharedOps<S: ?Sized>(pub Arc<S>);
+
+impl<S: SharedSnapshotService + Send + Sync + ?Sized> SharedSnapshotOps for SharedOps<S> {
+    fn snapshot(&self) -> Vec<u8> {
+        SharedSnapshotService::snapshot(&*self.0)
+    }
+
+    fn restore(&self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.0.restore_shared(bytes)
+    }
+
+    fn state_hash(&self) -> u64 {
+        self.0.state_hash()
+    }
+}
+
+/// Sequential adapter: a shared snapshot service behind an `Arc` is also
+/// a plain [`SnapshotService`] (restore delegates to the shared variant).
+impl<S: SharedSnapshotService + ?Sized> SnapshotService for Arc<S> {
+    fn snapshot(&self) -> Vec<u8> {
+        SharedSnapshotService::snapshot(&**self)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        (**self).restore_shared(bytes)
+    }
 }
 
 /// A [`Service`] that additionally declares, per command, which keys the
@@ -49,8 +165,10 @@ pub trait Service: Send + 'static {
 ///
 /// Any `Arc<impl ConflictAwareService>` is also a plain sequential
 /// [`Service`] (see the blanket impl), so one implementation can run in
-/// both execution modes and be compared for bit-identical state.
-pub trait ConflictAwareService: Send + Sync + 'static {
+/// both execution modes and be compared for bit-identical state. The
+/// state digest lives on the [`ServiceState`] supertrait, shared with
+/// the sequential family.
+pub trait ConflictAwareService: ServiceState + Send + Sync + 'static {
     /// Classifies one command: the keys it reads/writes, as hashes
     /// (use [`smr_types::key_hash`]). Must be a pure function of the
     /// payload.
@@ -59,12 +177,6 @@ pub trait ConflictAwareService: Send + Sync + 'static {
     /// Executes one request and returns the reply payload. Called
     /// concurrently, but never for two conflicting commands at once.
     fn execute(&self, request: &[u8]) -> Vec<u8>;
-
-    /// A deterministic, iteration-order-independent digest of the full
-    /// service state. Replicas that executed the same decided order must
-    /// report identical digests regardless of execution mode — this is
-    /// what the determinism tests assert.
-    fn state_hash(&self) -> u64;
 }
 
 /// Sequential adapter: a shared conflict-aware service is also a plain
@@ -85,6 +197,41 @@ fn entry_hash(key: &[u8], value: &[u8]) -> u64 {
         .rotate_left(17)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ key_hash(value)
+}
+
+/// A decoded snapshot entry list: `(key, value)` pairs.
+type Entries = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// Serializes sorted `(key, value)` entries as a snapshot blob: `u32`
+/// count, then a length-prefixed key and value per entry. Shared by
+/// [`KvService`] and [`ConcurrentKvService`] so their snapshots are
+/// interchangeable, and by the map-shaped demo services.
+fn encode_entries(entries: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    let mut w = WireWriter::new(&mut buf);
+    w.u32(entries.len() as u32);
+    for (k, v) in entries {
+        w.bytes(k);
+        w.bytes(v);
+    }
+    buf.to_vec()
+}
+
+/// Inverse of [`encode_entries`].
+fn decode_entries(bytes: &[u8]) -> Result<Entries, SnapshotError> {
+    let mut r = WireReader::new(bytes);
+    let parse = (|| {
+        let count = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let k = r.bytes()?;
+            let v = r.bytes()?;
+            entries.push((k, v));
+        }
+        r.finish("kv snapshot")?;
+        Ok::<_, smr_wire::DecodeError>(entries)
+    })();
+    parse.map_err(|e| SnapshotError::new(e.to_string()))
 }
 
 impl<F> Service for F
@@ -121,6 +268,24 @@ impl Default for NullService {
 impl Service for NullService {
     fn execute(&mut self, _request: &[u8]) -> Vec<u8> {
         self.reply.clone()
+    }
+}
+
+impl ServiceState for NullService {
+    fn state_hash(&self) -> u64 {
+        // The reply template is the entire state.
+        key_hash(&self.reply)
+    }
+}
+
+impl SnapshotService for NullService {
+    fn snapshot(&self) -> Vec<u8> {
+        self.reply.clone()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.reply = bytes.to_vec();
+        Ok(())
     }
 }
 
@@ -194,15 +359,6 @@ impl KvService {
         }
     }
 
-    /// A deterministic, order-independent digest of the store's contents
-    /// (same digest function as [`ConcurrentKvService::state_hash`], so
-    /// the two implementations can be compared).
-    pub fn state_hash(&self) -> u64 {
-        self.map.iter().fold(self.map.len() as u64, |acc, (k, v)| {
-            acc.wrapping_add(entry_hash(k, v))
-        })
-    }
-
     /// Every key/value pair, sorted by key — for test comparisons.
     pub fn entries(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
         let mut all: Vec<_> = self
@@ -232,6 +388,30 @@ impl KvService {
         let mut r = vec![1u8];
         r.extend_from_slice(value);
         r
+    }
+}
+
+impl ServiceState for KvService {
+    /// Same digest function as [`ConcurrentKvService`]'s, so the two
+    /// implementations can be compared across execution modes.
+    fn state_hash(&self) -> u64 {
+        self.map.iter().fold(self.map.len() as u64, |acc, (k, v)| {
+            acc.wrapping_add(entry_hash(k, v))
+        })
+    }
+}
+
+impl SnapshotService for KvService {
+    /// Snapshots are byte-for-byte interchangeable with
+    /// [`ConcurrentKvService`]'s: a sequential replica can restore a
+    /// parallel peer's snapshot and vice versa.
+    fn snapshot(&self) -> Vec<u8> {
+        encode_entries(&self.entries())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.map = decode_entries(bytes)?.into_iter().collect();
+        Ok(())
     }
 }
 
@@ -362,7 +542,9 @@ impl ConflictAwareService for ConcurrentKvService {
             _ => vec![0u8],
         }
     }
+}
 
+impl ServiceState for ConcurrentKvService {
     fn state_hash(&self) -> u64 {
         let mut acc = 0u64;
         let mut count = 0u64;
@@ -374,6 +556,24 @@ impl ConflictAwareService for ConcurrentKvService {
             }
         }
         count.wrapping_add(acc)
+    }
+}
+
+impl SharedSnapshotService for ConcurrentKvService {
+    /// Snapshots are byte-for-byte interchangeable with [`KvService`]'s.
+    fn snapshot(&self) -> Vec<u8> {
+        encode_entries(&self.entries())
+    }
+
+    fn restore_shared(&self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let entries = decode_entries(bytes)?;
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        for (k, v) in entries {
+            self.shard(&k).lock().insert(k, v);
+        }
+        Ok(())
     }
 }
 
@@ -455,6 +655,41 @@ impl Service for LockService {
     }
 }
 
+impl ServiceState for LockService {
+    fn state_hash(&self) -> u64 {
+        self.locks
+            .iter()
+            .fold(self.locks.len() as u64, |acc, (name, owner)| {
+                acc.wrapping_add(entry_hash(name, &owner.to_le_bytes()))
+            })
+    }
+}
+
+impl SnapshotService for LockService {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = self
+            .locks
+            .iter()
+            .map(|(name, owner)| (name.clone(), owner.to_le_bytes().to_vec()))
+            .collect();
+        entries.sort();
+        encode_entries(&entries)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut locks = HashMap::new();
+        for (name, owner) in decode_entries(bytes)? {
+            let owner: [u8; 8] = owner
+                .as_slice()
+                .try_into()
+                .map_err(|_| SnapshotError::new("lock owner is not 8 bytes"))?;
+            locks.insert(name, u64::from_le_bytes(owner));
+        }
+        self.locks = locks;
+        Ok(())
+    }
+}
+
 /// A coordination-kernel primitive: named monotone sequencers
 /// (ZooKeeper's sequential znodes in miniature).
 ///
@@ -483,6 +718,41 @@ impl Service for SequencerService {
         let value = *counter;
         *counter += 1;
         value.to_le_bytes().to_vec()
+    }
+}
+
+impl ServiceState for SequencerService {
+    fn state_hash(&self) -> u64 {
+        self.counters
+            .iter()
+            .fold(self.counters.len() as u64, |acc, (name, next)| {
+                acc.wrapping_add(entry_hash(name, &next.to_le_bytes()))
+            })
+    }
+}
+
+impl SnapshotService for SequencerService {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = self
+            .counters
+            .iter()
+            .map(|(name, next)| (name.clone(), next.to_le_bytes().to_vec()))
+            .collect();
+        entries.sort();
+        encode_entries(&entries)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut counters = HashMap::new();
+        for (name, next) in decode_entries(bytes)? {
+            let next: [u8; 8] = next
+                .as_slice()
+                .try_into()
+                .map_err(|_| SnapshotError::new("sequencer counter is not 8 bytes"))?;
+            counters.insert(name, u64::from_le_bytes(next));
+        }
+        self.counters = counters;
+        Ok(())
     }
 }
 
@@ -573,5 +843,103 @@ mod tests {
         assert_eq!(SequencerService::decode(&s.execute(b"a")), Some(1));
         assert_eq!(SequencerService::decode(&s.execute(b"b")), Some(0));
         assert_eq!(SequencerService::decode(&s.execute(b"a")), Some(2));
+    }
+
+    #[test]
+    fn kv_snapshot_restore_roundtrip() {
+        let mut kv = KvService::new();
+        for i in 0..20u64 {
+            kv.execute(&KvService::put(&i.to_le_bytes(), &(i * i).to_le_bytes()));
+        }
+        let blob = kv.snapshot();
+        let mut restored = KvService::new();
+        restored.restore(&blob).unwrap();
+        assert_eq!(restored.entries(), kv.entries());
+        assert_eq!(restored.state_hash(), kv.state_hash());
+    }
+
+    #[test]
+    fn kv_snapshots_interchange_across_modes() {
+        let mut seq = KvService::new();
+        let par = ConcurrentKvService::new(4);
+        for i in 0..20u64 {
+            let cmd = KvService::put(&i.to_le_bytes(), b"value");
+            seq.execute(&cmd);
+            ConflictAwareService::execute(&par, &cmd);
+        }
+        assert_eq!(seq.state_hash(), par.state_hash());
+        // Sequential snapshot restores into the parallel store…
+        let fresh = ConcurrentKvService::new(7);
+        fresh.restore_shared(&seq.snapshot()).unwrap();
+        assert_eq!(fresh.state_hash(), seq.state_hash());
+        assert_eq!(fresh.entries(), seq.entries());
+        // …and the parallel snapshot restores into the sequential one.
+        let mut back = KvService::new();
+        back.restore(&SharedSnapshotService::snapshot(&par))
+            .unwrap();
+        assert_eq!(back.state_hash(), par.state_hash());
+    }
+
+    #[test]
+    fn restore_replaces_existing_state() {
+        let mut kv = KvService::new();
+        kv.execute(&KvService::put(b"stale", b"state"));
+        let mut reference = KvService::new();
+        reference.execute(&KvService::put(b"k", b"v"));
+        kv.restore(&reference.snapshot()).unwrap();
+        assert_eq!(kv.entries(), reference.entries());
+    }
+
+    #[test]
+    fn garbage_snapshot_rejected() {
+        let mut kv = KvService::new();
+        assert!(kv.restore(&[1, 2, 3]).is_err());
+        let fresh = ConcurrentKvService::new(2);
+        assert!(fresh.restore_shared(&[9, 9]).is_err());
+    }
+
+    #[test]
+    fn arc_adapter_snapshots_shared_service() {
+        let mut arc: Arc<ConcurrentKvService> = Arc::new(ConcurrentKvService::new(2));
+        Service::execute(&mut arc, &KvService::put(b"k", b"v"));
+        let blob = SnapshotService::snapshot(&arc);
+        let mut restored = KvService::new();
+        restored.restore(&blob).unwrap();
+        assert_eq!(restored.state_hash(), arc.state_hash());
+    }
+
+    #[test]
+    fn lock_snapshot_roundtrip() {
+        let mut s = LockService::new();
+        s.execute(&LockService::acquire(b"a", 1));
+        s.execute(&LockService::acquire(b"b", 2));
+        let mut restored = LockService::new();
+        restored.restore(&s.snapshot()).unwrap();
+        assert_eq!(restored.state_hash(), s.state_hash());
+        assert!(LockService::granted(
+            &restored.execute(&LockService::query(b"a"))
+        ));
+    }
+
+    #[test]
+    fn sequencer_snapshot_roundtrip() {
+        let mut s = SequencerService::new();
+        s.execute(b"a");
+        s.execute(b"a");
+        s.execute(b"b");
+        let mut restored = SequencerService::new();
+        restored.restore(&s.snapshot()).unwrap();
+        assert_eq!(restored.state_hash(), s.state_hash());
+        // The restored counter continues where the original left off.
+        assert_eq!(SequencerService::decode(&restored.execute(b"a")), Some(2));
+    }
+
+    #[test]
+    fn null_service_snapshot_roundtrip() {
+        let s = NullService::new(16);
+        let mut restored = NullService::new(1);
+        restored.restore(&s.snapshot()).unwrap();
+        assert_eq!(restored.state_hash(), s.state_hash());
+        assert_eq!(restored.execute(b"x").len(), 16);
     }
 }

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use smr_core::{ConcurrentKvService, ConflictAwareService, InProcessCluster, KvService};
+use smr_core::{ConcurrentKvService, InProcessCluster, KvService, ServiceState};
 use smr_types::{ClusterConfig, ReplicaId};
 
 fn small_config(n: usize) -> ClusterConfig {

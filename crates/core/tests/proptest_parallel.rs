@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use proptest::collection;
 use proptest::prelude::*;
-use smr_core::{ConcurrentKvService, ConflictAwareService, KvService, ParallelExecutor, Service};
+use smr_core::{ConcurrentKvService, KvService, ParallelExecutor, Service, ServiceState};
 use smr_types::{ClientId, RequestId, SeqNum};
 use smr_wire::Request;
 

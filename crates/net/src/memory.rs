@@ -114,11 +114,20 @@ impl MemoryHub {
     }
 
     /// The [`ReplicaNetwork`] endpoint of `replica`.
+    ///
+    /// Endpoints are detachable: shutting one down (what a [`Replica`]
+    /// does when it stops) only detaches that endpoint — the hub's links
+    /// stay open, so a fresh endpoint from this method reattaches the
+    /// same replica id. That is what lets a test kill a replica and
+    /// restart it in place to exercise crash recovery.
+    ///
+    /// [`Replica`]: https://docs.rs/smr-core
     pub fn replica_network(&self, replica: ReplicaId) -> MemoryReplicaNetwork {
         assert!(replica.index() < self.inner.n, "unknown replica {replica}");
         MemoryReplicaNetwork {
             hub: self.clone(),
             me: replica,
+            detached: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -214,10 +223,17 @@ impl MemoryHub {
 }
 
 /// One replica's endpoint into a [`MemoryHub`].
+///
+/// Cloning shares the detach flag: shutting down any clone detaches them
+/// all. Get a fresh endpoint from [`MemoryHub::replica_network`] to
+/// rejoin the fabric after a simulated crash.
 #[derive(Clone)]
 pub struct MemoryReplicaNetwork {
     hub: MemoryHub,
     me: ReplicaId,
+    /// Set on shutdown: this endpoint stops sending and receiving, but
+    /// the hub's links stay open for a successor endpoint.
+    detached: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for MemoryReplicaNetwork {
@@ -230,6 +246,9 @@ impl std::fmt::Debug for MemoryReplicaNetwork {
 
 impl ReplicaNetwork for MemoryReplicaNetwork {
     fn send_to(&self, peer: ReplicaId, frame: Vec<u8>) -> Result<(), NetError> {
+        if self.detached.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
         if self.hub.should_drop(self.me, peer) {
             return Ok(()); // lost in transit, like UDP under a dead link
         }
@@ -240,14 +259,24 @@ impl ReplicaNetwork for MemoryReplicaNetwork {
     }
 
     fn recv_from(&self, peer: ReplicaId) -> Result<Vec<u8>, NetError> {
-        match self.hub.inner.links[peer.index()][self.me.index()].pop() {
-            Ok(frame) => Ok(frame),
-            Err(PopError::Closed) | Err(PopError::Empty) => Err(NetError::Closed),
+        // Poll so a detach (replica-local shutdown) unblocks the
+        // receiver threads without closing the shared link queues.
+        loop {
+            if self.detached.load(Ordering::Acquire) {
+                return Err(NetError::Closed);
+            }
+            match self.hub.inner.links[peer.index()][self.me.index()]
+                .pop_timeout(Duration::from_millis(25))
+            {
+                Ok(frame) => return Ok(frame),
+                Err(PopError::Empty) => continue,
+                Err(PopError::Closed) => return Err(NetError::Closed),
+            }
         }
     }
 
     fn shutdown(&self) {
-        self.hub.close_replica(self.me);
+        self.detached.store(true, Ordering::Release);
     }
 }
 
@@ -405,6 +434,21 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         hub.shutdown();
         assert_eq!(h.join().unwrap(), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn detached_endpoint_can_be_replaced() {
+        let hub = MemoryHub::new(2, 1);
+        let n0 = hub.replica_network(ReplicaId(0));
+        let n1 = hub.replica_network(ReplicaId(1));
+        n0.send_to(ReplicaId(1), vec![1]).unwrap();
+        n1.shutdown();
+        assert_eq!(n1.recv_from(ReplicaId(0)), Err(NetError::Closed));
+        assert_eq!(n1.send_to(ReplicaId(0), vec![2]), Err(NetError::Closed));
+        // A successor endpoint rejoins the fabric and still sees the
+        // frame that was in flight when the old endpoint detached.
+        let n1b = hub.replica_network(ReplicaId(1));
+        assert_eq!(n1b.recv_from(ReplicaId(0)).unwrap(), vec![1]);
     }
 
     #[test]

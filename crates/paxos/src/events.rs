@@ -1,6 +1,6 @@
 //! Events consumed and actions produced by the protocol state machine.
 
-use smr_types::{ReplicaId, Slot, View};
+use smr_types::{ReplicaId, Slot, SnapshotBlob, View};
 use smr_wire::{Batch, ProtocolMsg};
 
 /// An input to [`crate::PaxosReplica::handle`] — one item popped from the
@@ -106,6 +106,23 @@ pub enum Action {
         /// Its leader.
         leader: ReplicaId,
     },
+    /// A straggler asked for slots this replica has compacted: ship the
+    /// latest service snapshot to `to`. The runtime materializes the blob
+    /// (the protocol core does not hold service state) and sends a
+    /// [`ProtocolMsg::Snapshot`]; if no snapshot exists yet the action is
+    /// a no-op.
+    SendSnapshot {
+        /// The straggling replica.
+        to: Target,
+    },
+    /// A peer's snapshot superseded part of this replica's log: the
+    /// service must restore from `snapshot` before consuming any further
+    /// [`Action::Deliver`]. Emitted strictly before deliveries of slots at
+    /// or above `snapshot.applied_upto`.
+    InstallSnapshot {
+        /// The snapshot to restore from.
+        snapshot: SnapshotBlob,
+    },
 }
 
 impl Action {
@@ -118,6 +135,8 @@ impl Action {
             Action::CancelRetransmit { .. } => "CancelRetransmit",
             Action::CancelAllRetransmits => "CancelAllRetransmits",
             Action::LeaderChanged { .. } => "LeaderChanged",
+            Action::SendSnapshot { .. } => "SendSnapshot",
+            Action::InstallSnapshot { .. } => "InstallSnapshot",
         }
     }
 }

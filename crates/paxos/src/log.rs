@@ -186,6 +186,37 @@ impl Log {
         self.entries.keys().next_back().map(|s| Slot(*s))
     }
 
+    /// Jumps every frontier forward to `to` because a snapshot now covers
+    /// all slots below it: entries below `to` are dropped, and
+    /// `truncated_below` / `delivered_upto` / `first_gap` are advanced to
+    /// at least `to` (the decided frontier then re-advances over any
+    /// contiguous decided slots already materialized at or above `to`).
+    ///
+    /// Unlike [`Log::truncate_below`], this is NOT clamped to the
+    /// delivered frontier — the snapshot replaces delivery of the dropped
+    /// slots.
+    pub fn fast_forward(&mut self, to: Slot) {
+        if to <= self.truncated_below && to <= self.delivered_upto && to <= self.first_gap {
+            return;
+        }
+        let keys: Vec<u64> = self.entries.range(..to.0).map(|(s, _)| *s).collect();
+        for k in keys {
+            self.entries.remove(&k);
+        }
+        self.truncated_below = self.truncated_below.max(to);
+        self.delivered_upto = self.delivered_upto.max(to);
+        if self.first_gap < to {
+            self.first_gap = to;
+            while self
+                .entries
+                .get(&self.first_gap.0)
+                .is_some_and(|i| i.decided)
+            {
+                self.first_gap = self.first_gap.next();
+            }
+        }
+    }
+
     /// Garbage-collects delivered slots below `keep_from` (clamped to the
     /// delivered frontier — undelivered entries are never dropped).
     pub fn truncate_below(&mut self, keep_from: Slot) {
@@ -329,6 +360,51 @@ mod tests {
         assert_eq!(log.truncated_below(), Slot(2));
         assert_eq!(log.len(), 2);
         assert!(log.get(Slot(1)).is_none());
+    }
+
+    #[test]
+    fn fast_forward_jumps_all_frontiers() {
+        let mut log = Log::new();
+        for s in 0..3u64 {
+            let e = log.entry(Slot(s));
+            e.value = Some(batch(s));
+            e.accepted_view = Some(View(0));
+            log.mark_decided(Slot(s));
+        }
+        // A snapshot covering slots [0, 10) supersedes everything held.
+        log.fast_forward(Slot(10));
+        assert_eq!(log.truncated_below(), Slot(10));
+        assert_eq!(log.delivered_upto(), Slot(10));
+        assert_eq!(log.first_gap(), Slot(10));
+        assert!(log.is_empty());
+        assert!(log.take_deliverable().is_empty());
+    }
+
+    #[test]
+    fn fast_forward_readvances_over_decided_suffix() {
+        let mut log = Log::new();
+        // Slot 4 is decided but unreachable (gap at 0..4).
+        let e = log.entry(Slot(4));
+        e.value = Some(batch(4));
+        e.accepted_view = Some(View(0));
+        log.mark_decided(Slot(4));
+        assert_eq!(log.first_gap(), Slot(0));
+        log.fast_forward(Slot(4));
+        // The snapshot bridges the gap; the decided frontier hops over 4.
+        assert_eq!(log.first_gap(), Slot(5));
+        assert_eq!(log.delivered_upto(), Slot(4));
+        let d = log.take_deliverable();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, Slot(4));
+    }
+
+    #[test]
+    fn fast_forward_is_monotone() {
+        let mut log = Log::new();
+        log.fast_forward(Slot(8));
+        log.fast_forward(Slot(3)); // stale snapshot: no regression
+        assert_eq!(log.truncated_below(), Slot(8));
+        assert_eq!(log.first_gap(), Slot(8));
     }
 
     #[test]

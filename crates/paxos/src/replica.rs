@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use smr_types::{ClusterConfig, ReplicaId, Slot, View};
+use smr_types::{ClusterConfig, CompactionPolicy, ReplicaId, Slot, SnapshotBlob, View};
 use smr_wire::{AcceptedEntry, Batch, ProtocolMsg};
 
 use crate::events::{Action, Event, RetransmitKey, Target};
@@ -53,8 +53,12 @@ pub struct PaxosReplica {
     catchup_inflight: Option<(Slot, u64)>,
     /// Highest `decided_upto` heard from each replica.
     peer_decided_upto: Vec<Slot>,
-    /// How many delivered slots to retain for serving catch-up.
-    retention: u64,
+    /// When delivered slots are garbage collected.
+    policy: CompactionPolicy,
+    /// First slot NOT covered by the newest service snapshot (exclusive).
+    /// Under [`CompactionPolicy::SnapshotDriven`] nothing below this is
+    /// ever compacted until a snapshot covers it.
+    snapshot_watermark: Slot,
 }
 
 impl PaxosReplica {
@@ -84,7 +88,10 @@ impl PaxosReplica {
             dropped_proposals: 0,
             catchup_inflight: None,
             peer_decided_upto: vec![Slot::ZERO; n],
-            retention: 4096,
+            // Historical default: bounded slot retention. Snapshot-capable
+            // runtimes switch to `SnapshotDriven` via `set_compaction`.
+            policy: CompactionPolicy::KeepSlots(4096),
+            snapshot_watermark: Slot::ZERO,
         }
     }
 
@@ -151,8 +158,63 @@ impl PaxosReplica {
     }
 
     /// Sets how many delivered slots are retained for catch-up.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `set_compaction(CompactionPolicy::KeepSlots(n))`"
+    )]
     pub fn set_retention(&mut self, slots: u64) {
-        self.retention = slots;
+        self.policy = CompactionPolicy::KeepSlots(slots);
+    }
+
+    /// Sets the log-compaction policy.
+    pub fn set_compaction(&mut self, policy: CompactionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active log-compaction policy.
+    pub fn compaction(&self) -> CompactionPolicy {
+        self.policy
+    }
+
+    /// First slot not covered by the newest known service snapshot.
+    pub fn snapshot_watermark(&self) -> Slot {
+        self.snapshot_watermark
+    }
+
+    /// Records that a service snapshot now covers every slot below
+    /// `applied_upto`.
+    ///
+    /// Two callers: the runtime after the ServiceManager persists a local
+    /// snapshot (steady state — the log already delivered those slots, so
+    /// this only licenses compaction), and recovery/snapshot-install paths
+    /// where the service state is AHEAD of the log (the log fast-forwards
+    /// so ordering resumes at the watermark instead of slot 0).
+    pub fn note_snapshot(&mut self, applied_upto: Slot) {
+        if applied_upto <= self.snapshot_watermark {
+            return;
+        }
+        self.snapshot_watermark = applied_upto;
+        if applied_upto > self.log.delivered_upto() {
+            self.log.fast_forward(applied_upto);
+            self.next_slot = self.next_slot.max(applied_upto);
+        }
+        self.compact();
+    }
+
+    /// Garbage-collects the log according to the active policy.
+    fn compact(&mut self) {
+        match self.policy {
+            CompactionPolicy::KeepAll => {}
+            CompactionPolicy::KeepSlots(n) => {
+                let keep_from = Slot(self.log.first_gap().0.saturating_sub(n));
+                self.log.truncate_below(keep_from);
+            }
+            CompactionPolicy::SnapshotDriven => {
+                // Never drop history a snapshot does not cover: before the
+                // first snapshot the log is kept whole.
+                self.log.truncate_below(self.snapshot_watermark);
+            }
+        }
     }
 
     /// Processes one event, appending resulting actions to `out`.
@@ -288,6 +350,21 @@ impl PaxosReplica {
         });
         let fu = self.prepare_first_unstable;
 
+        // Slots the quorum reports decided are final, but a peer that has
+        // compacted them holds neither value nor vote, so its promise is
+        // silent about them. Below the reported decided frontier that
+        // silence must NOT be read as "nothing was accepted": refilling
+        // such a hole with a no-op would overwrite decided history.
+        // Known values are still re-proposed anywhere; unknown slots
+        // below the frontier are left to catch-up (snapshot transfer
+        // once compacted).
+        let decided_elsewhere = self
+            .peer_decided_upto
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Slot::ZERO);
+
         // Choose, per slot, the value accepted in the highest view among
         // the quorum's reports and our own log.
         let mut best: HashMap<u64, (View, Batch)> = HashMap::new();
@@ -307,15 +384,24 @@ impl PaxosReplica {
                 }
             }
         }
+        let refill_from = fu.max(decided_elsewhere);
         let max_slot = best.keys().max().copied().map(Slot);
-        let stop = max_slot.map_or(fu, |m| m.next());
-        self.next_slot = stop.max(fu);
-        // Re-propose every unstable slot; holes become no-ops so the log
-        // stays gap-free and later decisions can execute.
-        let mut slot = fu;
-        while slot < stop {
+        let stop = max_slot.map_or(fu, |m| m.next()).max(refill_from);
+        self.next_slot = stop;
+        // Below the frontier, re-propose only slots whose value is known
+        // (a hole there is a compacted decided slot, not a free slot);
+        // from the frontier up, re-propose every unstable slot with
+        // holes becoming no-ops so the log stays gap-free and later
+        // decisions can execute.
+        let mut salvage: Vec<u64> = best
+            .keys()
+            .copied()
+            .filter(|s| fu.0 <= *s && *s < refill_from.0)
+            .collect();
+        salvage.sort_unstable();
+        let unstable = salvage.into_iter().chain(refill_from.0..stop.0).map(Slot);
+        for slot in unstable {
             if self.log.get(slot).is_some_and(|i| i.decided) {
-                slot = slot.next();
                 continue;
             }
             let batch = best
@@ -339,7 +425,6 @@ impl PaxosReplica {
                 msg,
             });
             self.try_decide(slot, out);
-            slot = slot.next();
         }
         self.drain_pending(out);
     }
@@ -385,6 +470,11 @@ impl PaxosReplica {
             ProtocolMsg::Heartbeat { view, decided_upto } => {
                 self.on_heartbeat(from, view, decided_upto, now_ns, out)
             }
+            ProtocolMsg::Snapshot {
+                applied_upto,
+                state_hash,
+                state,
+            } => self.on_snapshot_msg(from, applied_upto, state_hash, state, now_ns, out),
             ProtocolMsg::Suspect {
                 view,
                 from: reporter,
@@ -550,9 +640,7 @@ impl PaxosReplica {
         for (slot, batch) in self.log.take_deliverable() {
             out.push(Action::Deliver { slot, batch });
         }
-        // Keep a bounded history for catch-up.
-        let keep_from = Slot(self.log.first_gap().0.saturating_sub(self.retention));
-        self.log.truncate_below(keep_from);
+        self.compact();
         if self.role == ReplicaRole::Leading {
             self.drain_pending(out);
         }
@@ -576,6 +664,15 @@ impl PaxosReplica {
     }
 
     fn on_catchup_query(&mut self, from: ReplicaId, lo: Slot, to: Slot, out: &mut Vec<Action>) {
+        // The straggler wants slots we have already compacted, and a
+        // snapshot covers them: ship state instead of history. The runtime
+        // materializes the blob; we still serve whatever retained tail we
+        // have so the straggler converges in one round.
+        if lo < self.log.truncated_below() && self.snapshot_watermark > lo {
+            out.push(Action::SendSnapshot {
+                to: Target::One(from),
+            });
+        }
         let to = Slot(to.0.min(lo.0.saturating_add(CATCHUP_CHUNK)));
         let entries = self.log.decided_range(lo, to, CATCHUP_CHUNK as usize);
         out.push(Action::Send {
@@ -585,6 +682,39 @@ impl PaxosReplica {
                 entries,
             },
         });
+    }
+
+    fn on_snapshot_msg(
+        &mut self,
+        from: ReplicaId,
+        applied_upto: Slot,
+        state_hash: u64,
+        state: Vec<u8>,
+        now_ns: u64,
+        out: &mut Vec<Action>,
+    ) {
+        self.note_peer_progress(from, applied_upto);
+        if applied_upto <= self.log.first_gap() {
+            return; // stale: we already know everything it covers
+        }
+        self.catchup_inflight = None;
+        self.snapshot_watermark = self.snapshot_watermark.max(applied_upto);
+        self.log.fast_forward(applied_upto);
+        self.next_slot = self.next_slot.max(applied_upto);
+        out.push(Action::InstallSnapshot {
+            snapshot: SnapshotBlob {
+                applied_upto,
+                state_hash,
+                state,
+            },
+        });
+        // Anything decided at or above the watermark delivers on top of
+        // the restored state, then normal catch-up fetches the tail.
+        for (slot, batch) in self.log.take_deliverable() {
+            out.push(Action::Deliver { slot, batch });
+        }
+        self.compact();
+        self.maybe_catchup(None, now_ns, out);
     }
 
     fn on_catchup_reply(
@@ -1092,6 +1222,255 @@ mod tests {
             },
         );
         assert_eq!(net.replicas[0].view(), View(0), "bogus prepare ignored");
+    }
+
+    #[test]
+    fn snapshot_driven_holds_history_until_watermark() {
+        let mut net = TestNet::new(3);
+        net.replicas[0].set_compaction(CompactionPolicy::SnapshotDriven);
+        for i in 0..6 {
+            net.event(ReplicaId(0), Event::Proposal(batch(i)));
+        }
+        // No snapshot yet: nothing may be compacted.
+        assert_eq!(net.replicas[0].log().truncated_below(), Slot(0));
+        net.replicas[0].note_snapshot(Slot(4));
+        assert_eq!(net.replicas[0].log().truncated_below(), Slot(4));
+        assert_eq!(net.replicas[0].snapshot_watermark(), Slot(4));
+        // Stale watermark never regresses.
+        net.replicas[0].note_snapshot(Slot(2));
+        assert_eq!(net.replicas[0].snapshot_watermark(), Slot(4));
+    }
+
+    #[test]
+    fn note_snapshot_fast_forwards_fresh_log() {
+        // Recovery: the service restored to slot 10, the log is empty.
+        let mut r = PaxosReplica::new(ReplicaId(0), ClusterConfig::new(3));
+        r.set_compaction(CompactionPolicy::SnapshotDriven);
+        let mut out = Vec::new();
+        r.handle(Event::Init, 0, &mut out);
+        r.note_snapshot(Slot(10));
+        assert_eq!(r.decided_upto(), Slot(10));
+        assert_eq!(r.log().delivered_upto(), Slot(10));
+        assert_eq!(r.log().truncated_below(), Slot(10));
+        // A recovered leader must not propose into covered slots.
+        out.clear();
+        r.handle(Event::Proposal(batch(1)), 1, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: ProtocolMsg::Propose { slot, .. },
+                ..
+            } if *slot >= Slot(10)
+        )));
+    }
+
+    #[test]
+    fn compacted_catchup_query_ships_snapshot() {
+        let mut net = TestNet::new(3);
+        net.replicas[0].set_compaction(CompactionPolicy::SnapshotDriven);
+        for i in 0..6 {
+            net.event(ReplicaId(0), Event::Proposal(batch(i)));
+        }
+        net.replicas[0].note_snapshot(Slot(4));
+        // A straggler asks for slot 0, long compacted.
+        let mut out = Vec::new();
+        net.replicas[0].handle(
+            Event::Message {
+                from: ReplicaId(2),
+                msg: ProtocolMsg::CatchupQuery {
+                    from: Slot(0),
+                    to: Slot(6),
+                },
+            },
+            99,
+            &mut out,
+        );
+        assert!(
+            out.iter().any(|a| matches!(
+                a,
+                Action::SendSnapshot {
+                    to: Target::One(ReplicaId(2))
+                }
+            )),
+            "compacted range answered by snapshot: {out:?}"
+        );
+        // The retained tail still rides along in a CatchupReply.
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: ProtocolMsg::CatchupReply { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn retained_catchup_query_does_not_ship_snapshot() {
+        let mut net = TestNet::new(3);
+        net.replicas[0].set_compaction(CompactionPolicy::SnapshotDriven);
+        for i in 0..6 {
+            net.event(ReplicaId(0), Event::Proposal(batch(i)));
+        }
+        net.replicas[0].note_snapshot(Slot(4));
+        let mut out = Vec::new();
+        net.replicas[0].handle(
+            Event::Message {
+                from: ReplicaId(2),
+                msg: ProtocolMsg::CatchupQuery {
+                    from: Slot(4),
+                    to: Slot(6),
+                },
+            },
+            99,
+            &mut out,
+        );
+        assert!(
+            !out.iter().any(|a| matches!(a, Action::SendSnapshot { .. })),
+            "retained range served by replay alone: {out:?}"
+        );
+    }
+
+    #[test]
+    fn new_leader_never_noops_compacted_decided_slots() {
+        // A laggard wins leadership after its peers decided AND
+        // compacted the slots it missed. Their promises are silent about
+        // the compacted range, but that silence must not be refilled
+        // with no-ops — the range is decided history, recoverable only
+        // by catch-up (snapshot transfer).
+        let mut r = PaxosReplica::new(ReplicaId(2), ClusterConfig::new(3));
+        let mut out = Vec::new();
+        r.handle(Event::Init, 0, &mut out);
+        out.clear();
+        // Climb to view 2, which this replica leads, and start preparing.
+        r.handle(Event::Suspect { view: View(0) }, 1, &mut out);
+        out.clear();
+        r.handle(Event::Suspect { view: View(1) }, 2, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: ProtocolMsg::Prepare { .. },
+                ..
+            }
+        )));
+        out.clear();
+        // Peers decided up to slot 20 and compacted below 18: their
+        // promises carry only the retained tail.
+        let accepted: Vec<AcceptedEntry> = (18..20)
+            .map(|s| AcceptedEntry {
+                slot: Slot(s),
+                view: View(0),
+                batch: batch(s),
+            })
+            .collect();
+        for peer in [0u16, 1] {
+            r.handle(
+                Event::Message {
+                    from: ReplicaId(peer),
+                    msg: ProtocolMsg::Promise {
+                        view: View(2),
+                        decided_upto: Slot(20),
+                        accepted: accepted.clone(),
+                    },
+                },
+                3,
+                &mut out,
+            );
+        }
+        let proposed: Vec<(Slot, bool)> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    msg: ProtocolMsg::Propose { slot, batch, .. },
+                    ..
+                } => Some((*slot, batch.requests.is_empty())),
+                _ => None,
+            })
+            .collect();
+        // The retained tail is re-proposed; nothing below the quorum's
+        // decided frontier becomes a no-op.
+        assert!(proposed.iter().any(|(s, _)| *s == Slot(18)), "{proposed:?}");
+        assert!(
+            proposed.iter().all(|(s, empty)| !empty || *s >= Slot(20)),
+            "no-op refill below the decided frontier: {proposed:?}"
+        );
+        // The compacted gap is chased via catch-up instead.
+        assert!(
+            out.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    msg: ProtocolMsg::CatchupQuery { .. },
+                    ..
+                }
+            )),
+            "gap recovered via catch-up: {out:?}"
+        );
+        // New client proposals land above the decided frontier, never in
+        // slots the cluster already burned.
+        out.clear();
+        r.handle(Event::Proposal(batch(99)), 4, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: ProtocolMsg::Propose { slot, .. },
+                ..
+            } if *slot >= Slot(20)
+        )));
+    }
+
+    #[test]
+    fn snapshot_message_installs_and_fast_forwards() {
+        let mut r = PaxosReplica::new(ReplicaId(2), ClusterConfig::new(3));
+        r.set_compaction(CompactionPolicy::SnapshotDriven);
+        let mut out = Vec::new();
+        r.handle(Event::Init, 0, &mut out);
+        out.clear();
+        r.handle(
+            Event::Message {
+                from: ReplicaId(0),
+                msg: ProtocolMsg::Snapshot {
+                    applied_upto: Slot(8),
+                    state_hash: 77,
+                    state: vec![1, 2, 3],
+                },
+            },
+            1,
+            &mut out,
+        );
+        let install = out
+            .iter()
+            .find_map(|a| match a {
+                Action::InstallSnapshot { snapshot } => Some(snapshot.clone()),
+                _ => None,
+            })
+            .expect("snapshot installed: {out:?}");
+        assert_eq!(install.applied_upto, Slot(8));
+        assert_eq!(install.state_hash, 77);
+        assert_eq!(r.decided_upto(), Slot(8));
+        assert_eq!(r.snapshot_watermark(), Slot(8));
+        // A second, stale snapshot is ignored.
+        out.clear();
+        r.handle(
+            Event::Message {
+                from: ReplicaId(1),
+                msg: ProtocolMsg::Snapshot {
+                    applied_upto: Slot(4),
+                    state_hash: 5,
+                    state: vec![],
+                },
+            },
+            2,
+            &mut out,
+        );
+        assert!(out.is_empty(), "stale snapshot ignored: {out:?}");
+        assert_eq!(r.decided_upto(), Slot(8));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn set_retention_maps_to_keep_slots() {
+        let mut r = PaxosReplica::new(ReplicaId(0), ClusterConfig::new(1));
+        r.set_retention(16);
+        assert_eq!(r.compaction(), CompactionPolicy::KeepSlots(16));
     }
 
     #[test]

@@ -433,11 +433,14 @@ async fn route_actions(
                 decision_q.push((slot.0, batch)).await;
             }
             // No failures are injected in the performance experiments, so
-            // retransmission and view-change bookkeeping are not modeled.
+            // retransmission, view-change bookkeeping, and snapshot
+            // transfer are not modeled.
             Action::ScheduleRetransmit { .. }
             | Action::CancelRetransmit { .. }
             | Action::CancelAllRetransmits
-            | Action::LeaderChanged { .. } => {}
+            | Action::LeaderChanged { .. }
+            | Action::SendSnapshot { .. }
+            | Action::InstallSnapshot { .. } => {}
         }
     }
 }

@@ -1,0 +1,47 @@
+//! Error type of the storage layer.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Why a storage operation failed.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O failure.
+    Io(io::Error),
+    /// A sealed file failed validation (bad checksum, malformed record):
+    /// the directory cannot be trusted and recovery must not proceed.
+    Corrupt {
+        /// The damaged file.
+        path: PathBuf,
+        /// What failed to validate.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
+            StorageError::Corrupt { path, detail } => {
+                write!(f, "corrupt storage file {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl Error for StorageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

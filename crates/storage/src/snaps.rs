@@ -1,0 +1,128 @@
+//! Snapshot files: `snap-<applied_upto>.snap`, one CRC-framed
+//! [`SnapshotBlob`] each, written atomically via temp-file + rename.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bytes::BytesMut;
+use smr_types::{Slot, SnapshotBlob};
+use smr_wire::{crc32, Frame, WireReader, WireWriter, MAX_FRAME_LEN};
+
+use crate::error::StorageError;
+
+const PREFIX: &str = "snap-";
+const SUFFIX: &str = ".snap";
+const TMP_NAME: &str = "snap.tmp";
+
+/// Path of the snapshot whose watermark is `applied_upto`.
+pub(crate) fn snapshot_path(dir: &Path, applied_upto: Slot) -> PathBuf {
+    dir.join(format!("{PREFIX}{:020}{SUFFIX}", applied_upto.0))
+}
+
+/// Snapshot files in `dir`, sorted by watermark.
+fn list_snapshots(dir: &Path) -> Result<Vec<(Slot, PathBuf)>, StorageError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(upto) = name
+            .strip_prefix(PREFIX)
+            .and_then(|s| s.strip_suffix(SUFFIX))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        out.push((Slot(upto), entry.path()));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Writes `blob` durably: temp file, fsync, atomic rename.
+pub(crate) fn write_snapshot(dir: &Path, blob: &SnapshotBlob) -> Result<(), StorageError> {
+    let mut payload = BytesMut::with_capacity(8 + 8 + 4 + blob.state.len());
+    let mut w = WireWriter::new(&mut payload);
+    w.u64(blob.applied_upto.0);
+    w.u64(blob.state_hash);
+    w.bytes(&blob.state);
+    let mut framed = BytesMut::with_capacity(Frame::HEADER_LEN + payload.len());
+    Frame::encode(&payload, &mut framed);
+
+    let tmp = dir.join(TMP_NAME);
+    let mut file = File::create(&tmp)?;
+    file.write_all(&framed)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, snapshot_path(dir, blob.applied_upto))?;
+    // Make the rename itself durable where the platform allows it; a
+    // failure here only risks replaying a longer WAL tail after a crash.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Reads and validates one snapshot file.
+fn read_snapshot(path: &Path) -> Result<SnapshotBlob, StorageError> {
+    let data = fs::read(path)?;
+    let corrupt = |detail: String| StorageError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    if data.len() < Frame::HEADER_LEN {
+        return Err(corrupt(format!(
+            "{}-byte file, no frame header",
+            data.len()
+        )));
+    }
+    let len = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    if len > MAX_FRAME_LEN || data.len() != Frame::HEADER_LEN + len {
+        return Err(corrupt(format!(
+            "frame length {len} does not match file size {}",
+            data.len()
+        )));
+    }
+    let expected = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+    let payload = &data[Frame::HEADER_LEN..];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(corrupt("snapshot checksum mismatch".to_string()));
+    }
+    let mut r = WireReader::new(payload);
+    let parse = (|| {
+        let applied_upto = Slot(r.u64()?);
+        let state_hash = r.u64()?;
+        let state = r.bytes()?;
+        r.finish("snapshot")?;
+        Ok::<_, smr_wire::DecodeError>(SnapshotBlob {
+            applied_upto,
+            state_hash,
+            state,
+        })
+    })();
+    parse.map_err(|e| corrupt(format!("undecodable snapshot: {e}")))
+}
+
+/// The newest snapshot in `dir` that passes validation, if any. Invalid
+/// newer files are skipped — the interrupted write of a newer snapshot
+/// must never mask an older good one.
+pub(crate) fn newest_valid_snapshot(dir: &Path) -> Result<Option<SnapshotBlob>, StorageError> {
+    for (_, path) in list_snapshots(dir)?.into_iter().rev() {
+        if let Ok(blob) = read_snapshot(&path) {
+            return Ok(Some(blob));
+        }
+    }
+    Ok(None)
+}
+
+/// Removes snapshots older than `watermark`.
+pub(crate) fn prune_below(dir: &Path, watermark: Slot) -> Result<(), StorageError> {
+    for (upto, path) in list_snapshots(dir)? {
+        if upto < watermark {
+            fs::remove_file(path)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Write-ahead log segments: `wal-<start>.log` files of CRC-framed
+//! `(slot, batch)` records.
+
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+
+use bytes::BytesMut;
+use smr_types::Slot;
+use smr_wire::{crc32, Batch, Codec, Frame, WireReader, WireWriter, MAX_FRAME_LEN};
+
+use crate::error::StorageError;
+
+const PREFIX: &str = "wal-";
+const SUFFIX: &str = ".log";
+
+/// Path of the segment whose first record is `start`.
+pub(crate) fn segment_path(dir: &Path, start: Slot) -> PathBuf {
+    dir.join(format!("{PREFIX}{:020}{SUFFIX}", start.0))
+}
+
+/// WAL segments in `dir`, sorted by start slot.
+pub(crate) fn list_segments(dir: &Path) -> Result<Vec<(Slot, PathBuf)>, StorageError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(start) = name
+            .strip_prefix(PREFIX)
+            .and_then(|s| s.strip_suffix(SUFFIX))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        out.push((Slot(start), entry.path()));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Appends the framed encoding of one record to `buf`.
+pub(crate) fn encode_record(slot: Slot, batch: &Batch, buf: &mut BytesMut) {
+    let mut payload = BytesMut::with_capacity(8 + batch.encoded_len());
+    let mut w = WireWriter::new(&mut payload);
+    w.u64(slot.0);
+    batch.encode(&mut payload);
+    Frame::encode(&payload, buf);
+}
+
+/// Replays one segment into `out`.
+///
+/// `is_final` marks the newest segment, the only one a crash can leave
+/// with a torn or corrupt tail: there the intact prefix is kept and the
+/// file truncated back to it. Sealed segments must validate end to end.
+pub(crate) fn replay_segment(
+    path: &Path,
+    is_final: bool,
+    out: &mut BTreeMap<u64, Batch>,
+) -> Result<(), StorageError> {
+    let data = fs::read(path)?;
+    let mut off = 0usize;
+    let torn = loop {
+        let rest = data.len() - off;
+        if rest == 0 {
+            return Ok(());
+        }
+        if rest < Frame::HEADER_LEN {
+            break format!("{rest}-byte partial header at offset {off}");
+        }
+        let len =
+            u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            break format!("implausible record length {len} at offset {off}");
+        }
+        let expected =
+            u32::from_le_bytes([data[off + 4], data[off + 5], data[off + 6], data[off + 7]]);
+        if rest < Frame::HEADER_LEN + len {
+            break format!("truncated record body at offset {off}");
+        }
+        let payload = &data[off + Frame::HEADER_LEN..off + Frame::HEADER_LEN + len];
+        let actual = crc32(payload);
+        if actual != expected {
+            break format!("record checksum mismatch at offset {off}");
+        }
+        let mut r = WireReader::new(payload);
+        let record = (|| {
+            let slot = r.u64()?;
+            let batch = Batch::decode_from(&mut r)?;
+            r.finish("wal record")?;
+            Ok::<_, smr_wire::DecodeError>((slot, batch))
+        })();
+        match record {
+            Ok((slot, batch)) => {
+                out.insert(slot, batch);
+            }
+            // A checksummed payload that does not decode is a bug or
+            // hand-editing, not a torn write: always fatal.
+            Err(e) => {
+                return Err(StorageError::Corrupt {
+                    path: path.to_path_buf(),
+                    detail: format!("undecodable record at offset {off}: {e}"),
+                })
+            }
+        }
+        off += Frame::HEADER_LEN + len;
+    };
+    if !is_final {
+        return Err(StorageError::Corrupt {
+            path: path.to_path_buf(),
+            detail: torn,
+        });
+    }
+    // Crash mid-append: keep the intact prefix, drop the torn tail so the
+    // next append does not interleave with garbage.
+    OpenOptions::new()
+        .write(true)
+        .open(path)?
+        .set_len(off as u64)?;
+    Ok(())
+}

@@ -23,8 +23,10 @@ mod config;
 mod conflict;
 mod error;
 mod ids;
+mod snapshot;
 
 pub use config::{BatchPolicy, ClusterConfig, ClusterConfigBuilder, RetransmitPolicy};
 pub use conflict::{key_hash, AccessMode, KeySet};
 pub use error::{ConfigError, SmrError};
 pub use ids::{ClientId, ReplicaId, RequestId, SeqNum, Slot, View};
+pub use snapshot::{CompactionPolicy, SnapshotBlob, SnapshotError};

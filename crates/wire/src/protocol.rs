@@ -117,6 +117,18 @@ pub enum ProtocolMsg {
         /// The replica raising the suspicion.
         from: ReplicaId,
     },
+    /// Snapshot transfer: a peer that has compacted the slots a straggler
+    /// asked for ships its service state instead. The receiver restores
+    /// the state, fast-forwards its log to `applied_upto`, and resumes
+    /// normal catch-up from there.
+    Snapshot {
+        /// First slot NOT covered by the snapshot (exclusive watermark).
+        applied_upto: Slot,
+        /// The sender's state digest at the watermark, for verification.
+        state_hash: u64,
+        /// The service-defined serialized state.
+        state: Vec<u8>,
+    },
 }
 
 const TAG_PREPARE: u8 = 1;
@@ -127,6 +139,7 @@ const TAG_CATCHUP_QUERY: u8 = 5;
 const TAG_CATCHUP_REPLY: u8 = 6;
 const TAG_HEARTBEAT: u8 = 7;
 const TAG_SUSPECT: u8 = 8;
+const TAG_SNAPSHOT: u8 = 9;
 
 impl ProtocolMsg {
     /// Short human-readable name of the message kind.
@@ -140,6 +153,7 @@ impl ProtocolMsg {
             ProtocolMsg::CatchupReply { .. } => "CatchupReply",
             ProtocolMsg::Heartbeat { .. } => "Heartbeat",
             ProtocolMsg::Suspect { .. } => "Suspect",
+            ProtocolMsg::Snapshot { .. } => "Snapshot",
         }
     }
 }
@@ -220,6 +234,17 @@ impl Codec for ProtocolMsg {
                 w.u64(view.0);
                 w.u16(from.0);
             }
+            ProtocolMsg::Snapshot {
+                applied_upto,
+                state_hash,
+                state,
+            } => {
+                let mut w = WireWriter::new(buf);
+                w.u8(TAG_SNAPSHOT);
+                w.u64(applied_upto.0);
+                w.u64(*state_hash);
+                w.bytes(state);
+            }
         }
     }
 
@@ -280,6 +305,11 @@ impl Codec for ProtocolMsg {
                 view: View(r.u64()?),
                 from: ReplicaId(r.u16()?),
             }),
+            TAG_SNAPSHOT => Ok(ProtocolMsg::Snapshot {
+                applied_upto: Slot(r.u64()?),
+                state_hash: r.u64()?,
+                state: r.bytes()?,
+            }),
             other => Err(DecodeError::new(
                 "ProtocolMsg",
                 format!("unknown tag {other}"),
@@ -312,6 +342,7 @@ impl Codec for ProtocolMsg {
             }
             ProtocolMsg::Heartbeat { .. } => 1 + 8 + 8,
             ProtocolMsg::Suspect { .. } => 1 + 8 + 2,
+            ProtocolMsg::Snapshot { state, .. } => 1 + 8 + 8 + 4 + state.len(),
         }
     }
 }
@@ -379,6 +410,16 @@ mod tests {
         roundtrip(ProtocolMsg::Suspect {
             view: View(7),
             from: ReplicaId(2),
+        });
+        roundtrip(ProtocolMsg::Snapshot {
+            applied_upto: Slot(128),
+            state_hash: 0xDEAD_BEEF_CAFE_F00D,
+            state: vec![7u8; 64],
+        });
+        roundtrip(ProtocolMsg::Snapshot {
+            applied_upto: Slot(0),
+            state_hash: 0,
+            state: vec![],
         });
     }
 

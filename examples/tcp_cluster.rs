@@ -44,9 +44,9 @@ fn main() -> Result<(), SmrError> {
                 peer_addrs[i as usize]
             );
             ReplicaBuilder::new(id, config.clone())
-                .service(Box::new(KvService::new()))
-                .network(Arc::new(network))
-                .client_listener(Box::new(listener))
+                .with_service(Box::new(KvService::new()))
+                .with_network(Arc::new(network))
+                .with_client_listener(Box::new(listener))
                 .start()
                 .expect("replica starts")
         })

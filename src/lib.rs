@@ -40,6 +40,7 @@
 //! | [`metrics`] | `smr-metrics` | Per-thread busy/blocked/waiting/other accounting |
 //! | [`paxos`] | `smr-paxos` | Pure MultiPaxos state machine (events in, actions out) |
 //! | [`net`] | `smr-net` | In-memory (fault-injecting) and TCP transports |
+//! | [`storage`] | `smr-storage` | Durable log + snapshot files, CRC-framed, crash recovery |
 //! | [`core`] | `smr-core` | **The paper's architecture**: the threaded replica runtime |
 //! | [`sim`] | `smr-sim` | Deterministic discrete-event kernel (cores, locks, NICs) |
 //! | [`sim_jpaxos`] | `smr-sim-jpaxos` | The evaluation testbed model (Figs. 4–11, Tables I–III) |
@@ -65,6 +66,7 @@ pub use smr_queue as queue;
 pub use smr_sim as sim;
 pub use smr_sim_jpaxos as sim_jpaxos;
 pub use smr_sim_zab as sim_zab;
+pub use smr_storage as storage;
 pub use smr_types as types;
 pub use smr_wire as wire;
 
@@ -72,7 +74,7 @@ pub use smr_wire as wire;
 pub mod prelude {
     pub use smr_core::{
         InProcessCluster, KvService, LockService, NullService, ReplicaBuilder, SequencerService,
-        Service, SmrClient,
+        Service, ServiceState, SmrClient, SnapshotService,
     };
-    pub use smr_types::{ClientId, ClusterConfig, ReplicaId, SmrError};
+    pub use smr_types::{ClientId, ClusterConfig, CompactionPolicy, ReplicaId, SmrError};
 }

@@ -73,9 +73,9 @@ fn tcp_stack_end_to_end() {
             let listener = TcpClientListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
             client_addrs.push(listener.local_addr().unwrap());
             ReplicaBuilder::new(id, cfg.clone())
-                .service(Box::new(KvService::new()))
-                .network(Arc::new(network))
-                .client_listener(Box::new(listener))
+                .with_service(Box::new(KvService::new()))
+                .with_network(Arc::new(network))
+                .with_client_listener(Box::new(listener))
                 .start()
                 .unwrap()
         })

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use smr_core::{InProcessCluster, NullService};
+use smr_metrics::MetricsSnapshot;
 use smr_types::{ClientId, ClusterConfig, RequestId, SeqNum};
 use smr_wire::{crc32, crc32_bytewise, Batch, Codec, Request};
 
@@ -81,11 +82,9 @@ fn crc_gibps(f: impl Fn(&[u8]) -> u32) -> f64 {
     (iters * buf.len() as u64) as f64 / start.elapsed().as_secs_f64() / (1u64 << 30) as f64
 }
 
-/// In-memory 3-replica cluster with the paper's null service driven by
-/// closed-loop clients; returns requests/second.
-fn cluster_throughput_rps(clients: usize, window: Duration) -> f64 {
-    let cluster =
-        InProcessCluster::start(ClusterConfig::new(3), |_| Box::new(NullService::default()));
+/// Drives an already-started cluster with closed-loop clients for
+/// `window`; returns requests/second.
+fn drive(cluster: &InProcessCluster, clients: usize, window: Duration) -> f64 {
     // Warm-up: let the leader settle before the timed window.
     let mut warm = cluster.client();
     for _ in 0..50 {
@@ -113,9 +112,48 @@ fn cluster_throughput_rps(clients: usize, window: Duration) -> f64 {
     std::thread::sleep(window);
     stop.store(true, Ordering::Relaxed);
     let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
-    let elapsed = start.elapsed();
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The leader's metrics snapshot (whichever replica holds the lease).
+fn leader_snapshot(cluster: &InProcessCluster) -> MetricsSnapshot {
+    let leader = cluster
+        .config()
+        .replicas()
+        .find(|id| cluster.replica(*id).shared().is_leader())
+        .expect("a leader is elected");
+    cluster.replica(leader).metrics_snapshot()
+}
+
+/// In-memory 3-replica cluster with the paper's null service; returns
+/// throughput plus the leader's metrics snapshot (which carries the
+/// per-stage latency breakdown when `stage_metrics` is on).
+fn cluster_run(clients: usize, window: Duration, stage_metrics: bool) -> (f64, MetricsSnapshot) {
+    let cluster = InProcessCluster::start_with(ClusterConfig::new(3), |_, builder| {
+        builder
+            .with_service(Box::new(NullService::default()))
+            .with_stage_metrics(stage_metrics)
+    });
+    let rps = drive(&cluster, clients, window);
+    let snap = leader_snapshot(&cluster);
     cluster.shutdown();
-    total as f64 / elapsed.as_secs_f64()
+    (rps, snap)
+}
+
+/// Same cluster with a write-ahead log per replica, for the WAL
+/// append/fsync (group-commit) latency fields.
+fn durable_cluster_run(clients: usize, window: Duration) -> (f64, MetricsSnapshot) {
+    let wal_root = std::env::temp_dir().join(format!("bench-snap-wal-{}", std::process::id()));
+    let cluster = InProcessCluster::start_with(ClusterConfig::new(3), |id, builder| {
+        builder
+            .with_snapshot_service(Box::new(NullService::default()))
+            .with_durability(wal_root.join(format!("replica-{}", id.0)))
+    });
+    let rps = drive(&cluster, clients, window);
+    let snap = leader_snapshot(&cluster);
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_root);
+    (rps, snap)
 }
 
 fn json_number(v: f64) -> String {
@@ -165,8 +203,42 @@ fn main() {
     let crc_slow = crc_gibps(crc32_bytewise);
     println!("crc32 bytewise   (4KiB)       {:>12.2} GiB/s", crc_slow);
 
-    let cluster_rps = cluster_throughput_rps(8, Duration::from_secs(2));
+    let (cluster_rps, stage_snap) = cluster_run(8, Duration::from_secs(2), true);
     println!("cluster n=3 null-service      {:>12.0} req/s", cluster_rps);
+    let stage_us = |name: &str, pick: fn(&smr_metrics::HistogramSummary) -> f64| {
+        stage_snap
+            .histogram(name)
+            .map_or(0.0, |h| pick(h) / 1_000.0)
+    };
+    for name in ["stage.proposed_to_decided", "stage.intake_to_reply"] {
+        println!(
+            "{name:<22} p50/p95/p99   {:>8.1}/{:.1}/{:.1} us",
+            stage_us(name, |h| h.p50_ns),
+            stage_us(name, |h| h.p95_ns),
+            stage_us(name, |h| h.p99_ns),
+        );
+    }
+    // The same cluster with stage stamping compiled in but switched off:
+    // the difference is the observability overhead on the hot path.
+    let (cluster_rps_off, _) = cluster_run(8, Duration::from_secs(2), false);
+    println!(
+        "cluster n=3 metrics-off       {:>12.0} req/s",
+        cluster_rps_off
+    );
+    let metrics_ratio = cluster_rps_off / cluster_rps;
+    println!("cluster metrics-off/on        {:>12.2} x", metrics_ratio);
+    let (durable_rps, wal_snap) = durable_cluster_run(8, Duration::from_secs(2));
+    println!("cluster n=3 durable (WAL)     {:>12.0} req/s", durable_rps);
+    let wal_us = |name: &str, pick: fn(&smr_metrics::HistogramSummary) -> f64| {
+        wal_snap.histogram(name).map_or(0.0, |h| pick(h) / 1_000.0)
+    };
+    for name in ["wal.append", "wal.fsync"] {
+        println!(
+            "{name:<22} p50/p99       {:>8.1}/{:.1} us",
+            wal_us(name, |h| h.p50_ns),
+            wal_us(name, |h| h.p99_ns),
+        );
+    }
 
     // Sequential vs dependency-aware parallel execution of a heavyweight
     // service on a conflict-free decided order. Two regimes: pure CPU
@@ -220,6 +292,37 @@ fn main() {
     field("crc32_slice8_4kib_gib_per_s", crc_fast);
     field("crc32_bytewise_4kib_gib_per_s", crc_slow);
     field("cluster_n3_null_rps", cluster_rps);
+    field("cluster_n3_null_metrics_off_rps", cluster_rps_off);
+    field("cluster_metrics_off_over_on", metrics_ratio);
+    field("cluster_n3_durable_rps", durable_rps);
+    field(
+        "stage_proposed_to_decided_p50_us",
+        stage_us("stage.proposed_to_decided", |h| h.p50_ns),
+    );
+    field(
+        "stage_proposed_to_decided_p95_us",
+        stage_us("stage.proposed_to_decided", |h| h.p95_ns),
+    );
+    field(
+        "stage_proposed_to_decided_p99_us",
+        stage_us("stage.proposed_to_decided", |h| h.p99_ns),
+    );
+    field(
+        "stage_intake_to_reply_p50_us",
+        stage_us("stage.intake_to_reply", |h| h.p50_ns),
+    );
+    field(
+        "stage_intake_to_reply_p95_us",
+        stage_us("stage.intake_to_reply", |h| h.p95_ns),
+    );
+    field(
+        "stage_intake_to_reply_p99_us",
+        stage_us("stage.intake_to_reply", |h| h.p99_ns),
+    );
+    field("wal_append_p50_us", wal_us("wal.append", |h| h.p50_ns));
+    field("wal_append_p99_us", wal_us("wal.append", |h| h.p99_ns));
+    field("wal_fsync_p50_us", wal_us("wal.fsync", |h| h.p50_ns));
+    field("wal_fsync_p99_us", wal_us("wal.fsync", |h| h.p99_ns));
     field("exec_cpu_sequential_cmds_per_s", cpu_seq);
     field("exec_cpu_parallel4_cmds_per_s", cpu_par);
     field("exec_cpu_parallel_over_sequential", cpu_ratio);

@@ -38,11 +38,11 @@ pub(crate) fn run_acceptor(ctx: &Ctx, listener: Box<dyn ClientListener>) {
 
 struct ConnState {
     conn: Box<dyn ClientConn>,
-    /// A decoded request that could not yet be pushed to the
-    /// RequestQueue. While present, the connection is not read — this is
-    /// the backpressure point of §V-E: paused reads fill the client's TCP
-    /// buffers and eventually block the client.
-    pending: Option<Request>,
+    /// A decoded request (with its intake stamp) that could not yet be
+    /// pushed to the RequestQueue. While present, the connection is not
+    /// read — this is the backpressure point of §V-E: paused reads fill
+    /// the client's TCP buffers and eventually block the client.
+    pending: Option<(Request, u64)>,
 }
 
 /// Most replies drained per wakeup while parked on an idle ReplyQueue
@@ -195,10 +195,11 @@ fn handle_frame(ctx: &Ctx, index: usize, state: &mut ConnState, frame: &[u8]) ->
     // Remember how to route the reply back (§V-D hand-over).
     ctx.shared
         .bind_client(request.id.client, index, state.conn.id());
-    match ctx.request_q.try_push(request) {
+    let stamp = ctx.stage.stamp(&ctx.shared);
+    match ctx.request_q.try_push((request, stamp)) {
         Ok(()) => true,
-        Err(PushError::Full(request)) => {
-            state.pending = Some(request);
+        Err(PushError::Full(pending)) => {
+            state.pending = Some(pending);
             true
         }
         Err(PushError::Closed(_)) => false,

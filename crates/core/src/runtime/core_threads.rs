@@ -1,14 +1,16 @@
 //! ReplicationCore threads (§V-C): Batcher, Protocol, FailureDetector,
 //! and Retransmitter.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use smr_metrics::ThreadState;
 use smr_paxos::{Action, BatchBuilder, Event, PaxosReplica};
 use smr_queue::PopError;
-use smr_types::{Slot, View};
+use smr_types::{RequestId, Slot, View};
 use smr_wire::{Batch, ProtocolMsg, Request};
 
+use super::stage::{batch_key, BatchStamp, StageClock};
 use super::{Ctx, Decision, RetransmitEntry};
 
 /// Most requests the Batcher moves out of the RequestQueue per lock
@@ -23,11 +25,17 @@ const EVENT_BURST: usize = 256;
 /// according to the batching policy and feeds the ProposalQueue. Bursts
 /// move under one RequestQueue lock acquisition, and every batch they
 /// complete is handed to the ProposalQueue in one bulk push.
+///
+/// Each request arrives paired with its intake stamp; the stamp of the
+/// request that *opens* a batch becomes the batch's intake time, and
+/// sealing records the intake → sealed transition.
 pub(crate) fn run_batcher(ctx: &Ctx) {
     let handle = ctx.metrics.register_thread("Batcher");
     let mut builder = BatchBuilder::new(ctx.config.batch());
-    let mut burst: Vec<Request> = Vec::new();
-    let mut completed: Vec<Batch> = Vec::new();
+    let mut burst: Vec<(Request, u64)> = Vec::new();
+    let mut completed: Vec<(Batch, BatchStamp)> = Vec::new();
+    // Intake stamp of the batch currently open in the builder.
+    let mut open_intake = 0u64;
     loop {
         let now = ctx.shared.now_ns();
         // Wait at most until the open batch's deadline.
@@ -41,20 +49,48 @@ pub(crate) fn run_batcher(ctx: &Ctx) {
         {
             Ok(_) => {
                 let now = ctx.shared.now_ns();
-                builder.push_all(burst.drain(..), now, &mut completed);
-                if !completed.is_empty()
-                    && ctx
+                for (req, intake_ns) in burst.drain(..) {
+                    if builder.pending_len() == 0 {
+                        open_intake = intake_ns;
+                    }
+                    if let Some(batch) = builder.push(req, now) {
+                        completed.push((
+                            batch,
+                            BatchStamp {
+                                intake_ns: open_intake,
+                                sealed_ns: now,
+                            },
+                        ));
+                        if builder.pending_len() > 0 {
+                            // The request overflowed the previous batch
+                            // and opened the next one: it owns the new
+                            // batch's intake stamp.
+                            open_intake = intake_ns;
+                        }
+                    }
+                }
+                if !completed.is_empty() {
+                    for (_, stamp) in &completed {
+                        ctx.stage.record_sealed(*stamp);
+                    }
+                    if ctx
                         .proposal_q
                         .push_many_with(completed.drain(..), &handle)
                         .is_err()
-                {
-                    return;
+                    {
+                        return;
+                    }
                 }
             }
             Err(PopError::Empty) => {
                 let now = ctx.shared.now_ns();
                 if let Some(batch) = builder.poll_timeout(now) {
-                    if ctx.proposal_q.push_with(batch, &handle).is_err() {
+                    let stamp = BatchStamp {
+                        intake_ns: open_intake,
+                        sealed_ns: now,
+                    };
+                    ctx.stage.record_sealed(stamp);
+                    if ctx.proposal_q.push_with((batch, stamp), &handle).is_err() {
                         return;
                     }
                 }
@@ -74,8 +110,13 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
     let mut actions = Vec::new();
     let mut deliveries: Vec<Decision> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
+    // Stage clocks of batches this replica proposed, keyed by the
+    // batch's first request id; probed when the decision comes back as
+    // a `Deliver`. Cleared on leader change (a dethroned leader's
+    // un-decided proposals would otherwise linger).
+    let mut pending_clocks: HashMap<RequestId, StageClock> = HashMap::new();
     core.handle(Event::Init, ctx.shared.now_ns(), &mut actions);
-    if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
+    if apply_actions(ctx, &mut actions, &mut deliveries, &mut pending_clocks).is_err() {
         return;
     }
     // The ServiceManager publishes snapshots through the SnapshotStore;
@@ -96,7 +137,7 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
         if watermark > seen_watermark {
             seen_watermark = watermark;
             core.note_snapshot(watermark);
-            if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
+            if apply_actions(ctx, &mut actions, &mut deliveries, &mut pending_clocks).is_err() {
                 return;
             }
             publish(ctx, &core);
@@ -107,9 +148,18 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
         // per-item pop on purpose: the window check gates every proposal.
         while core.window_open() {
             match ctx.proposal_q.try_pop() {
-                Ok(batch) => {
-                    core.handle(Event::Proposal(batch), ctx.shared.now_ns(), &mut actions);
-                    if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
+                Ok((batch, stamp)) => {
+                    let now = ctx.shared.now_ns();
+                    if ctx.stage.enabled {
+                        let clock = ctx.stage.record_proposed(stamp, now);
+                        if let Some(key) = batch_key(&batch) {
+                            pending_clocks.insert(key, clock);
+                        }
+                    }
+                    core.handle(Event::Proposal(batch), now, &mut actions);
+                    if apply_actions(ctx, &mut actions, &mut deliveries, &mut pending_clocks)
+                        .is_err()
+                    {
                         return;
                     }
                     publish(ctx, &core);
@@ -143,7 +193,9 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
                         continue;
                     }
                     core.handle(event, ctx.shared.now_ns(), &mut actions);
-                    if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
+                    if apply_actions(ctx, &mut actions, &mut deliveries, &mut pending_clocks)
+                        .is_err()
+                    {
                         return;
                     }
                 }
@@ -155,7 +207,7 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
         if last_tick.elapsed() >= tick_every {
             last_tick = Instant::now();
             core.handle(Event::Tick, ctx.shared.now_ns(), &mut actions);
-            if apply_actions(ctx, &mut actions, &mut deliveries).is_err() {
+            if apply_actions(ctx, &mut actions, &mut deliveries, &mut pending_clocks).is_err() {
                 return;
             }
         }
@@ -169,17 +221,27 @@ fn publish(ctx: &Ctx, core: &PaxosReplica) {
 /// Carries out the state machine's actions. `deliveries` is a reusable
 /// scratch buffer: `Deliver` decisions and snapshot installs are staged
 /// there (relative order preserved) and handed to the DecisionQueue in
-/// one bulk push per action batch. Returns `Err(())` when the replica is
-/// shutting down.
+/// one bulk push per action batch. `pending_clocks` tracks the stage
+/// clocks of locally proposed batches; a delivery of one of them
+/// records proposed → decided and forwards the clock with the decision.
+/// Returns `Err(())` when the replica is shutting down.
 fn apply_actions(
     ctx: &Ctx,
     actions: &mut Vec<Action>,
     deliveries: &mut Vec<Decision>,
+    pending_clocks: &mut HashMap<RequestId, StageClock>,
 ) -> Result<(), ()> {
     for action in actions.drain(..) {
         match action {
             Action::Send { to, msg } => ctx.send(to, &msg),
-            Action::Deliver { slot, batch } => deliveries.push(Decision::Apply(slot, batch)),
+            Action::Deliver { slot, batch } => {
+                // Follower deliveries (and anything proposed before a
+                // leader change) have no clock entry and ride as `None`.
+                let clock = batch_key(&batch)
+                    .and_then(|key| pending_clocks.remove(&key))
+                    .map(|clock| ctx.stage.record_decided(clock, ctx.shared.now_ns()));
+                deliveries.push(Decision::Apply(slot, batch, clock));
+            }
             Action::SendSnapshot { to } => {
                 // Materialize the newest published snapshot; nothing to
                 // send if none exists yet (the peer falls back to slot
@@ -222,6 +284,7 @@ fn apply_actions(
                 }
             }
             Action::LeaderChanged { view, leader } => {
+                pending_clocks.clear();
                 ctx.shared.set_view(view, leader, ctx.me);
             }
         }

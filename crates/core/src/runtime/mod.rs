@@ -4,24 +4,28 @@ mod client_io;
 mod core_threads;
 mod replica_io;
 mod service_manager;
+mod stage;
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use smr_metrics::{Counter, MetricsRegistry};
+use smr_metrics::{Counter, MetricsRegistry, MetricsSnapshot, ThreadState};
 use smr_net::{ClientConn, ClientListener, ReplicaNetwork};
 use smr_paxos::{RetransmitKey, Target};
-use smr_queue::{BoundedQueue, CancelHandle, TimerQueue};
+use smr_queue::{BoundedQueue, CancelHandle, DepthSampler, QueueRegistry, TimerQueue};
 use smr_storage::Storage;
 use smr_types::{
     ClusterConfig, CompactionPolicy, ConfigError, ReplicaId, Slot, SmrError, SnapshotBlob,
 };
 use smr_wire::{Batch, ProtocolMsg, Reply, Request};
+
+use stage::{BatchStamp, StageClock, StageMetrics};
 
 use crate::reply_cache::{ExecuteOutcome, ReplyCache, ShardedReplyCache};
 use crate::service::{
@@ -64,8 +68,10 @@ impl ServiceMode {
 #[derive(Debug)]
 pub(crate) enum Decision {
     /// Execute the decided batch of `slot` (strictly increasing, gap-free
-    /// except across a preceding `Install`).
-    Apply(Slot, Batch),
+    /// except across a preceding `Install`). The clock carries the
+    /// batch's stage stamps when this replica proposed it with stage
+    /// metrics on; follower deliveries carry `None`.
+    Apply(Slot, Batch, Option<StageClock>),
     /// Replace the service state with a peer's snapshot before applying
     /// anything at or above its watermark.
     Install(SnapshotBlob),
@@ -128,9 +134,17 @@ pub(crate) struct Ctx {
     pub shared: Arc<SharedState>,
     pub cache: Arc<dyn ReplyCache>,
     pub metrics: MetricsRegistry,
+    /// Probes of every named pipeline queue, for the metrics export and
+    /// the opt-in depth sampler.
+    pub queues: QueueRegistry,
+    /// The slot-lifecycle latency instrumentation (see [`stage`]).
+    pub stage: StageMetrics,
     pub shutdown: AtomicBool,
-    pub request_q: BoundedQueue<Request>,
-    pub proposal_q: BoundedQueue<Batch>,
+    /// Requests paired with their intake stamp (0 when stage metrics are
+    /// off).
+    pub request_q: BoundedQueue<(Request, u64)>,
+    /// Sealed batches paired with their intake/sealed stamps.
+    pub proposal_q: BoundedQueue<(Batch, BatchStamp)>,
     pub dispatcher_q: BoundedQueue<smr_paxos::Event>,
     pub decision_q: BoundedQueue<Decision>,
     /// Newest snapshot (blob + watermark) this replica can serve.
@@ -199,6 +213,9 @@ pub struct ReplicaBuilder {
     durability: Option<PathBuf>,
     compaction: Option<CompactionPolicy>,
     snapshot_every: u64,
+    stage_metrics: bool,
+    metrics_dump: Option<(PathBuf, Duration)>,
+    queue_sampler: Option<Duration>,
 }
 
 impl ReplicaBuilder {
@@ -215,6 +232,9 @@ impl ReplicaBuilder {
             durability: None,
             compaction: None,
             snapshot_every: 1024,
+            stage_metrics: true,
+            metrics_dump: None,
+            queue_sampler: None,
         }
     }
 
@@ -315,6 +335,34 @@ impl ReplicaBuilder {
     /// Uses an existing metrics registry (optional).
     pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Toggles the slot-lifecycle latency breakdown (optional; default
+    /// on). When off, batches carry zero stamps and no stage histogram
+    /// is touched, so the pipeline's hot-path overhead is one branch per
+    /// stage boundary.
+    pub fn with_stage_metrics(mut self, enabled: bool) -> Self {
+        self.stage_metrics = enabled;
+        self
+    }
+
+    /// Periodically writes the full metrics snapshot
+    /// ([`Replica::metrics_json`]) to `path` (optional). Each write goes
+    /// to a temp file and renames into place, so readers never observe a
+    /// torn snapshot; a final dump is written at shutdown. `period` is
+    /// clamped to at least 10ms.
+    pub fn with_metrics_dump(mut self, path: impl Into<PathBuf>, period: Duration) -> Self {
+        self.metrics_dump = Some((path.into(), period.max(Duration::from_millis(10))));
+        self
+    }
+
+    /// Samples every pipeline queue's depth at `period` into Table
+    /// I-style mean ± std-dev statistics (optional; off by default — the
+    /// exact high-watermark and instantaneous depth are always
+    /// maintained). `period` is clamped to at least 1ms.
+    pub fn with_queue_sampler(mut self, period: Duration) -> Self {
+        self.queue_sampler = Some(period.max(Duration::from_millis(1)));
         self
     }
 
@@ -437,11 +485,17 @@ impl ReplicaBuilder {
         let me = self.me;
         let n = config.n();
         let k = config.client_io_threads();
+        let stage = StageMetrics::new(&metrics, self.stage_metrics);
+        // A named counter rather than a free-floating one, so the
+        // metrics export picks it up with everything else.
+        let send_drops = metrics.counter("net.send_drops");
         let ctx = Arc::new(Ctx {
             me,
             shared: Arc::new(SharedState::new(n)),
             cache,
             metrics,
+            queues: QueueRegistry::new(),
+            stage,
             shutdown: AtomicBool::new(false),
             request_q: BoundedQueue::new("RequestQueue", config.request_queue_capacity()),
             proposal_q: BoundedQueue::new("ProposalQueue", config.proposal_queue_capacity()),
@@ -459,12 +513,29 @@ impl ReplicaBuilder {
             network,
             timers: TimerQueue::new(),
             retransmits: Mutex::new(HashMap::new()),
-            send_drops: Counter::new(),
+            send_drops,
             snapshots: SnapshotStore::new(),
             snapshot_capable,
             compaction,
             config,
         });
+        // Register every pipeline queue for depth/watermark export
+        // (Table I). The peer's own SendQueue slot is unused, so skip it.
+        ctx.queues.register(ctx.request_q.probe());
+        ctx.queues.register(ctx.proposal_q.probe());
+        ctx.queues.register(ctx.dispatcher_q.probe());
+        ctx.queues.register(ctx.decision_q.probe());
+        for (p, q) in ctx.send_qs.iter().enumerate() {
+            if p != me.index() {
+                ctx.queues.register(q.probe());
+            }
+        }
+        for q in &ctx.reply_qs {
+            ctx.queues.register(q.probe());
+        }
+        let sampler = self
+            .queue_sampler
+            .map(|period| ctx.queues.start_sampler(period));
         // Publish the recovered snapshot before any thread starts, so
         // the Protocol thread compacts from it and peers can fetch it
         // immediately.
@@ -575,10 +646,63 @@ impl ReplicaBuilder {
             ));
         }
 
+        // MetricsDump (opt-in): periodic JSON snapshots of the whole
+        // observability surface, plus a final dump at shutdown.
+        if let Some((path, period)) = self.metrics_dump {
+            let ctx2 = Arc::clone(&ctx);
+            threads.push(spawn(
+                "MetricsDump".into(),
+                Box::new(move || run_metrics_dump(&ctx2, &path, period)),
+            ));
+        }
+
         Ok(Replica {
             ctx,
+            sampler,
             threads: Some(threads),
         })
+    }
+}
+
+/// Assembles the full metrics snapshot of a running replica.
+fn build_snapshot(ctx: &Ctx) -> MetricsSnapshot {
+    MetricsSnapshot {
+        replica: u64::from(ctx.me.0),
+        uptime_ns: ctx.shared.now_ns(),
+        threads: ctx.metrics.snapshot().threads,
+        counters: ctx.metrics.counter_values(),
+        histograms: ctx.metrics.histogram_summaries(),
+        queues: ctx.queues.snapshots(),
+    }
+}
+
+/// The MetricsDump thread: every `period`, serializes the snapshot and
+/// atomically replaces `path` (temp file + rename, so a concurrent
+/// reader never sees a torn document). Writes one final snapshot on
+/// shutdown before exiting.
+fn run_metrics_dump(ctx: &Ctx, path: &std::path::Path, period: Duration) {
+    let handle = ctx.metrics.register_thread("MetricsDump");
+    let tmp = path.with_extension("json.tmp");
+    let dump = |ctx: &Ctx| {
+        let doc = build_snapshot(ctx).to_json();
+        if std::fs::write(&tmp, &doc).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    };
+    loop {
+        // Sleep in short slices so shutdown is prompt even with long
+        // periods.
+        let mut slept = Duration::ZERO;
+        while slept < period && !ctx.is_shutdown() {
+            let slice = (period - slept).min(Duration::from_millis(25));
+            let _g = handle.enter(ThreadState::Other);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        dump(ctx);
+        if ctx.is_shutdown() {
+            return;
+        }
     }
 }
 
@@ -665,6 +789,7 @@ fn recover(
 /// Dropping the handle shuts the replica down and joins every thread.
 pub struct Replica {
     ctx: Arc<Ctx>,
+    sampler: Option<DepthSampler>,
     threads: Option<Vec<JoinHandle<()>>>,
 }
 
@@ -705,6 +830,20 @@ impl Replica {
         self.ctx.send_drops.get()
     }
 
+    /// A point-in-time snapshot of the replica's full observability
+    /// surface: thread profiles, named counters, per-stage latency
+    /// histograms, and per-queue depth/watermark statistics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        build_snapshot(&self.ctx)
+    }
+
+    /// [`Replica::metrics_snapshot`] serialized as a self-contained JSON
+    /// document (see [`smr_metrics::MetricsSnapshot::to_json`] for the
+    /// schema). Parse it back with [`smr_metrics::json::JsonValue`].
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().to_json()
+    }
+
     /// Watermark of the newest snapshot this replica has published —
     /// every slot below it has been folded into a snapshot (and, under
     /// [`CompactionPolicy::SnapshotDriven`], compacted out of the
@@ -729,6 +868,7 @@ impl Replica {
         let Some(threads) = self.threads.take() else {
             return;
         };
+        drop(self.sampler.take()); // stop sampling before queues close
         self.ctx.shutdown.store(true, Ordering::Release);
         self.ctx.request_q.close();
         self.ctx.proposal_q.close();

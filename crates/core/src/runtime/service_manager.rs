@@ -4,6 +4,7 @@
 //! batches are appended to the write-ahead log before execution, and
 //! periodic snapshots bound both recovery time and log growth.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -16,6 +17,7 @@ use crate::exec::ParallelExecutor;
 use crate::reply_cache::ExecuteOutcome;
 use crate::service::{ConflictAwareService, RecoverableService, Service, SharedSnapshotOps};
 
+use super::stage::StageClock;
 use super::{Ctx, Decision};
 
 /// How long the parallel manager waits for worker completions before
@@ -85,14 +87,20 @@ pub(crate) fn run_service_manager(ctx: &Ctx, mut service: Box<dyn Service>) {
         // (empty or closed) still leaves that decision to execute.
         let _ = ctx.decision_q.try_pop_all(&mut decisions);
         for decision in decisions.drain(..) {
-            let Decision::Apply(_slot, batch) = decision else {
+            let Decision::Apply(_slot, batch, clock) = decision else {
                 // Snapshot installs are gated out by the Protocol thread
                 // for services that cannot restore one.
                 continue;
             };
             execute_batch(ctx, service.as_mut(), batch, &mut replies);
+            let executed_ns = clock.map_or(0, |_| ctx.shared.now_ns());
             if !route_replies(ctx, &handle, &mut replies, &mut outboxes) {
                 return;
+            }
+            if let Some(clock) = clock {
+                ctx.stage.record_executed(&clock, executed_ns);
+                ctx.stage
+                    .record_replied(&clock, executed_ns, ctx.shared.now_ns());
             }
         }
     }
@@ -109,6 +117,8 @@ pub(crate) fn run_durable_service_manager(
     mut rig: SnapshotRig,
 ) {
     let handle = ctx.metrics.register_thread("Replica");
+    let wal_appended = ctx.metrics.counter("wal.appended_bytes");
+    let wal_synced = ctx.metrics.counter("wal.synced_bytes");
     let mut decisions: Vec<Decision> = Vec::new();
     let mut replies: Vec<(RequestId, Option<Vec<u8>>)> = Vec::new();
     let mut outboxes: Vec<Vec<(u64, Reply)>> =
@@ -142,33 +152,51 @@ pub(crate) fn run_durable_service_manager(
                         return;
                     }
                 }
-                Decision::Apply(slot, batch) => {
+                Decision::Apply(slot, batch, clock) => {
                     if slot < rig.watermark {
                         continue; // covered by an installed snapshot
                     }
                     if let Some(storage) = rig.storage.as_mut() {
                         // WAL before execution: a crash after the append
                         // re-executes (dedup'd by slot), never loses.
-                        if let Err(e) = storage.append(slot, &batch) {
-                            eprintln!("smr-core: replica {}: wal append failed: {e}", ctx.me.0);
-                            return;
+                        let t0 = ctx.stage.stamp(&ctx.shared);
+                        match storage.append(slot, &batch) {
+                            Ok(bytes) => wal_appended.add(bytes as u64),
+                            Err(e) => {
+                                eprintln!("smr-core: replica {}: wal append failed: {e}", ctx.me.0);
+                                return;
+                            }
                         }
+                        ctx.stage
+                            .record_wal_append(t0, ctx.stage.stamp(&ctx.shared));
                         appended = true;
                     }
                     execute_batch(ctx, service.as_mut(), batch, &mut replies);
                     rig.watermark = slot.next();
+                    let executed_ns = clock.map_or(0, |_| ctx.shared.now_ns());
                     if !route_replies(ctx, &handle, &mut replies, &mut outboxes) {
                         return;
+                    }
+                    if let Some(clock) = clock {
+                        ctx.stage.record_executed(&clock, executed_ns);
+                        ctx.stage
+                            .record_replied(&clock, executed_ns, ctx.shared.now_ns());
                     }
                 }
             }
         }
         if appended {
             if let Some(storage) = rig.storage.as_mut() {
-                if let Err(e) = storage.sync() {
-                    eprintln!("smr-core: replica {}: wal sync failed: {e}", ctx.me.0);
-                    return;
+                // Group commit (§V-D): one flush covers the whole burst.
+                let t0 = ctx.stage.stamp(&ctx.shared);
+                match storage.sync() {
+                    Ok(bytes) => wal_synced.add(bytes),
+                    Err(e) => {
+                        eprintln!("smr-core: replica {}: wal sync failed: {e}", ctx.me.0);
+                        return;
+                    }
                 }
+                ctx.stage.record_wal_fsync(t0, ctx.stage.stamp(&ctx.shared));
             }
         }
         if rig.snapshot_due() {
@@ -208,6 +236,7 @@ pub(crate) fn run_parallel_service_manager(
     let mut replies: Vec<(RequestId, Option<Vec<u8>>)> = Vec::new();
     let mut outboxes: Vec<Vec<(u64, Reply)>> =
         (0..ctx.reply_qs.len()).map(|_| Vec::new()).collect();
+    let mut clocks = PendingClocks::default();
     loop {
         if exec.pending() == 0 {
             // Idle: park until something is decided (or shutdown).
@@ -218,17 +247,20 @@ pub(crate) fn run_parallel_service_manager(
         }
         let _ = ctx.decision_q.try_pop_all(&mut decisions);
         for decision in decisions.drain(..) {
-            let Decision::Apply(_slot, batch) = decision else {
+            let Decision::Apply(_slot, batch, clock) = decision else {
                 continue; // gated out by the Protocol thread (see above)
             };
+            clocks.track(&batch, clock);
             for request in batch.requests {
                 exec.submit(request);
             }
         }
-        if exec.poll_with(&mut replies, COMPLETION_POLL, &handle) > 0
-            && !route_replies(ctx, &handle, &mut replies, &mut outboxes)
-        {
-            return;
+        if exec.poll_with(&mut replies, COMPLETION_POLL, &handle) > 0 {
+            let executed_ns = clocks.note_executed(ctx, &replies);
+            if !route_replies(ctx, &handle, &mut replies, &mut outboxes) {
+                return;
+            }
+            clocks.note_replied(ctx, executed_ns);
         }
     }
 }
@@ -246,12 +278,15 @@ pub(crate) fn run_durable_parallel_service_manager(
     mut rig: SnapshotRig,
 ) {
     let handle = ctx.metrics.register_thread("Replica");
+    let wal_appended = ctx.metrics.counter("wal.appended_bytes");
+    let wal_synced = ctx.metrics.counter("wal.synced_bytes");
     let mut exec =
         ParallelExecutor::with_reply_cache(service, workers, Some(Arc::clone(&ctx.cache)));
     let mut decisions: Vec<Decision> = Vec::new();
     let mut replies: Vec<(RequestId, Option<Vec<u8>>)> = Vec::new();
     let mut outboxes: Vec<Vec<(u64, Reply)>> =
         (0..ctx.reply_qs.len()).map(|_| Vec::new()).collect();
+    let mut clocks = PendingClocks::default();
     loop {
         if exec.pending() == 0 {
             match ctx.decision_q.pop_with(&handle) {
@@ -273,6 +308,8 @@ pub(crate) fn run_durable_parallel_service_manager(
                     if !route_replies(ctx, &handle, &mut replies, &mut outboxes) {
                         return;
                     }
+                    // Batches swallowed by the quiesce go unrecorded.
+                    clocks.clear();
                     if let Err(e) = ops.restore(&blob.state) {
                         eprintln!("smr-core: replica {}: {e}", ctx.me.0);
                         return;
@@ -289,17 +326,24 @@ pub(crate) fn run_durable_parallel_service_manager(
                         return;
                     }
                 }
-                Decision::Apply(slot, batch) => {
+                Decision::Apply(slot, batch, clock) => {
                     if slot < rig.watermark {
                         continue;
                     }
                     if let Some(storage) = rig.storage.as_mut() {
-                        if let Err(e) = storage.append(slot, &batch) {
-                            eprintln!("smr-core: replica {}: wal append failed: {e}", ctx.me.0);
-                            return;
+                        let t0 = ctx.stage.stamp(&ctx.shared);
+                        match storage.append(slot, &batch) {
+                            Ok(bytes) => wal_appended.add(bytes as u64),
+                            Err(e) => {
+                                eprintln!("smr-core: replica {}: wal append failed: {e}", ctx.me.0);
+                                return;
+                            }
                         }
+                        ctx.stage
+                            .record_wal_append(t0, ctx.stage.stamp(&ctx.shared));
                         appended = true;
                     }
+                    clocks.track(&batch, clock);
                     for request in batch.requests {
                         exec.submit(request);
                     }
@@ -309,10 +353,15 @@ pub(crate) fn run_durable_parallel_service_manager(
         }
         if appended {
             if let Some(storage) = rig.storage.as_mut() {
-                if let Err(e) = storage.sync() {
-                    eprintln!("smr-core: replica {}: wal sync failed: {e}", ctx.me.0);
-                    return;
+                let t0 = ctx.stage.stamp(&ctx.shared);
+                match storage.sync() {
+                    Ok(bytes) => wal_synced.add(bytes),
+                    Err(e) => {
+                        eprintln!("smr-core: replica {}: wal sync failed: {e}", ctx.me.0);
+                        return;
+                    }
                 }
+                ctx.stage.record_wal_fsync(t0, ctx.stage.stamp(&ctx.shared));
             }
         }
         if rig.snapshot_due() && exec.pending() == 0 {
@@ -325,11 +374,80 @@ pub(crate) fn run_durable_parallel_service_manager(
                 return;
             }
         }
-        if exec.poll_with(&mut replies, COMPLETION_POLL, &handle) > 0
-            && !route_replies(ctx, &handle, &mut replies, &mut outboxes)
-        {
+        if exec.poll_with(&mut replies, COMPLETION_POLL, &handle) > 0 {
+            let executed_ns = clocks.note_executed(ctx, &replies);
+            if !route_replies(ctx, &handle, &mut replies, &mut outboxes) {
+                return;
+            }
+            clocks.note_replied(ctx, executed_ns);
+        }
+    }
+}
+
+/// Stage-clock bookkeeping for the parallel managers. A batch's clock is
+/// keyed by its *last* request's id and recorded when that request's
+/// reply surfaces from the worker pool: the closest parallel analogue of
+/// "batch executed" (an approximation — workers may reorder
+/// non-conflicting requests, so the keyed request is not always the
+/// final one to finish; see ARCHITECTURE.md).
+#[derive(Default)]
+struct PendingClocks {
+    by_last: HashMap<RequestId, StageClock>,
+    /// Clocks whose batch finished this poll round, awaiting the
+    /// reply-enqueue stamp.
+    done: Vec<StageClock>,
+}
+
+impl PendingClocks {
+    /// Starts tracking `batch`'s clock, if it carries one (leaders with
+    /// stage metrics on; `None` otherwise, making every later probe a
+    /// no-op on the empty map).
+    fn track(&mut self, batch: &Batch, clock: Option<StageClock>) {
+        if let Some(clock) = clock {
+            if let Some(last) = batch.requests.last() {
+                self.by_last.insert(last.id, clock);
+            }
+        }
+    }
+
+    /// Records decided → executed for every tracked batch whose keyed
+    /// reply is in `replies`; returns the shared "executed" stamp taken
+    /// once for the poll round (0 if nothing completed).
+    fn note_executed(&mut self, ctx: &Ctx, replies: &[(RequestId, Option<Vec<u8>>)]) -> u64 {
+        if self.by_last.is_empty() {
+            return 0;
+        }
+        let mut executed_ns = 0;
+        for (id, _) in replies {
+            if let Some(clock) = self.by_last.remove(id) {
+                if executed_ns == 0 {
+                    executed_ns = ctx.shared.now_ns();
+                }
+                ctx.stage.record_executed(&clock, executed_ns);
+                self.done.push(clock);
+            }
+        }
+        executed_ns
+    }
+
+    /// Records executed → reply (and end-to-end) for the batches
+    /// collected by [`PendingClocks::note_executed`], stamped after the
+    /// replies were handed to the ClientIO queues.
+    fn note_replied(&mut self, ctx: &Ctx, executed_ns: u64) {
+        if self.done.is_empty() {
             return;
         }
+        let replied_ns = ctx.shared.now_ns();
+        for clock in self.done.drain(..) {
+            ctx.stage.record_replied(&clock, executed_ns, replied_ns);
+        }
+    }
+
+    /// Drops all tracked clocks (quiesce points flush replies without
+    /// routing them through the usual probe).
+    fn clear(&mut self) {
+        self.by_last.clear();
+        self.done.clear();
     }
 }
 

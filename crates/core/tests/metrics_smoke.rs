@@ -1,0 +1,140 @@
+//! End-to-end smoke test of the observability surface (ISSUE 8): a
+//! 3-replica in-process cluster under load must export parseable JSON
+//! with every expected top-level key, live stage histograms, queue
+//! statistics from the depth sampler, and a metrics dump file on disk.
+
+use std::time::Duration;
+
+use smr_core::{InProcessCluster, NullService};
+use smr_metrics::json::JsonValue;
+use smr_types::{ClusterConfig, ReplicaId};
+
+const TOP_LEVEL_KEYS: [&str; 6] = [
+    "replica",
+    "uptime_ns",
+    "threads",
+    "counters",
+    "histograms",
+    "queues",
+];
+
+fn leader(cluster: &InProcessCluster) -> ReplicaId {
+    cluster
+        .config()
+        .replicas()
+        .find(|id| cluster.replica(*id).shared().is_leader())
+        .expect("a leader is elected")
+}
+
+#[test]
+fn cluster_exports_parseable_metrics_json() {
+    let dump_root = std::env::temp_dir().join(format!(
+        "metrics-smoke-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dump_root).unwrap();
+    let cluster = InProcessCluster::start_with(ClusterConfig::new(3), |id, builder| {
+        builder
+            .with_service(Box::new(NullService::default()))
+            .with_queue_sampler(Duration::from_millis(1))
+            .with_metrics_dump(
+                dump_root.join(format!("replica-{}.json", id.0)),
+                Duration::from_millis(20),
+            )
+    });
+    let mut client = cluster.client();
+    for _ in 0..200 {
+        client.execute(&[0u8; 64]).expect("request executes");
+    }
+
+    let doc = cluster.replica(leader(&cluster)).metrics_json();
+    let v = JsonValue::parse(&doc).expect("metrics JSON parses");
+    for key in TOP_LEVEL_KEYS {
+        assert!(v.get(key).is_some(), "missing top-level key {key}");
+    }
+
+    // The leader ordered every request, so all six stage transitions
+    // must have live histograms.
+    let hists = v.get("histograms").and_then(JsonValue::as_array).unwrap();
+    let names: Vec<&str> = hists
+        .iter()
+        .filter_map(|h| h.get("name").and_then(JsonValue::as_str))
+        .collect();
+    for stage in [
+        "stage.intake_to_sealed",
+        "stage.sealed_to_proposed",
+        "stage.proposed_to_decided",
+        "stage.decided_to_executed",
+        "stage.executed_to_reply",
+        "stage.intake_to_reply",
+    ] {
+        assert!(names.contains(&stage), "leader missing {stage}: {names:?}");
+    }
+    for h in hists {
+        let count = h.get("count").and_then(JsonValue::as_f64).unwrap();
+        let p50 = h.get("p50_ns").and_then(JsonValue::as_f64).unwrap();
+        let p99 = h.get("p99_ns").and_then(JsonValue::as_f64).unwrap();
+        let max = h.get("max_ns").and_then(JsonValue::as_f64).unwrap();
+        assert!(count > 0.0, "exported histograms are non-empty");
+        assert!(p50 <= p99 && p99 <= max * 1.0001, "percentiles ordered");
+    }
+
+    // Queue statistics: the RequestQueue moved every request, and the
+    // 1ms sampler had time to take depth samples.
+    let queues = v.get("queues").and_then(JsonValue::as_array).unwrap();
+    let rq = queues
+        .iter()
+        .find(|q| q.get("name").and_then(JsonValue::as_str) == Some("RequestQueue"))
+        .expect("RequestQueue registered");
+    assert!(rq.get("pushed").and_then(JsonValue::as_f64).unwrap() >= 200.0);
+    assert!(
+        rq.get("depth_samples").and_then(JsonValue::as_f64).unwrap() > 0.0,
+        "depth sampler ran"
+    );
+
+    cluster.shutdown();
+
+    // Shutdown writes one final dump per replica; each must parse with
+    // the full schema.
+    for id in 0..3u16 {
+        let path = dump_root.join(format!("replica-{id}.json"));
+        let doc = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("dump file {} missing: {e}", path.display()));
+        let v = JsonValue::parse(&doc).expect("dump file parses");
+        for key in TOP_LEVEL_KEYS {
+            assert!(v.get(key).is_some(), "dump missing top-level key {key}");
+        }
+        assert_eq!(
+            v.get("replica").and_then(JsonValue::as_f64),
+            Some(f64::from(id)),
+            "dump carries its replica id"
+        );
+    }
+    std::fs::remove_dir_all(&dump_root).unwrap();
+}
+
+#[test]
+fn stage_metrics_off_exports_no_stage_histograms() {
+    let cluster = InProcessCluster::start_with(ClusterConfig::new(3), |_, builder| {
+        builder
+            .with_service(Box::new(NullService::default()))
+            .with_stage_metrics(false)
+    });
+    let mut client = cluster.client();
+    for _ in 0..50 {
+        client.execute(&[0u8; 64]).expect("request executes");
+    }
+    let snap = cluster.replica(leader(&cluster)).metrics_snapshot();
+    assert!(
+        snap.histograms
+            .iter()
+            .all(|h| !h.name.starts_with("stage.")),
+        "stage histograms stay empty (and unexported) when disabled: {:?}",
+        snap.histograms
+    );
+    // The rest of the surface still works.
+    assert!(!snap.threads.is_empty());
+    assert!(snap.queue("RequestQueue").is_some());
+    cluster.shutdown();
+}

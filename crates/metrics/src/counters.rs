@@ -85,6 +85,38 @@ impl fmt::Display for Gauge {
     }
 }
 
+/// Running maximum of an observed series (queue high-watermark, largest
+/// batch, …). Updates are a single `fetch_max`.
+///
+/// Cheap to clone; clones share the same underlying value.
+#[derive(Debug, Clone, Default)]
+pub struct Watermark {
+    value: Arc<AtomicU64>,
+}
+
+impl Watermark {
+    /// Creates a watermark at zero.
+    pub fn new() -> Self {
+        Watermark::default()
+    }
+
+    /// Raises the watermark to `v` if `v` exceeds the current value.
+    pub fn observe(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Highest value observed so far.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Display for Watermark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +149,19 @@ mod tests {
         assert_eq!(g.get(), 1);
         g.set(-3);
         assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn watermark_keeps_maximum() {
+        let w = Watermark::new();
+        w.observe(5);
+        w.observe(3);
+        w.observe(9);
+        w.observe(7);
+        assert_eq!(w.get(), 9);
+        let w2 = w.clone();
+        w2.observe(11);
+        assert_eq!(w.get(), 11, "clones share state");
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Machine-readable export of a replica's full metrics state.
+//!
+//! A [`MetricsSnapshot`] bundles the four observability surfaces the
+//! paper's evaluation relies on — per-thread state profiles (Figs. 1b,
+//! 8, 14), named counters, per-stage latency histograms, and Table
+//! I-style queue statistics — into one structure with a stable JSON
+//! encoding (via the hand-rolled [`json`](crate::json) module; the
+//! workspace carries no serialization dependency).
+
+use crate::json::JsonWriter;
+use crate::{HistogramSummary, ThreadProfile};
+
+/// Point-in-time statistics of one named bounded queue, as sampled for
+/// the export. Mirrors Table I of the paper: besides raw totals it
+/// carries the mean ± std-dev of the queue depth when a depth sampler
+/// is running.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueueSnapshot {
+    /// Queue name as registered (e.g. `"request_q"`).
+    pub name: String,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Depth at snapshot time.
+    pub depth: usize,
+    /// Highest depth ever observed by the queue itself (exact, not
+    /// sampled).
+    pub high_watermark: usize,
+    /// Total items pushed.
+    pub pushed: u64,
+    /// Total items popped.
+    pub popped: u64,
+    /// Pushes that had to wait for space (queue-full backpressure).
+    pub push_waits: u64,
+    /// Pops that had to wait for an item (queue empty).
+    pub pop_waits: u64,
+    /// Mean sampled depth (0 when no sampler ran).
+    pub depth_mean: f64,
+    /// Std-dev of the sampled depth (0 when no sampler ran).
+    pub depth_stddev: f64,
+    /// Number of depth samples taken (0 when no sampler ran).
+    pub depth_samples: u64,
+}
+
+/// A complete metrics snapshot of one replica: thread profiles, named
+/// counters, latency histograms, and queue statistics.
+///
+/// Serialize with [`to_json`](MetricsSnapshot::to_json); parse the
+/// result back with [`JsonValue`](crate::json::JsonValue). The JSON
+/// document has exactly the top-level keys `replica`, `uptime_ns`,
+/// `threads`, `counters`, `histograms`, and `queues`.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Identifier of the replica the snapshot describes.
+    pub replica: u64,
+    /// Nanoseconds since the replica started.
+    pub uptime_ns: u64,
+    /// Per-thread busy/blocked/waiting/other profiles.
+    pub threads: Vec<ThreadProfile>,
+    /// Named counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Per-stage latency summaries, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+    /// Per-queue statistics.
+    pub queues: Vec<QueueSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("replica");
+        w.value_u64(self.replica);
+        w.key("uptime_ns");
+        w.value_u64(self.uptime_ns);
+
+        w.key("threads");
+        w.begin_array();
+        for t in &self.threads {
+            w.begin_object();
+            w.key("name");
+            w.value_str(&t.name);
+            w.key("busy_ns");
+            w.value_u64(t.busy_ns);
+            w.key("blocked_ns");
+            w.value_u64(t.blocked_ns);
+            w.key("waiting_ns");
+            w.value_u64(t.waiting_ns);
+            w.key("other_ns");
+            w.value_u64(t.other_ns);
+            w.key("wall_ns");
+            w.value_u64(t.wall_ns);
+            w.end_object();
+        }
+        w.end_array();
+
+        w.key("counters");
+        w.begin_object();
+        for (name, value) in &self.counters {
+            w.key(name);
+            w.value_u64(*value);
+        }
+        w.end_object();
+
+        w.key("histograms");
+        w.begin_array();
+        for h in &self.histograms {
+            w.begin_object();
+            w.key("name");
+            w.value_str(&h.name);
+            w.key("count");
+            w.value_u64(h.count);
+            w.key("mean_ns");
+            w.value_f64(h.mean_ns);
+            w.key("p50_ns");
+            w.value_f64(h.p50_ns);
+            w.key("p95_ns");
+            w.value_f64(h.p95_ns);
+            w.key("p99_ns");
+            w.value_f64(h.p99_ns);
+            w.key("max_ns");
+            w.value_u64(h.max_ns);
+            w.end_object();
+        }
+        w.end_array();
+
+        w.key("queues");
+        w.begin_array();
+        for q in &self.queues {
+            w.begin_object();
+            w.key("name");
+            w.value_str(&q.name);
+            w.key("capacity");
+            w.value_u64(q.capacity as u64);
+            w.key("depth");
+            w.value_u64(q.depth as u64);
+            w.key("high_watermark");
+            w.value_u64(q.high_watermark as u64);
+            w.key("pushed");
+            w.value_u64(q.pushed);
+            w.key("popped");
+            w.value_u64(q.popped);
+            w.key("push_waits");
+            w.value_u64(q.push_waits);
+            w.key("pop_waits");
+            w.value_u64(q.pop_waits);
+            w.key("depth_mean");
+            w.value_f64(q.depth_mean);
+            w.key("depth_stddev");
+            w.value_f64(q.depth_stddev);
+            w.key("depth_samples");
+            w.value_u64(q.depth_samples);
+            w.end_object();
+        }
+        w.end_array();
+
+        w.end_object();
+        w.finish()
+    }
+
+    /// Finds a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Finds a queue snapshot by name.
+    pub fn queue(&self, name: &str) -> Option<&QueueSnapshot> {
+        self.queues.iter().find(|q| q.name == name)
+    }
+
+    /// Finds a named counter value.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use crate::Histogram;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut h = Histogram::new();
+        for i in 1..=50 {
+            h.record(i * 1_000);
+        }
+        MetricsSnapshot {
+            replica: 2,
+            uptime_ns: 5_000_000,
+            threads: vec![ThreadProfile {
+                name: "Batcher".into(),
+                busy_ns: 10,
+                blocked_ns: 20,
+                waiting_ns: 30,
+                other_ns: 40,
+                wall_ns: 100,
+            }],
+            counters: vec![("net.send_drops".into(), 7)],
+            histograms: vec![h.summary("stage.intake_to_sealed")],
+            queues: vec![QueueSnapshot {
+                name: "request_q".into(),
+                capacity: 1024,
+                depth: 3,
+                high_watermark: 17,
+                pushed: 500,
+                popped: 497,
+                push_waits: 2,
+                pop_waits: 9,
+                depth_mean: 4.25,
+                depth_stddev: 1.5,
+                depth_samples: 40,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_all_top_level_keys() {
+        let doc = sample_snapshot().to_json();
+        let v = JsonValue::parse(&doc).expect("snapshot JSON parses");
+        for key in [
+            "replica",
+            "uptime_ns",
+            "threads",
+            "counters",
+            "histograms",
+            "queues",
+        ] {
+            assert!(v.get(key).is_some(), "missing top-level key {key}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_values() {
+        let snap = sample_snapshot();
+        let v = JsonValue::parse(&snap.to_json()).unwrap();
+        assert_eq!(v.get("replica").and_then(JsonValue::as_f64), Some(2.0));
+        let threads = v.get("threads").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            threads[0].get("name").and_then(JsonValue::as_str),
+            Some("Batcher")
+        );
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("net.send_drops"))
+                .and_then(JsonValue::as_f64),
+            Some(7.0)
+        );
+        let hists = v.get("histograms").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            hists[0].get("count").and_then(JsonValue::as_f64),
+            Some(50.0)
+        );
+        let queues = v.get("queues").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            queues[0].get("high_watermark").and_then(JsonValue::as_f64),
+            Some(17.0)
+        );
+        assert_eq!(
+            queues[0].get("depth_mean").and_then(JsonValue::as_f64),
+            Some(4.25)
+        );
+    }
+
+    #[test]
+    fn accessors_find_by_name() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter("net.send_drops"), Some(7));
+        assert!(snap.histogram("stage.intake_to_sealed").is_some());
+        assert!(snap.queue("request_q").is_some());
+        assert!(snap.queue("nope").is_none());
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let v = JsonValue::parse(&MetricsSnapshot::default().to_json()).unwrap();
+        assert_eq!(
+            v.get("threads")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+}

@@ -1,15 +1,20 @@
 //! Log-scaled latency histogram.
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
 /// A power-of-two bucketed histogram for latencies in nanoseconds.
 ///
 /// Bucket `i` covers `[2^i, 2^(i+1))` ns; precise enough for the
 /// millisecond-scale instance latencies of Figs. 10b/11b while staying
 /// allocation-free on the hot path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
     sum: u128,
+    max: u64,
 }
 
 impl Default for Histogram {
@@ -25,6 +30,7 @@ impl Histogram {
             buckets: vec![0; 64],
             count: 0,
             sum: 0,
+            max: 0,
         }
     }
 
@@ -38,6 +44,7 @@ impl Histogram {
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += u128::from(nanos);
+        self.max = self.max.max(nanos);
     }
 
     /// Number of recorded samples.
@@ -54,8 +61,16 @@ impl Histogram {
         }
     }
 
+    /// Largest recorded sample in nanoseconds (exact, not bucketed), or 0
+    /// if empty.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
     /// Approximate quantile (`q` in `[0,1]`) in nanoseconds using the
-    /// geometric midpoint of the containing bucket.
+    /// geometric midpoint of the containing bucket: the reported value is
+    /// always inside the same power-of-two bucket as the exact
+    /// order-statistic, so it is off by less than 2x (one bucket).
     pub fn quantile_ns(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -66,19 +81,104 @@ impl Histogram {
             seen += c;
             if seen >= target {
                 let lo = (1u128 << i) as f64;
-                return lo * std::f64::consts::SQRT_2;
+                // Never report beyond the observed maximum: the top
+                // bucket's midpoint can overshoot it.
+                return (lo * std::f64::consts::SQRT_2).min(self.max.max(1) as f64);
             }
         }
         (1u128 << 63) as f64
     }
 
-    /// Merges another histogram into this one.
+    /// Median (p50) in nanoseconds.
+    pub fn p50_ns(&self) -> f64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th percentile in nanoseconds.
+    pub fn p95_ns(&self) -> f64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th percentile in nanoseconds.
+    pub fn p99_ns(&self) -> f64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Condenses the histogram into the summary statistics the metrics
+    /// export carries (count, mean, p50/p95/p99, max).
+    pub fn summary(&self, name: impl Into<String>) -> HistogramSummary {
+        HistogramSummary {
+            name: name.into(),
+            count: self.count,
+            mean_ns: self.mean_ns(),
+            p50_ns: self.p50_ns(),
+            p95_ns: self.p95_ns(),
+            p99_ns: self.p99_ns(),
+            max_ns: self.max,
+        }
+    }
+
+    /// Merges another histogram into this one. Equivalent to having
+    /// recorded the concatenation of both sample streams.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
         self.count += other.count;
         self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Summary statistics of one named histogram, as exported in a
+/// [`MetricsSnapshot`](crate::MetricsSnapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// The histogram's registered name (e.g. `"stage.proposed_to_decided"`).
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Median in nanoseconds (bucket midpoint).
+    pub p50_ns: f64,
+    /// 95th percentile in nanoseconds (bucket midpoint).
+    pub p95_ns: f64,
+    /// 99th percentile in nanoseconds (bucket midpoint).
+    pub p99_ns: f64,
+    /// Exact largest sample in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A [`Histogram`] behind a lock, shareable between the thread that
+/// records (pipeline stages record once per *batch*, so the lock is
+/// uncontended in steady state) and the thread that snapshots.
+///
+/// Cloning shares the histogram.
+#[derive(Debug, Clone, Default)]
+pub struct SharedHistogram {
+    inner: Arc<Mutex<Histogram>>,
+}
+
+impl SharedHistogram {
+    /// Creates an empty shared histogram.
+    pub fn new() -> Self {
+        SharedHistogram::default()
+    }
+
+    /// Records a latency in nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        self.inner.lock().record(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count()
+    }
+
+    /// A point-in-time copy of the underlying histogram.
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().clone()
     }
 }
 
@@ -93,6 +193,7 @@ mod tests {
         h.record(300);
         assert_eq!(h.count(), 2);
         assert!((h.mean_ns() - 200.0).abs() < 1e-9);
+        assert_eq!(h.max_ns(), 300);
     }
 
     #[test]
@@ -100,6 +201,7 @@ mod tests {
         let mut h = Histogram::new();
         h.record(0);
         assert_eq!(h.count(), 1);
+        assert_eq!(h.max_ns(), 0);
     }
 
     #[test]
@@ -108,10 +210,18 @@ mod tests {
         for i in 1..1000u64 {
             h.record(i * 1000);
         }
-        let p50 = h.quantile_ns(0.5);
-        let p99 = h.quantile_ns(0.99);
+        let p50 = h.p50_ns();
+        let p99 = h.p99_ns();
         assert!(p50 <= p99);
         assert!(p50 > 0.0);
+        assert!(p99 <= h.max_ns() as f64);
+    }
+
+    #[test]
+    fn quantile_capped_at_max() {
+        let mut h = Histogram::new();
+        h.record(1025); // bucket [1024, 2048), midpoint ~1448
+        assert!(h.quantile_ns(1.0) <= 1025.0);
     }
 
     #[test]
@@ -123,10 +233,36 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!((a.mean_ns() - 15.0).abs() < 1e-9);
+        assert_eq!(a.max_ns(), 20);
     }
 
     #[test]
     fn empty_quantile_is_zero() {
         assert_eq!(Histogram::new().quantile_ns(0.5), 0.0);
+    }
+
+    #[test]
+    fn summary_carries_all_fields() {
+        let mut h = Histogram::new();
+        for i in 1..=100u64 {
+            h.record(i * 100);
+        }
+        let s = h.summary("stage.test");
+        assert_eq!(s.name, "stage.test");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max_ns, 10_000);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+        assert!(s.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn shared_histogram_shares_samples() {
+        let h = SharedHistogram::new();
+        let h2 = h.clone();
+        h.record(500);
+        h2.record(700);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.max_ns(), 700);
     }
 }

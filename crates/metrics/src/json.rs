@@ -1,0 +1,468 @@
+//! A minimal hand-rolled JSON writer and parser.
+//!
+//! The metrics export needs machine-readable output without pulling a
+//! serialization dependency into the workspace (all deps are vendored).
+//! This module provides the two halves the observability layer needs:
+//!
+//! * [`JsonWriter`] — an append-only writer producing valid, readably
+//!   indented JSON (used by
+//!   [`MetricsSnapshot::to_json`](crate::MetricsSnapshot::to_json));
+//! * [`JsonValue`] — a recursive-descent parser for reading snapshots
+//!   back (used by the bench tools and the CI smoke test).
+//!
+//! The parser accepts the JSON subset the writer emits plus standard
+//! string escapes; numbers are parsed as `f64` (sufficient for metric
+//! values, which are counts and nanosecond latencies well inside the
+//! 2^53 integer-exact range of a double).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON document (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (finite; NaN/inf map to 0).
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".into();
+    }
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// An append-only JSON document writer with bracket tracking.
+///
+/// # Examples
+///
+/// ```
+/// use smr_metrics::json::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("answer");
+/// w.value_u64(42);
+/// w.end_object();
+/// assert_eq!(w.finish(), "{\"answer\":42}");
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// For each open scope: whether a first element was already written.
+    scopes: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn comma(&mut self) {
+        if let Some(has_elem) = self.scopes.last_mut() {
+            if *has_elem {
+                self.out.push(',');
+            }
+            *has_elem = true;
+        }
+    }
+
+    /// Opens a `{` scope (as a value in the enclosing scope).
+    pub fn begin_object(&mut self) {
+        self.comma();
+        self.out.push('{');
+        self.scopes.push(false);
+    }
+
+    /// Closes the innermost `{` scope.
+    pub fn end_object(&mut self) {
+        self.scopes.pop();
+        self.out.push('}');
+        // Closing a scope does not re-arm the comma: the parent already
+        // marked an element when the scope opened.
+    }
+
+    /// Opens a `[` scope (as a value in the enclosing scope).
+    pub fn begin_array(&mut self) {
+        self.comma();
+        self.out.push('[');
+        self.scopes.push(false);
+    }
+
+    /// Closes the innermost `[` scope.
+    pub fn end_array(&mut self) {
+        self.scopes.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next call writes its value.
+    pub fn key(&mut self, k: &str) {
+        self.comma();
+        self.out.push_str(&escape(k));
+        self.out.push(':');
+        // The value that follows must not emit a comma.
+        if let Some(has_elem) = self.scopes.last_mut() {
+            *has_elem = false;
+        }
+    }
+
+    /// Writes a string value.
+    pub fn value_str(&mut self, v: &str) {
+        self.comma();
+        self.out.push_str(&escape(v));
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.comma();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a signed integer value.
+    pub fn value_i64(&mut self, v: i64) {
+        self.comma();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a float value.
+    pub fn value_f64(&mut self, v: f64) {
+        self.comma();
+        self.out.push_str(&number(v));
+    }
+
+    /// Consumes the writer, returning the document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scope is still open (a bug in the caller).
+    pub fn finish(self) -> String {
+        assert!(self.scopes.is_empty(), "unclosed JSON scope");
+        self.out
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, as an `f64`.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object (keys sorted; duplicate keys keep the last value).
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description with the byte offset of the problem.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object; `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object's keys, if it is an object.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            JsonValue::Object(m) => m.keys().map(String::as_str).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Number)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        // Surrogate pairs are not emitted by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 code point.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8".to_string())?;
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_nested_document() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("threads");
+        w.begin_array();
+        w.begin_object();
+        w.key("name");
+        w.value_str("Batcher");
+        w.key("busy_ns");
+        w.value_u64(123);
+        w.end_object();
+        w.end_array();
+        w.key("ok");
+        w.value_f64(1.5);
+        w.end_object();
+        let doc = w.finish();
+        assert_eq!(
+            doc,
+            "{\"threads\":[{\"name\":\"Batcher\",\"busy_ns\":123}],\"ok\":1.500}"
+        );
+    }
+
+    #[test]
+    fn writer_roundtrips_through_parser() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a \"quoted\"\nkey");
+        w.value_str("tab\there");
+        w.key("n");
+        w.value_i64(-7);
+        w.key("arr");
+        w.begin_array();
+        w.value_u64(1);
+        w.value_u64(2);
+        w.end_array();
+        w.end_object();
+        let doc = w.finish();
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("a \"quoted\"\nkey").and_then(JsonValue::as_str),
+            Some("tab\there")
+        );
+        assert_eq!(v.get("n").and_then(JsonValue::as_f64), Some(-7.0));
+        assert_eq!(v.get("arr").and_then(JsonValue::as_array).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parser_handles_whitespace_and_literals() {
+        let v = JsonValue::parse(" { \"a\" : [ true , false , null , 1.5e2 ] } ").unwrap();
+        let arr = v.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(arr[0], JsonValue::Bool(true));
+        assert_eq!(arr[1], JsonValue::Bool(false));
+        assert_eq!(arr[2], JsonValue::Null);
+        assert_eq!(arr[3], JsonValue::Number(150.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("{\"a\":}").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("{} extra").is_err());
+        assert!(JsonValue::parse("").is_err());
+    }
+
+    #[test]
+    fn numbers_format_compactly() {
+        assert_eq!(number(42.0), "42");
+        assert_eq!(number(1.5), "1.500");
+        assert_eq!(number(f64::NAN), "0");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let v = JsonValue::parse("{\"a\":[],\"b\":{}}").unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_array).unwrap().len(), 0);
+        assert!(v.get("b").unwrap().keys().is_empty());
+    }
+}

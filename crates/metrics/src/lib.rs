@@ -15,9 +15,11 @@
 //! [`MetricsRegistry`], obtain a [`ThreadHandle`], and the queue/lock
 //! wrappers in `smr-queue` mark state transitions through RAII guards.
 //!
-//! The crate also provides named [`Counter`]s, [`RunningStats`] (mean ±
-//! std-dev accumulators used for Table I-style queue statistics), and
-//! simple latency [`Histogram`]s.
+//! The crate also provides named [`Counter`]s, [`Gauge`]s and
+//! [`Watermark`]s, [`RunningStats`] (mean ± std-dev accumulators used
+//! for Table I-style queue statistics), latency [`Histogram`]s with
+//! p50/p95/p99/max extraction, and a [`MetricsSnapshot`] export encoded
+//! as JSON by the dependency-free [`json`] module.
 //!
 //! # Examples
 //!
@@ -35,12 +37,15 @@
 //! ```
 
 mod counters;
+mod export;
 mod histogram;
+pub mod json;
 mod running;
 mod thread_state;
 
-pub use counters::{Counter, Gauge};
-pub use histogram::Histogram;
+pub use counters::{Counter, Gauge, Watermark};
+pub use export::{MetricsSnapshot, QueueSnapshot};
+pub use histogram::{Histogram, HistogramSummary, SharedHistogram};
 pub use running::RunningStats;
 pub use thread_state::{
     MetricsRegistry, ProfileSnapshot, StateGuard, ThreadHandle, ThreadProfile, ThreadState,

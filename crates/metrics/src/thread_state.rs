@@ -1,11 +1,14 @@
 //! Thread-state accounting: the `ThreadMXBean` analogue.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
+
+use crate::{Counter, HistogramSummary, SharedHistogram};
 
 /// The four thread states distinguished by the paper's profiling
 /// methodology (§VI-B).
@@ -193,12 +196,15 @@ impl ProfileSnapshot {
     }
 }
 
-/// Registry of all instrumented threads of a replica process.
+/// Registry of all instrumented threads of a replica process, plus its
+/// named [`Counter`]s and latency [`SharedHistogram`]s.
 ///
 /// Cheap to clone (shared internally).
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     inner: Arc<Mutex<Vec<Arc<ThreadRecord>>>>,
+    counters: Arc<Mutex<BTreeMap<String, Counter>>>,
+    histograms: Arc<Mutex<BTreeMap<String, SharedHistogram>>>,
 }
 
 impl MetricsRegistry {
@@ -218,6 +224,43 @@ impl MetricsRegistry {
         });
         self.inner.lock().push(Arc::clone(&record));
         ThreadHandle { record }
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Clones share the underlying value, so callers can hoist the
+    /// handle out of hot loops.
+    pub fn counter(&self, name: impl Into<String>) -> Counter {
+        self.counters.lock().entry(name.into()).or_default().clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use. Clones share the underlying samples.
+    pub fn histogram(&self, name: impl Into<String>) -> SharedHistogram {
+        self.histograms
+            .lock()
+            .entry(name.into())
+            .or_default()
+            .clone()
+    }
+
+    /// Current values of every named counter, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect()
+    }
+
+    /// Summaries of every named histogram, sorted by name. Histograms with
+    /// no samples are skipped.
+    pub fn histogram_summaries(&self) -> Vec<HistogramSummary> {
+        self.histograms
+            .lock()
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| h.snapshot().summary(name.clone()))
+            .collect()
     }
 
     /// Takes a profile snapshot of every registered thread.
@@ -328,6 +371,33 @@ mod tests {
         }
         let snap = reg.snapshot();
         assert!(snap.total_blocked_ns() >= 2 * 1_000_000);
+    }
+
+    #[test]
+    fn named_counters_are_get_or_register() {
+        let reg = MetricsRegistry::new();
+        reg.counter("net.send_drops").add(3);
+        reg.counter("net.send_drops").inc();
+        reg.counter("wal.bytes").add(100);
+        assert_eq!(
+            reg.counter_values(),
+            vec![
+                ("net.send_drops".to_string(), 4),
+                ("wal.bytes".to_string(), 100)
+            ]
+        );
+    }
+
+    #[test]
+    fn named_histograms_share_and_skip_empty() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("stage.a").record(100);
+        reg.histogram("stage.a").record(200);
+        let _empty = reg.histogram("stage.never_hit");
+        let sums = reg.histogram_summaries();
+        assert_eq!(sums.len(), 1, "empty histograms are not exported");
+        assert_eq!(sums[0].name, "stage.a");
+        assert_eq!(sums[0].count, 2);
     }
 
     #[test]

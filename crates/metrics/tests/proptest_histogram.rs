@@ -1,0 +1,89 @@
+//! Property tests for [`smr_metrics::Histogram`]: the bucketed
+//! percentiles must stay within one power-of-two bucket of an exact
+//! sorted-vector oracle, and `merge` must be indistinguishable from
+//! recording the concatenated sample stream.
+
+use proptest::prelude::*;
+use smr_metrics::Histogram;
+
+/// Power-of-two bucket index the histogram files `v` under.
+fn bucket(v: u64) -> u32 {
+    if v == 0 {
+        0
+    } else {
+        63 - v.leading_zeros()
+    }
+}
+
+/// Exact order statistic matching the histogram's quantile definition:
+/// the smallest sample with at least `ceil(q * n)` samples at or below
+/// it.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[target.min(sorted.len()) - 1]
+}
+
+proptest! {
+    /// Reported percentiles fall in the same power-of-two bucket as the
+    /// exact order statistic (i.e. they are off by strictly less than
+    /// 2x), for a spread of magnitudes from 0 ns to minutes.
+    #[test]
+    fn percentiles_within_one_bucket_of_oracle(
+        samples in proptest::collection::vec(0u64..100_000_000_000, 1..400),
+        q_pct in 1u64..100,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for q in [q_pct as f64 / 100.0, 0.50, 0.95, 0.99] {
+            let exact = oracle_quantile(&sorted, q);
+            let reported = h.quantile_ns(q);
+            // The report is the geometric midpoint of the exact value's
+            // bucket, capped at the observed max — so it must land in
+            // the very same bucket (floor(log2)) as the oracle.
+            prop_assert_eq!(
+                bucket(reported as u64),
+                bucket(exact),
+                "q={} exact={} reported={}",
+                q,
+                exact,
+                reported
+            );
+            prop_assert!(reported as u64 <= h.max_ns());
+        }
+    }
+
+    /// `a.merge(&b)` equals one histogram fed the concatenation of both
+    /// streams — identical buckets, count, mean, max, and percentiles.
+    #[test]
+    fn merge_equals_concatenated_stream(
+        xs in proptest::collection::vec(0u64..10_000_000_000, 0..200),
+        ys in proptest::collection::vec(0u64..10_000_000_000, 0..200),
+    ) {
+        let mut a = Histogram::new();
+        for &s in &xs {
+            a.record(s);
+        }
+        let mut b = Histogram::new();
+        for &s in &ys {
+            b.record(s);
+        }
+        a.merge(&b);
+
+        let mut concat = Histogram::new();
+        for &s in xs.iter().chain(ys.iter()) {
+            concat.record(s);
+        }
+
+        prop_assert_eq!(&a, &concat, "merged != concatenated");
+        prop_assert_eq!(a.count(), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(a.p50_ns(), concat.p50_ns());
+        prop_assert_eq!(a.p99_ns(), concat.p99_ns());
+        prop_assert_eq!(a.max_ns(), concat.max_ns());
+    }
+}

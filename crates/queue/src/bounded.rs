@@ -8,7 +8,9 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use smr_metrics::{Counter, ThreadHandle, ThreadState};
+use smr_metrics::{Counter, Gauge, ThreadHandle, ThreadState, Watermark};
+
+use crate::registry::QueueProbe;
 
 /// Error returned by non-blocking/timed pushes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,10 +63,18 @@ pub struct QueueStats {
     /// Items popped over the queue's lifetime.
     pub popped: u64,
     /// Number of push calls that had to wait for space (a bulk push that
-    /// waits several times counts each wait episode).
+    /// waits several times counts each wait episode; a non-blocking push
+    /// rejected with `Full` also counts).
     pub push_waits: u64,
     /// Number of pop calls that had to wait for an item.
     pub pop_waits: u64,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Number of items queued right now.
+    pub depth: usize,
+    /// Highest depth ever reached (exact: maintained on every push, not
+    /// sampled).
+    pub high_watermark: usize,
 }
 
 struct Inner<T> {
@@ -84,6 +94,19 @@ struct Inner<T> {
     popped: Counter,
     push_waits: Counter,
     pop_waits: Counter,
+    // Written only under the queue mutex (reads are lock-free), so the
+    // gauge always reflects a consistent post-operation length.
+    depth: Gauge,
+    high_watermark: Watermark,
+}
+
+impl<T> Inner<T> {
+    /// Publishes the post-operation queue length to the lock-free depth
+    /// gauge and high-watermark. Callers hold the queue mutex.
+    fn note_depth(&self, len: usize) {
+        self.depth.set(len as i64);
+        self.high_watermark.observe(len as u64);
+    }
 }
 
 /// A bounded multi-producer multi-consumer FIFO queue.
@@ -160,6 +183,8 @@ impl<T> BoundedQueue<T> {
                 popped: Counter::new(),
                 push_waits: Counter::new(),
                 pop_waits: Counter::new(),
+                depth: Gauge::new(),
+                high_watermark: Watermark::new(),
             }),
         }
     }
@@ -205,7 +230,27 @@ impl<T> BoundedQueue<T> {
             popped: self.inner.popped.get(),
             push_waits: self.inner.push_waits.get(),
             pop_waits: self.inner.pop_waits.get(),
+            capacity: self.inner.capacity,
+            depth: self.inner.depth.get().max(0) as usize,
+            high_watermark: self.inner.high_watermark.get() as usize,
         }
+    }
+
+    /// A type-erased observability handle for this queue: shares the
+    /// queue's counters, depth gauge and high-watermark without holding
+    /// the items' type, so queues of different item types can live in
+    /// one [`QueueRegistry`](crate::QueueRegistry).
+    pub fn probe(&self) -> QueueProbe {
+        QueueProbe::new(
+            self.inner.name.clone(),
+            self.inner.capacity,
+            self.inner.depth.clone(),
+            self.inner.high_watermark.clone(),
+            self.inner.pushed.clone(),
+            self.inner.popped.clone(),
+            self.inner.push_waits.clone(),
+            self.inner.pop_waits.clone(),
+        )
     }
 
     /// Blocking push without metrics attribution.
@@ -248,6 +293,7 @@ impl<T> BoundedQueue<T> {
         }
         q.push_back(item);
         self.inner.pushed.inc();
+        self.inner.note_depth(q.len());
         drop(q);
         self.inner.not_empty.notify_one();
         Ok(())
@@ -339,6 +385,7 @@ impl<T> BoundedQueue<T> {
             }
             if pushed > 0 {
                 self.inner.pushed.add(pushed as u64);
+                self.inner.note_depth(q.len());
                 total += pushed;
             }
             if iter.peek().is_none() {
@@ -374,10 +421,15 @@ impl<T> BoundedQueue<T> {
         }
         let mut q = self.inner.queue.lock();
         if q.len() >= self.inner.capacity {
+            // A rejected non-blocking push is the try-path's equivalent
+            // of a blocked push: count it so backpressure stays visible
+            // in Table I-style stats regardless of push mode.
+            self.inner.push_waits.inc();
             return Err(PushError::Full(item));
         }
         q.push_back(item);
         self.inner.pushed.inc();
+        self.inner.note_depth(q.len());
         drop(q);
         self.inner.not_empty.notify_one();
         Ok(())
@@ -415,6 +467,7 @@ impl<T> BoundedQueue<T> {
         }
         let item = q.pop_front().expect("queue is non-empty");
         self.inner.popped.inc();
+        self.inner.note_depth(q.len());
         drop(q);
         self.inner.not_full.notify_one();
         Ok(item)
@@ -431,6 +484,7 @@ impl<T> BoundedQueue<T> {
         match q.pop_front() {
             Some(item) => {
                 self.inner.popped.inc();
+                self.inner.note_depth(q.len());
                 drop(q);
                 self.inner.not_full.notify_one();
                 Ok(item)
@@ -478,6 +532,7 @@ impl<T> BoundedQueue<T> {
         }
         buf.extend(q.drain(..));
         self.inner.popped.add(n as u64);
+        self.inner.note_depth(q.len());
         drop(q);
         notify_batch(&self.inner.not_full, n);
         Ok(n)
@@ -550,6 +605,7 @@ impl<T> BoundedQueue<T> {
         let n = q.len().min(max);
         buf.extend(q.drain(..n));
         self.inner.popped.add(n as u64);
+        self.inner.note_depth(q.len());
         drop(q);
         notify_batch(&self.inner.not_full, n);
         Ok(n)
@@ -613,6 +669,7 @@ impl<T> BoundedQueue<T> {
         }
         let item = q.pop_front().expect("queue is non-empty");
         self.inner.popped.inc();
+        self.inner.note_depth(q.len());
         drop(q);
         self.inner.not_full.notify_one();
         Ok(item)
@@ -623,6 +680,7 @@ impl<T> BoundedQueue<T> {
         let mut q = self.inner.queue.lock();
         let items: Vec<T> = q.drain(..).collect();
         self.inner.popped.add(items.len() as u64);
+        self.inner.note_depth(q.len());
         drop(q);
         self.inner.not_full.notify_all();
         items
@@ -933,6 +991,74 @@ mod tests {
         let stats = q.stats();
         assert_eq!(stats.pushed, 10);
         assert_eq!(stats.popped, 10);
+    }
+
+    /// Regression: Table I numbers must be mode-independent. Running the
+    /// same workload through scalar ops and through bulk ops must leave
+    /// identical stat totals (pushed/popped/depth/high-watermark).
+    #[test]
+    fn scalar_and_bulk_ops_produce_identical_stats() {
+        let scalar = BoundedQueue::new("scalar", 32);
+        for i in 0..10 {
+            scalar.push(i).unwrap();
+        }
+        for _ in 0..10 {
+            scalar.pop().unwrap();
+        }
+
+        let bulk = BoundedQueue::new("bulk", 32);
+        bulk.push_many(0..10).unwrap();
+        let mut buf = Vec::new();
+        bulk.try_pop_all(&mut buf).unwrap();
+
+        let (s, b) = (scalar.stats(), bulk.stats());
+        assert_eq!(s.pushed, b.pushed);
+        assert_eq!(s.popped, b.popped);
+        assert_eq!(s.depth, b.depth);
+        assert_eq!(
+            s.high_watermark, b.high_watermark,
+            "bulk push must raise the watermark exactly like scalar pushes"
+        );
+        assert_eq!(s.high_watermark, 10);
+        assert_eq!(s.depth, 0);
+    }
+
+    #[test]
+    fn depth_and_watermark_track_queue_length() {
+        let q = BoundedQueue::new("t", 8);
+        assert_eq!(q.stats().depth, 0);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.stats().depth, 3);
+        assert_eq!(q.stats().high_watermark, 3);
+        q.pop().unwrap();
+        let s = q.stats();
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.high_watermark, 3, "watermark is sticky");
+        assert_eq!(s.capacity, 8);
+    }
+
+    #[test]
+    fn try_push_full_counts_as_blocked_push() {
+        let q = BoundedQueue::new("t", 1);
+        q.try_push(1).unwrap();
+        assert!(q.try_push(2).is_err());
+        assert!(q.try_push(3).is_err());
+        assert_eq!(q.stats().push_waits, 2);
+    }
+
+    #[test]
+    fn probe_shares_live_stats() {
+        let q = BoundedQueue::new("request_q", 16);
+        let probe = q.probe();
+        assert_eq!(probe.name(), "request_q");
+        assert_eq!(probe.capacity(), 16);
+        q.push_many(0..5).unwrap();
+        assert_eq!(probe.depth(), 5);
+        let snap = probe.snapshot();
+        assert_eq!(snap.high_watermark, 5);
+        assert_eq!(snap.pushed, 5);
     }
 
     /// Loom-style stress (plain threads): close racing with scalar and

@@ -18,8 +18,16 @@
 //! pending retransmission by setting a volatile flag, without waking the
 //! Retransmitter thread).
 
+//!
+//! For Table I-style statistics, each queue exposes a type-erased
+//! [`QueueProbe`] (depth gauge, high-watermark, push/pop counters) that
+//! registers in a [`QueueRegistry`]; an opt-in [`DepthSampler`] thread
+//! turns the live depths into mean ± std-dev.
+
 mod bounded;
+mod registry;
 mod timer;
 
 pub use bounded::{BoundedQueue, PopError, PushError, QueueStats};
+pub use registry::{DepthSampler, QueueProbe, QueueRegistry};
 pub use timer::{CancelHandle, TimerEntry, TimerQueue};

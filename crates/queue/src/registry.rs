@@ -1,0 +1,276 @@
+//! Registry of named queues plus the Table I depth sampler.
+//!
+//! Each [`BoundedQueue`](crate::BoundedQueue) can hand out a
+//! [`QueueProbe`] — a type-erased clone of its atomic counters, depth
+//! gauge and high-watermark. Probes for queues of *different item
+//! types* collect in one [`QueueRegistry`], which the metrics export
+//! walks to produce [`QueueSnapshot`]s.
+//!
+//! The paper's Table I reports queue sizes as mean ± std-dev over the
+//! run, which an instantaneous gauge cannot provide. The opt-in
+//! [`DepthSampler`] thread snapshots every registered probe's depth at
+//! a fixed period into a per-queue [`RunningStats`] (Welford), giving
+//! exactly those two numbers without touching the queues' hot path.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use smr_metrics::{Counter, Gauge, QueueSnapshot, RunningStats, Watermark};
+
+/// Type-erased observability handle of one queue: shares the queue's
+/// live counters without knowing its item type. Obtained from
+/// [`BoundedQueue::probe`](crate::BoundedQueue::probe).
+#[derive(Debug, Clone)]
+pub struct QueueProbe {
+    name: String,
+    capacity: usize,
+    depth: Gauge,
+    high_watermark: Watermark,
+    pushed: Counter,
+    popped: Counter,
+    push_waits: Counter,
+    pop_waits: Counter,
+    /// Depth samples collected by a [`DepthSampler`], if one is running.
+    depth_stats: Arc<Mutex<RunningStats>>,
+}
+
+impl QueueProbe {
+    /// Bundles the shared handles. Called by `BoundedQueue::probe`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        name: String,
+        capacity: usize,
+        depth: Gauge,
+        high_watermark: Watermark,
+        pushed: Counter,
+        popped: Counter,
+        push_waits: Counter,
+        pop_waits: Counter,
+    ) -> Self {
+        QueueProbe {
+            name,
+            capacity,
+            depth,
+            high_watermark,
+            pushed,
+            popped,
+            push_waits,
+            pop_waits,
+            depth_stats: Arc::new(Mutex::new(RunningStats::new())),
+        }
+    }
+
+    /// The queue's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The queue's configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth (lock-free read of the shared gauge).
+    pub fn depth(&self) -> usize {
+        self.depth.get().max(0) as usize
+    }
+
+    /// Records one depth observation into the sampled statistics.
+    pub fn sample_depth(&self) {
+        let d = self.depth() as f64;
+        self.depth_stats.lock().record(d);
+    }
+
+    /// Condenses the probe into an exportable snapshot.
+    pub fn snapshot(&self) -> QueueSnapshot {
+        let stats = self.depth_stats.lock();
+        QueueSnapshot {
+            name: self.name.clone(),
+            capacity: self.capacity,
+            depth: self.depth(),
+            high_watermark: self.high_watermark.get() as usize,
+            pushed: self.pushed.get(),
+            popped: self.popped.get(),
+            push_waits: self.push_waits.get(),
+            pop_waits: self.pop_waits.get(),
+            depth_mean: if stats.count() == 0 {
+                0.0
+            } else {
+                stats.mean()
+            },
+            depth_stddev: stats.std_dev(),
+            depth_samples: stats.count(),
+        }
+    }
+}
+
+/// Collection of [`QueueProbe`]s for one replica, in registration order.
+///
+/// Cheap to clone (shared internally).
+#[derive(Debug, Clone, Default)]
+pub struct QueueRegistry {
+    probes: Arc<Mutex<Vec<QueueProbe>>>,
+}
+
+impl QueueRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        QueueRegistry::default()
+    }
+
+    /// Adds a probe. Queues of different item types register in the same
+    /// registry; duplicate names are allowed but make snapshots
+    /// ambiguous, so give queues distinct names.
+    pub fn register(&self, probe: QueueProbe) {
+        self.probes.lock().push(probe);
+    }
+
+    /// Number of registered probes.
+    pub fn len(&self) -> usize {
+        self.probes.lock().len()
+    }
+
+    /// Whether no probes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshots every registered queue, in registration order.
+    pub fn snapshots(&self) -> Vec<QueueSnapshot> {
+        self.probes
+            .lock()
+            .iter()
+            .map(QueueProbe::snapshot)
+            .collect()
+    }
+
+    /// Records one depth sample for every registered queue.
+    pub fn sample_all(&self) {
+        for probe in self.probes.lock().iter() {
+            probe.sample_depth();
+        }
+    }
+
+    /// Starts a background thread sampling all registered depths every
+    /// `period` until the returned handle is stopped or dropped.
+    ///
+    /// Queues registered after the sampler starts are picked up on the
+    /// next tick. The sampler only reads shared atomics, so its impact
+    /// on the pipeline is one gauge load per queue per tick.
+    pub fn start_sampler(&self, period: Duration) -> DepthSampler {
+        let registry = self.clone();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("QueueSampler".into())
+            .spawn(move || {
+                while !stop2.load(std::sync::atomic::Ordering::Acquire) {
+                    registry.sample_all();
+                    std::thread::sleep(period);
+                }
+            })
+            .expect("spawn QueueSampler");
+        DepthSampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Handle of a running depth-sampler thread; stops it when dropped.
+#[derive(Debug)]
+pub struct DepthSampler {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl DepthSampler {
+    /// Stops the sampler and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DepthSampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoundedQueue;
+
+    #[test]
+    fn registry_snapshots_mixed_item_types() {
+        let reg = QueueRegistry::new();
+        let q1: BoundedQueue<u32> = BoundedQueue::new("ints", 8);
+        let q2: BoundedQueue<String> = BoundedQueue::new("strings", 4);
+        reg.register(q1.probe());
+        reg.register(q2.probe());
+        q1.push(7).unwrap();
+        q2.push("x".into()).unwrap();
+        q2.push("y".into()).unwrap();
+        let snaps = reg.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].name, "ints");
+        assert_eq!(snaps[0].depth, 1);
+        assert_eq!(snaps[1].name, "strings");
+        assert_eq!(snaps[1].depth, 2);
+        assert_eq!(snaps[1].capacity, 4);
+    }
+
+    #[test]
+    fn manual_sampling_yields_mean_and_stddev() {
+        let reg = QueueRegistry::new();
+        let q: BoundedQueue<u32> = BoundedQueue::new("q", 16);
+        reg.register(q.probe());
+        q.push_many(0..2).unwrap();
+        reg.sample_all(); // depth 2
+        q.push_many(0..2).unwrap();
+        reg.sample_all(); // depth 4
+        let snap = &reg.snapshots()[0];
+        assert_eq!(snap.depth_samples, 2);
+        assert!((snap.depth_mean - 3.0).abs() < 1e-9);
+        assert!(snap.depth_stddev > 0.0);
+    }
+
+    #[test]
+    fn sampler_thread_collects_and_stops() {
+        let reg = QueueRegistry::new();
+        let q: BoundedQueue<u32> = BoundedQueue::new("q", 16);
+        reg.register(q.probe());
+        q.push(1).unwrap();
+        let sampler = reg.start_sampler(Duration::from_millis(1));
+        // Wait until at least one sample landed.
+        for _ in 0..500 {
+            if reg.snapshots()[0].depth_samples > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sampler.stop();
+        let snap = &reg.snapshots()[0];
+        assert!(snap.depth_samples > 0, "sampler recorded at least once");
+        assert!((snap.depth_mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_registry_is_fine() {
+        let reg = QueueRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.snapshots().is_empty());
+        reg.sample_all();
+    }
+}

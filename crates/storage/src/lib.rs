@@ -75,6 +75,9 @@ pub struct Storage {
     wal: BufWriter<File>,
     wal_start: Slot,
     scratch: BytesMut,
+    /// Bytes appended since the last [`Storage::sync`] — the size of the
+    /// group-commit burst the next sync will flush.
+    unsynced_bytes: u64,
 }
 
 impl Storage {
@@ -122,6 +125,7 @@ impl Storage {
             wal: BufWriter::new(file),
             wal_start,
             scratch: BytesMut::new(),
+            unsynced_bytes: 0,
         };
         Ok((storage, Recovered { snapshot, tail }))
     }
@@ -136,27 +140,30 @@ impl Storage {
         self.wal_start
     }
 
-    /// Appends one decided record to the WAL. Buffered: call
-    /// [`Storage::sync`] to push a burst to the operating system.
+    /// Appends one decided record to the WAL, returning its on-disk size
+    /// in bytes. Buffered: call [`Storage::sync`] to push a burst to the
+    /// operating system.
     ///
     /// # Errors
     ///
     /// I/O failures.
-    pub fn append(&mut self, slot: Slot, batch: &Batch) -> Result<(), StorageError> {
+    pub fn append(&mut self, slot: Slot, batch: &Batch) -> Result<usize, StorageError> {
         self.scratch.clear();
         wal::encode_record(slot, batch, &mut self.scratch);
         self.wal.write_all(&self.scratch)?;
-        Ok(())
+        self.unsynced_bytes += self.scratch.len() as u64;
+        Ok(self.scratch.len())
     }
 
-    /// Flushes buffered WAL records to the operating system.
+    /// Flushes buffered WAL records to the operating system, returning
+    /// how many appended bytes this group-commit burst covered.
     ///
     /// # Errors
     ///
     /// I/O failures.
-    pub fn sync(&mut self) -> Result<(), StorageError> {
+    pub fn sync(&mut self) -> Result<u64, StorageError> {
         self.wal.flush()?;
-        Ok(())
+        Ok(std::mem::take(&mut self.unsynced_bytes))
     }
 
     /// Durably installs `blob`: writes the snapshot file (temp + rename +
@@ -169,6 +176,7 @@ impl Storage {
     pub fn install_snapshot(&mut self, blob: &SnapshotBlob) -> Result<(), StorageError> {
         snaps::write_snapshot(&self.dir, blob)?;
         self.wal.flush()?;
+        self.unsynced_bytes = 0;
         if blob.applied_upto > self.wal_start {
             let path = wal::segment_path(&self.dir, blob.applied_upto);
             let file = OpenOptions::new().append(true).create(true).open(&path)?;
@@ -244,6 +252,18 @@ mod tests {
         assert_eq!(rec.tail.len(), 10);
         assert_eq!(rec.tail[7], (Slot(7), batch(7)));
         assert_eq!(rec.resume_at(), Slot(10));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_and_sync_report_byte_counts() {
+        let dir = testutil::temp_dir("bytes");
+        let (mut s, _) = Storage::open(&dir).unwrap();
+        let a = s.append(Slot(0), &batch(0)).unwrap();
+        let b = s.append(Slot(1), &batch(1)).unwrap();
+        assert!(a > 0 && b > 0, "record sizes reported");
+        assert_eq!(s.sync().unwrap(), (a + b) as u64, "burst covers both");
+        assert_eq!(s.sync().unwrap(), 0, "burst counter resets after sync");
         fs::remove_dir_all(&dir).unwrap();
     }
 

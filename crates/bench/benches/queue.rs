@@ -46,6 +46,16 @@ fn bench_queue(c: &mut Criterion) {
         b.iter_custom(|iters| smr_bench::mpmc_4x4_bulk(iters, BURST).1);
     });
 
+    // The retained mutex reference core on the identical contended
+    // workloads: the ring-vs-mutex comparison inside one bench run.
+    group.bench_function("mutex_core_mpmc_4x4_scalar", |b| {
+        b.iter_custom(|iters| smr_bench::mpmc_4x4_scalar_mutex(iters).1);
+    });
+
+    group.bench_function("mutex_core_mpmc_4x4_bulk", |b| {
+        b.iter_custom(|iters| smr_bench::mpmc_4x4_bulk_mutex(iters, BURST).1);
+    });
+
     group.bench_function("bounded_mpsc_4_producers", |b| {
         b.iter_custom(|iters| {
             let q = BoundedQueue::new("bench", 1024);

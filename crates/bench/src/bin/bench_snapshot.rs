@@ -195,6 +195,31 @@ fn main() {
     println!("queue 4x4 MPMC bulk(64)       {:>12.0} items/s", bulk_mpmc);
     let mpmc_ratio = bulk_mpmc / scalar_mpmc;
     println!("queue 4x4 MPMC bulk/scalar    {:>12.2} x", mpmc_ratio);
+    // The retained mutex core, measured in the same run: the ring/mutex
+    // ratios below are same-machine same-binary comparisons, which is
+    // the only apples-to-apples speedup a shared-runner snapshot can
+    // honestly claim.
+    let scalar_mpmc_mutex = measure_throughput(5, || smr_bench::mpmc_4x4_scalar_mutex(MPMC_ITEMS));
+    println!(
+        "queue 4x4 MPMC scalar (mutex) {:>12.0} items/s",
+        scalar_mpmc_mutex
+    );
+    let bulk_mpmc_mutex =
+        measure_throughput(5, || smr_bench::mpmc_4x4_bulk_mutex(MPMC_ITEMS, BURST));
+    println!(
+        "queue 4x4 MPMC bulk64 (mutex) {:>12.0} items/s",
+        bulk_mpmc_mutex
+    );
+    let ring_over_mutex_bulk = bulk_mpmc / bulk_mpmc_mutex;
+    println!(
+        "queue 4x4 bulk ring/mutex     {:>12.2} x",
+        ring_over_mutex_bulk
+    );
+    let ring_over_mutex_scalar = scalar_mpmc / scalar_mpmc_mutex;
+    println!(
+        "queue 4x4 scalar ring/mutex   {:>12.2} x",
+        ring_over_mutex_scalar
+    );
 
     let codec_ns = codec_roundtrip_ns();
     println!("codec batch8x128B roundtrip   {:>12.0} ns", codec_ns);
@@ -288,6 +313,13 @@ fn main() {
     field("queue_mpmc_4x4_scalar_items_per_s", scalar_mpmc);
     field("queue_mpmc_4x4_bulk64_items_per_s", bulk_mpmc);
     field("queue_mpmc_4x4_bulk_over_scalar", mpmc_ratio);
+    field("queue_mpmc_4x4_scalar_mutex_items_per_s", scalar_mpmc_mutex);
+    field("queue_mpmc_4x4_bulk64_mutex_items_per_s", bulk_mpmc_mutex);
+    field("queue_mpmc_4x4_bulk_ring_over_mutex", ring_over_mutex_bulk);
+    field(
+        "queue_mpmc_4x4_scalar_ring_over_mutex",
+        ring_over_mutex_scalar,
+    );
     field("codec_batch8_128b_roundtrip_ns", codec_ns);
     field("crc32_slice8_4kib_gib_per_s", crc_fast);
     field("crc32_bytewise_4kib_gib_per_s", crc_slow);

@@ -12,7 +12,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use smr_queue::{BoundedQueue, PopError};
+use smr_queue::{BoundedQueue, MutexBoundedQueue, PopError};
 
 mod exec;
 mod recovery;
@@ -53,81 +53,103 @@ pub fn queue_uncontended_bulk(items: u64, burst: u64) -> (u64, Duration) {
     (moved, start.elapsed())
 }
 
-/// Contended MPMC harness: 4 producers and 4 consumers move at least
-/// `items` items through one capacity-1024 `BoundedQueue` with scalar
-/// ops (`push`/`pop`). Returns `(items_moved, elapsed)`.
-pub fn mpmc_4x4_scalar(items: u64) -> (u64, Duration) {
-    let q = BoundedQueue::new("mpmc4x4", 1024);
-    let per = items.div_ceil(4);
-    let start = std::time::Instant::now();
-    let producers: Vec<_> = (0..4)
-        .map(|_| {
-            let q = q.clone();
-            std::thread::spawn(move || {
-                for i in 0..per {
-                    q.push(i).unwrap();
-                }
-            })
-        })
-        .collect();
-    let consumers: Vec<_> = (0..4)
-        .map(|_| {
-            let q = q.clone();
-            std::thread::spawn(move || while q.pop().is_ok() {})
-        })
-        .collect();
-    for p in producers {
-        p.join().unwrap();
-    }
-    q.close();
-    for c in consumers {
-        c.join().unwrap();
-    }
-    (per * 4, start.elapsed())
+/// Stamps out the contended MPMC harnesses for one queue core. The ring
+/// ([`BoundedQueue`]) and the retained mutex reference core
+/// ([`MutexBoundedQueue`]) expose the same API, so one body serves
+/// both — and `bench_snapshot` can measure ring vs mutex in a single
+/// run on the same machine, making the speedup a same-file ratio.
+macro_rules! mpmc_harnesses {
+    ($scalar:ident, $bulk:ident, $Q:ident, $core:literal) => {
+        #[doc = concat!(
+                                    "Contended MPMC harness (", $core, " core): 4 producers and 4 \
+             consumers move at least `items` items through one \
+             capacity-1024 queue with scalar ops (`push`/`pop`). \
+             Returns `(items_moved, elapsed)`."
+                                )]
+        pub fn $scalar(items: u64) -> (u64, Duration) {
+            let q = $Q::new("mpmc4x4", 1024);
+            let per = items.div_ceil(4);
+            let start = std::time::Instant::now();
+            let producers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = q.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..per {
+                            q.push(i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = q.clone();
+                    std::thread::spawn(move || while q.pop().is_ok() {})
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            q.close();
+            for c in consumers {
+                c.join().unwrap();
+            }
+            (per * 4, start.elapsed())
+        }
+
+        #[doc = concat!(
+                                    "Same shape as the scalar ", $core, "-core harness but on the \
+             bulk API: producers `push_many` bursts of `burst`, consumers \
+             drain via `pop_wait_all`. Returns `(items_moved, elapsed)`."
+                                )]
+        pub fn $bulk(items: u64, burst: u64) -> (u64, Duration) {
+            let q = $Q::new("mpmc4x4", 1024);
+            let per = items.div_ceil(4);
+            let start = std::time::Instant::now();
+            let producers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = q.clone();
+                    std::thread::spawn(move || {
+                        let mut i = 0;
+                        while i < per {
+                            let end = (i + burst).min(per);
+                            q.push_many(i..end).unwrap();
+                            i = end;
+                        }
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = q.clone();
+                    std::thread::spawn(move || {
+                        let mut buf = Vec::with_capacity(1024);
+                        while let Ok(_) | Err(PopError::Empty) =
+                            q.pop_wait_all(&mut buf, 1024, Duration::from_millis(50))
+                        {
+                            buf.clear();
+                        }
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            q.close();
+            for c in consumers {
+                c.join().unwrap();
+            }
+            (per * 4, start.elapsed())
+        }
+    };
 }
 
-/// Same shape as [`mpmc_4x4_scalar`] but on the bulk API: producers
-/// `push_many` bursts of `burst`, consumers drain via `pop_wait_all`.
-/// Returns `(items_moved, elapsed)`.
-pub fn mpmc_4x4_bulk(items: u64, burst: u64) -> (u64, Duration) {
-    let q = BoundedQueue::new("mpmc4x4", 1024);
-    let per = items.div_ceil(4);
-    let start = std::time::Instant::now();
-    let producers: Vec<_> = (0..4)
-        .map(|_| {
-            let q = q.clone();
-            std::thread::spawn(move || {
-                let mut i = 0;
-                while i < per {
-                    let end = (i + burst).min(per);
-                    q.push_many(i..end).unwrap();
-                    i = end;
-                }
-            })
-        })
-        .collect();
-    let consumers: Vec<_> = (0..4)
-        .map(|_| {
-            let q = q.clone();
-            std::thread::spawn(move || {
-                let mut buf = Vec::with_capacity(1024);
-                while let Ok(_) | Err(PopError::Empty) =
-                    q.pop_wait_all(&mut buf, 1024, Duration::from_millis(50))
-                {
-                    buf.clear();
-                }
-            })
-        })
-        .collect();
-    for p in producers {
-        p.join().unwrap();
-    }
-    q.close();
-    for c in consumers {
-        c.join().unwrap();
-    }
-    (per * 4, start.elapsed())
-}
+mpmc_harnesses!(mpmc_4x4_scalar, mpmc_4x4_bulk, BoundedQueue, "ring");
+mpmc_harnesses!(
+    mpmc_4x4_scalar_mutex,
+    mpmc_4x4_bulk_mutex,
+    MutexBoundedQueue,
+    "mutex"
+);
 
 /// Renders a simple aligned table.
 ///
@@ -211,6 +233,16 @@ mod tests {
         assert!(n >= 1000 && n % 4 == 0);
         assert!(elapsed > Duration::ZERO);
         let (n, elapsed) = mpmc_4x4_bulk(1000, 64);
+        assert!(n >= 1000 && n % 4 == 0);
+        assert!(elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn mutex_core_harnesses_move_all_items() {
+        let (n, elapsed) = mpmc_4x4_scalar_mutex(1000);
+        assert!(n >= 1000 && n % 4 == 0);
+        assert!(elapsed > Duration::ZERO);
+        let (n, elapsed) = mpmc_4x4_bulk_mutex(1000, 64);
         assert!(n >= 1000 && n % 4 == 0);
         assert!(elapsed > Duration::ZERO);
     }

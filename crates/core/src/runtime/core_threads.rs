@@ -111,10 +111,15 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
     let mut deliveries: Vec<Decision> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
     // Stage clocks of batches this replica proposed, keyed by the
-    // batch's first request id; probed when the decision comes back as
-    // a `Deliver`. Cleared on leader change (a dethroned leader's
-    // un-decided proposals would otherwise linger).
-    let mut pending_clocks: HashMap<RequestId, StageClock> = HashMap::new();
+    // batch's first request id and tagged with the slot the proposal
+    // took; probed when the decision comes back as a `Deliver`. Cleared
+    // on leader change (a dethroned leader's un-decided proposals would
+    // otherwise linger) and swept against the applied watermark when it
+    // advances — a batch whose delivery this replica observed via a
+    // snapshot install or catch-up fast-forward never produces a
+    // `Deliver` action, so without the sweep its entry would sit in the
+    // map for the leader's whole lifetime.
+    let mut pending_clocks: HashMap<RequestId, (Slot, StageClock)> = HashMap::new();
     core.handle(Event::Init, ctx.shared.now_ns(), &mut actions);
     if apply_actions(ctx, &mut actions, &mut deliveries, &mut pending_clocks).is_err() {
         return;
@@ -136,6 +141,7 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
         let watermark = ctx.snapshots.watermark();
         if watermark > seen_watermark {
             seen_watermark = watermark;
+            sweep_pending_clocks(&mut pending_clocks, watermark);
             core.note_snapshot(watermark);
             if apply_actions(ctx, &mut actions, &mut deliveries, &mut pending_clocks).is_err() {
                 return;
@@ -153,7 +159,12 @@ pub(crate) fn run_protocol(ctx: &Ctx) {
                     if ctx.stage.enabled {
                         let clock = ctx.stage.record_proposed(stamp, now);
                         if let Some(key) = batch_key(&batch) {
-                            pending_clocks.insert(key, clock);
+                            // window_open() held above, so handle() will
+                            // propose this batch immediately into
+                            // exactly next_slot() — tag the entry with
+                            // it so the watermark sweep can tell which
+                            // proposals a snapshot has overtaken.
+                            pending_clocks.insert(key, (core.next_slot(), clock));
                         }
                     }
                     core.handle(Event::Proposal(batch), now, &mut actions);
@@ -229,7 +240,7 @@ fn apply_actions(
     ctx: &Ctx,
     actions: &mut Vec<Action>,
     deliveries: &mut Vec<Decision>,
-    pending_clocks: &mut HashMap<RequestId, StageClock>,
+    pending_clocks: &mut HashMap<RequestId, (Slot, StageClock)>,
 ) -> Result<(), ()> {
     for action in actions.drain(..) {
         match action {
@@ -239,7 +250,7 @@ fn apply_actions(
                 // leader change) have no clock entry and ride as `None`.
                 let clock = batch_key(&batch)
                     .and_then(|key| pending_clocks.remove(&key))
-                    .map(|clock| ctx.stage.record_decided(clock, ctx.shared.now_ns()));
+                    .map(|(_, clock)| ctx.stage.record_decided(clock, ctx.shared.now_ns()));
                 deliveries.push(Decision::Apply(slot, batch, clock));
             }
             Action::SendSnapshot { to } => {
@@ -293,6 +304,20 @@ fn apply_actions(
         return Err(());
     }
     Ok(())
+}
+
+/// Drops pending stage clocks for proposals the applied watermark has
+/// overtaken. `applied_upto` is exclusive (the snapshot covers slots
+/// `< applied_upto`): a proposal in a covered slot was delivered through
+/// the snapshot-install or catch-up fast-forward path, which never emits
+/// the `Action::Deliver` that would otherwise remove its entry — so on a
+/// long-lived leader whose followers recover via snapshots, the map
+/// would grow without bound.
+fn sweep_pending_clocks(
+    pending_clocks: &mut HashMap<RequestId, (Slot, StageClock)>,
+    applied_upto: Slot,
+) {
+    pending_clocks.retain(|_, (slot, _)| *slot >= applied_upto);
 }
 
 /// The Retransmitter thread (§V-C4): re-sends messages whose timers
@@ -387,5 +412,45 @@ pub(crate) fn run_failure_detector(ctx: &Ctx) {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_types::{ClientId, SeqNum};
+
+    fn rid(n: u64) -> RequestId {
+        RequestId::new(ClientId(n), SeqNum(0))
+    }
+
+    /// Regression for the pending-clocks leak: entries whose slot the
+    /// applied watermark has overtaken (delivered via snapshot install
+    /// or catch-up fast-forward, so no `Action::Deliver` ever removes
+    /// them) must be swept when the watermark advances; in-flight
+    /// proposals at or above the watermark must survive.
+    #[test]
+    fn watermark_sweep_drops_only_overtaken_clocks() {
+        let mut pending: HashMap<RequestId, (Slot, StageClock)> = HashMap::new();
+        for s in 0..10u64 {
+            pending.insert(rid(s), (Slot(s), StageClock::default()));
+        }
+        // Watermark advanced to 7: slots 0..7 are covered by the
+        // snapshot (exclusive bound), 7..10 are still in flight.
+        sweep_pending_clocks(&mut pending, Slot(7));
+        assert_eq!(pending.len(), 3);
+        for s in 0..7u64 {
+            assert!(!pending.contains_key(&rid(s)), "slot {s} swept");
+        }
+        for s in 7..10u64 {
+            assert!(pending.contains_key(&rid(s)), "slot {s} retained");
+        }
+        // A stale (non-advancing) watermark sweeps nothing further.
+        sweep_pending_clocks(&mut pending, Slot(7));
+        assert_eq!(pending.len(), 3);
+        // Repeated advances keep the map bounded by the window size, not
+        // the leader's lifetime.
+        sweep_pending_clocks(&mut pending, Slot(10));
+        assert!(pending.is_empty());
     }
 }

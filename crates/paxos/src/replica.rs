@@ -137,6 +137,14 @@ impl PaxosReplica {
         self.role == ReplicaRole::Leading && self.my_inflight.len() < self.config.window()
     }
 
+    /// The slot this leader will assign to its next immediate proposal.
+    /// Exact only while [`PaxosReplica::window_open`] holds (a proposal
+    /// handled then is never buffered, so it takes exactly this slot);
+    /// callers tracking per-proposal state key it by this value.
+    pub fn next_slot(&self) -> Slot {
+        self.next_slot
+    }
+
     /// First slot not known decided.
     pub fn decided_upto(&self) -> Slot {
         self.log.first_gap()

@@ -1,10 +1,32 @@
-//! Bounded MPMC queue with waiting/blocked time accounting.
+//! Bounded MPMC queue: lock-free ring core with a parked-waiter slow
+//! path, plus waiting/blocked time accounting.
+//!
+//! # Ring core
+//!
+//! The hot path is a bounded MPMC ring with in-order frontier
+//! counters (the `rte_ring` family): producers CAS a claim head,
+//! write values, and advance a published-frontier tail; consumers
+//! mirror it with a claim head and a freed-frontier tail. No
+//! operation that finds space/items takes a lock, and no per-item
+//! atomic work exists at all — a bulk burst is **one CAS, one
+//! frontier store, and at most two `memcpy` segments per side** — so
+//! the amortization the mutex core achieved with "one lock per burst"
+//! survives, without the lock and without per-slot metadata.
+//!
+//! The mutex + condvars still exist, but only as the slow path: a
+//! thread that must *block* (full-queue push, empty-queue pop, timed
+//! waits) registers as a sleeper and parks on a condvar. Fast-path
+//! operations pay one `SeqCst` load to check for sleepers; with none
+//! registered they never touch the lock. The memory-ordering argument
+//! for why no waiter can miss its wake-up is spelled out on `Ring`
+//! and in ARCHITECTURE.md.
 
-use std::collections::VecDeque;
+use std::cell::UnsafeCell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -43,7 +65,7 @@ impl std::error::Error for PopError {}
 
 /// The one wake-up per batch the bulk ops pay: nothing for an empty
 /// batch, a single waiter for a single item, everyone for more.
-fn notify_batch(cv: &Condvar, n: usize) {
+pub(crate) fn notify_batch(cv: &Condvar, n: usize) {
     match n {
         0 => {}
         1 => {
@@ -72,40 +94,503 @@ pub struct QueueStats {
     pub capacity: usize,
     /// Number of items queued right now.
     pub depth: usize,
-    /// Highest depth ever reached (exact: maintained on every push, not
-    /// sampled).
+    /// Highest depth ever reached. Observed from the committed ring
+    /// length immediately after each push's CAS, so it is exact in
+    /// single-threaded use and can never exceed `capacity` even under
+    /// concurrent push/pop races.
     pub high_watermark: usize,
 }
 
+/// Aligns to a cache line so the producer and consumer counters never
+/// false-share (x86-64 line = 64 B; adjacent-line prefetch makes 128 B
+/// the conservative choice, but 64 matches what `crossbeam` uses on
+/// this target and keeps the struct compact).
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// The lock-free bounded MPMC ring: four cache-line-padded position
+/// counters around a bare value array, in the in-order-frontier style
+/// of DPDK's `rte_ring` (rather than the per-slot-sequence Vyukov
+/// style). Positions are absolute `u64`s that never wrap within any
+/// realistic lifetime; a position's buffer index is `pos % cap`.
+///
+/// Producers CAS `enqueue_head` to claim a run of slots, write the
+/// values, then advance the *published frontier* `enqueue_tail` — in
+/// claim order, each claimant first waiting for earlier claimants
+/// ([`Ring::advance_frontier`]) — so everything below `enqueue_tail`
+/// is always fully written. Consumers mirror this exactly: they CAS
+/// `dequeue_head` up to `enqueue_tail` to claim published items, move
+/// the values out, then advance the *freed frontier* `dequeue_tail`
+/// that producers measure free space against.
+///
+/// Invariant: `dequeue_tail ≤ dequeue_head ≤ enqueue_tail ≤
+/// enqueue_head`, and `enqueue_head − dequeue_tail ≤ cap`.
+///
+/// The payoff over per-slot sequence numbers is that *nothing
+/// per-item* remains on the hot path: a burst costs one CAS and one
+/// frontier store on each side, and the values move as at most two
+/// contiguous `memcpy` segments ([`Ring::copy_in`] /
+/// [`Ring::copy_out`]). The cost is the in-order frontier: a claimant
+/// preempted between its claim and its frontier advance briefly
+/// stalls later claimants on its side. That wait is bounded by a
+/// scheduling delay — no thread ever parks between claim and advance.
+///
+/// # Memory ordering
+///
+/// - The `enqueue_tail` store is `SeqCst` (≥ Release): it publishes
+///   the value writes that precede it, and the consumer's Acquire
+///   load in [`Ring::await_published`] synchronizes-with it, so
+///   claimed values are never torn or stale. `dequeue_tail` is its
+///   exact dual for slot reuse.
+/// - Heads are CAS'd `SeqCst` so committed lengths derived from
+///   `enqueue_head`/`dequeue_head` are totally ordered: a length
+///   computed as `(claimed end) - (other counter read after the CAS)`
+///   can only *under*-estimate, never exceed `capacity`.
+/// - Sleeper handshakes (see `Inner::wake_*` / `BoundedQueue::park_*`)
+///   are Dekker-style store-buffering cases, resolved without fences
+///   because every participating access — the frontier store or head
+///   CAS, the sleeper-counter RMW, and both sides' re-check loads —
+///   is `SeqCst`: the single total order of `SeqCst` operations rules
+///   out the both-sides-miss interleaving. Either the sleeper's
+///   re-check sees the published state and it does not sleep, or the
+///   publisher sees the registration and takes the lock to notify —
+///   and the lock serializes "about to wait" with "about to notify".
+struct Ring<T> {
+    /// Producer claim frontier: slots below are claimed for writing.
+    enqueue_head: CachePadded<AtomicU64>,
+    /// Published frontier: every position below is fully written.
+    enqueue_tail: CachePadded<AtomicU64>,
+    /// Consumer claim frontier: items below are claimed for reading.
+    dequeue_head: CachePadded<AtomicU64>,
+    /// Freed frontier: every slot below may be overwritten.
+    dequeue_tail: CachePadded<AtomicU64>,
+    data: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: u64,
+}
+
+// The UnsafeCell hands values across threads, exactly once each, with
+// publication ordered by the frontier counters (SeqCst store /
+// SeqCst load). `T: Send` is therefore sufficient, as for any channel.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    /// Creates a ring of `capacity` slots whose absolute positions start
+    /// at `start` (non-zero starts exercise index wraparound in tests).
+    fn new(capacity: usize, start: u64) -> Self {
+        let data: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Ring {
+            enqueue_head: CachePadded(AtomicU64::new(start)),
+            enqueue_tail: CachePadded(AtomicU64::new(start)),
+            dequeue_head: CachePadded(AtomicU64::new(start)),
+            dequeue_tail: CachePadded(AtomicU64::new(start)),
+            data,
+            cap: capacity as u64,
+        }
+    }
+
+    /// Claims up to `want` contiguous slots starting at the current
+    /// tail: one load of the freed frontier and one CAS, no per-slot
+    /// work. Returns `(first position, count)`, or `None` when no free
+    /// space exists (queue full, or the freeing consumer has claimed
+    /// items but not yet advanced `dequeue_tail`).
+    ///
+    /// Reading `enqueue_head` *before* `dequeue_tail` means the free
+    /// space can only be under-estimated by a racing release — and a
+    /// stale head is caught by the CAS — so a successful claim never
+    /// covers a slot that still holds an unconsumed value.
+    fn claim_push(&self, want: usize) -> Option<(u64, usize)> {
+        let want = want.min(self.cap as usize) as u64;
+        loop {
+            let e = self.enqueue_head.0.load(Ordering::Relaxed);
+            let freed = self.dequeue_tail.0.load(Ordering::SeqCst);
+            // `freed` was loaded second, so it can exceed a stale `e`;
+            // the saturation makes that harmless (the CAS fails on a
+            // stale `e` anyway).
+            let run = self.cap.saturating_sub(e.saturating_sub(freed)).min(want);
+            if run == 0 {
+                // Full from this view — unless the view was stale
+                // because another producer advanced the head already.
+                if self.enqueue_head.0.load(Ordering::Relaxed) != e {
+                    continue;
+                }
+                return None;
+            }
+            if self
+                .enqueue_head
+                .0
+                .compare_exchange_weak(e, e + run, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some((e, run as usize));
+            }
+        }
+    }
+
+    /// Claims up to `max` *committed* items from the head — everything
+    /// a producer has claimed through `enqueue_head`, published or not.
+    /// One load and one CAS, no per-slot work. Returns `(first
+    /// position, count)`, or `None` when nothing is committed.
+    ///
+    /// Claiming the committed range rather than the published range
+    /// (`enqueue_tail`) is a regime stabilizer, not an optimization: a
+    /// consumer that wakes mid-burst claims the producer's in-flight
+    /// run and waits out its publication ([`Ring::await_published`]),
+    /// instead of grabbing the published sliver, emptying the queue,
+    /// and parking again — which under producer/consumer lockstep
+    /// degrades to one park/notify round-trip per burst. The caller
+    /// must be prepared to wait; producers never park between claim
+    /// and publish, so the wait is bounded by a scheduling delay.
+    fn claim_pop_committed(&self, max: usize) -> Option<(u64, usize)> {
+        let max = max.min(self.cap as usize) as u64;
+        loop {
+            let d = self.dequeue_head.0.load(Ordering::Relaxed);
+            // Loaded after `d`: a lower bound on the claims-committed
+            // frontier at CAS time, so `d..d + run` only covers items
+            // some producer owns and will publish.
+            let committed = self.enqueue_head.0.load(Ordering::SeqCst);
+            let run = committed.saturating_sub(d).min(max);
+            if run == 0 {
+                if self.dequeue_head.0.load(Ordering::Relaxed) != d {
+                    continue;
+                }
+                return None;
+            }
+            if self
+                .dequeue_head
+                .0
+                .compare_exchange_weak(d, d + run, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some((d, run as usize));
+            }
+        }
+    }
+
+    /// Waits until the published frontier covers the claimed run
+    /// `first..first + n`: one spinning counter wait per run, not per
+    /// slot. In the common case the single Acquire load already sees
+    /// the frontier past the run's end and the loop body never runs.
+    fn await_published(&self, first: u64, n: usize) {
+        let end = first + n as u64;
+        let mut spins = 0u32;
+        while self.enqueue_tail.0.load(Ordering::Acquire) < end {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// In-order frontier advance, shared by publish (producer side,
+    /// `enqueue_tail`) and release (consumer side, `dequeue_tail`):
+    /// waits until `tail` reaches `first` — i.e. every earlier claimant
+    /// on this side has advanced past its run — then stores
+    /// `first + n`.
+    ///
+    /// The wait is a spin (then yield) rather than a park: the thread
+    /// being waited on is between its own claim and advance, a window
+    /// with no parking in it, so the stall is bounded by a scheduling
+    /// delay. The store is `SeqCst`: as a Release it publishes this
+    /// claimant's value writes (or value moves-out); as a `SeqCst` op
+    /// it anchors the fence-free sleeper handshake (see [`Ring`]).
+    fn advance_frontier(tail: &AtomicU64, first: u64, n: usize) {
+        let mut spins = 0u32;
+        while tail.load(Ordering::Acquire) != first {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        tail.store(first + n as u64, Ordering::SeqCst);
+    }
+
+    /// Publishes the claimed run `first..first + n` after its values
+    /// were written ([`Ring::write`] / [`Ring::copy_in`]), making it
+    /// claimable by consumers.
+    fn publish(&self, first: u64, n: usize) {
+        Self::advance_frontier(&self.enqueue_tail.0, first, n);
+    }
+
+    /// Releases the claimed run `first..first + n` after its values
+    /// were moved out ([`Ring::read`] / [`Ring::copy_out`]), making the
+    /// slots reusable by producers.
+    fn release(&self, first: u64, n: usize) {
+        Self::advance_frontier(&self.dequeue_tail.0, first, n);
+    }
+
+    /// Buffer index of absolute position `pos` (one hardware `u64`
+    /// division — `cap` is not required to be a power of two; the bulk
+    /// paths pay it once per run, not per item).
+    #[inline]
+    fn index_of(&self, pos: u64) -> usize {
+        (pos % self.cap) as usize
+    }
+
+    /// Writes `value` into claimed position `pos` without publishing
+    /// it — pair with [`Ring::publish`].
+    ///
+    /// # Safety
+    ///
+    /// `pos` must have been claimed by a successful `claim_push` and
+    /// not yet written.
+    unsafe fn write(&self, pos: u64, value: T) {
+        unsafe { (*self.data[self.index_of(pos)].get()).write(value) };
+    }
+
+    /// Moves the value out of claimed position `pos` without releasing
+    /// the slot — pair with [`Ring::release`].
+    ///
+    /// # Safety
+    ///
+    /// `pos` must have been claimed by a successful [`Ring::claim_pop_committed`]
+    /// and not yet read.
+    unsafe fn read(&self, pos: u64) -> T {
+        unsafe { (*self.data[self.index_of(pos)].get()).assume_init_read() }
+    }
+
+    /// Copies `n` values from `src` into the claimed run
+    /// `first..first + n` as at most two contiguous `memcpy` segments
+    /// (the run wraps the buffer edge at most once). Does *not*
+    /// publish — pair with [`Ring::publish`]. The source values are
+    /// bitwise-moved: the caller must forget them (e.g. via
+    /// `Vec::set_len`) without dropping.
+    ///
+    /// # Safety
+    ///
+    /// The run must have been claimed by a successful `claim_push` and
+    /// not yet written; `src` must be valid for `n` reads.
+    unsafe fn copy_in(&self, first: u64, n: usize, src: *const T) {
+        let idx = self.index_of(first);
+        let head = n.min(self.data.len() - idx);
+        // UnsafeCell<MaybeUninit<T>> is layout-identical to T, so the
+        // array region is writable as a contiguous run of T values.
+        let base = UnsafeCell::raw_get(self.data.as_ptr()) as *mut T;
+        unsafe {
+            std::ptr::copy_nonoverlapping(src, base.add(idx), head);
+            std::ptr::copy_nonoverlapping(src.add(head), base, n - head);
+        }
+    }
+
+    /// Moves the values of the claimed run `first..first + n` out of
+    /// the ring into `dst` as at most two contiguous `memcpy` segments.
+    /// Does *not* release the slots — pair with [`Ring::release`].
+    ///
+    /// # Safety
+    ///
+    /// The run must have been claimed by a successful
+    /// [`Ring::claim_pop_committed`] and none of it read yet. `dst` must be valid
+    /// for `n` writes.
+    unsafe fn copy_out(&self, first: u64, n: usize, dst: *mut T) {
+        let idx = self.index_of(first);
+        let head = n.min(self.data.len() - idx);
+        let base = self.data.as_ptr() as *const T;
+        unsafe {
+            std::ptr::copy_nonoverlapping(base.add(idx), dst, head);
+            std::ptr::copy_nonoverlapping(base, dst.add(head), n - head);
+        }
+    }
+
+    /// Committed queue length: claimed pushes minus claimed pops — the
+    /// count a consumer is entitled to wait for (a claimed-but-not-yet-
+    /// published run counts; its producer is about to publish it).
+    /// Reads the enqueue side first, so the difference never exceeds
+    /// `cap` (the dequeue head can only have advanced further by the
+    /// time it is read).
+    fn len(&self) -> usize {
+        let e = self.enqueue_head.0.load(Ordering::SeqCst);
+        let d = self.dequeue_head.0.load(Ordering::SeqCst);
+        e.saturating_sub(d).min(self.cap) as usize
+    }
+
+    /// Whether committed items exist (the park re-check: pops claim
+    /// the committed range, so `enqueue_head != dequeue_head` means a
+    /// claim would succeed and the consumer must not sleep).
+    fn pop_ready(&self) -> bool {
+        let e = self.enqueue_head.0.load(Ordering::SeqCst);
+        let d = self.dequeue_head.0.load(Ordering::SeqCst);
+        e != d
+    }
+
+    /// Whether free space exists (the park re-check dual of
+    /// [`Ring::pop_ready`]). Loads the freed frontier *after* the
+    /// enqueue head: a racing release only makes this report ready
+    /// more often, and a spurious ready just loops back to a failing
+    /// claim.
+    fn push_ready(&self) -> bool {
+        let e = self.enqueue_head.0.load(Ordering::SeqCst);
+        let freed = self.dequeue_tail.0.load(Ordering::SeqCst);
+        e.saturating_sub(freed) < self.cap
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Initialized-and-owned = published but not claimed by any
+        // pop. (A run claimed for pop was moved out by its consumer; a
+        // claimed-but-unpublished push run is treated as unwritten.
+        // Either can leak values only if a thread panicked between its
+        // claim and its frontier advance.)
+        let d = *self.dequeue_head.0.get_mut();
+        let p = *self.enqueue_tail.0.get_mut();
+        for pos in d..p {
+            let idx = (pos % self.cap) as usize;
+            unsafe { self.data[idx].get_mut().assume_init_drop() };
+        }
+    }
+}
+
+/// Precise waiter counts, maintained strictly under the slow-path lock.
+/// `pop_waiting` counts consumers *inside* a condvar wait (unlike the
+/// lock-free `pop_sleepers`, which also covers the registration window),
+/// so a wake-token holder can tell whether its `notify_one` will
+/// actually land.
+#[derive(Default)]
+struct Waiters {
+    pop_waiting: usize,
+}
+
 struct Inner<T> {
-    queue: Mutex<VecDeque<T>>,
+    ring: Ring<T>,
+    /// Slow-path lock: guards the sleeper registrations, the condvar
+    /// waits, and the precise under-lock waiter counts. The fast path
+    /// never touches it.
+    waiters: Mutex<Waiters>,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Consumers currently parked (or registering to park) on
+    /// `not_empty`. Modified only while holding `waiters`; read
+    /// lock-free by producers deciding whether to notify.
+    pop_sleepers: AtomicUsize,
+    /// Wake-token dedup: true while a `not_empty` notify has been issued
+    /// and its target consumer has not yet left its park. Producers
+    /// that find it set skip the slow-path lock entirely — without
+    /// this, a consumer sleeping through several bursts costs one lock
+    /// + notify round-trip per burst instead of one per sleep episode.
+    ///
+    /// Invariant: `true` implies a consumer was actually woken and
+    /// will clear the flag on park exit (a notify that wakes nobody
+    /// clears it immediately), so a set flag can never strand a
+    /// sleeper.
+    pop_wake_pending: AtomicBool,
+    /// Producers parked on `not_full`; the dual of `pop_sleepers`.
+    push_sleepers: AtomicUsize,
     capacity: usize,
-    // A plain atomic, not a second mutex: readers on the hot path take
-    // exactly one lock (the queue mutex) per operation. The close-wakes
-    // -waiters handshake stays sound because `close` stores the flag and
-    // *then* acquires the queue mutex before notifying: any waiter that
-    // read `closed == false` under the mutex will release it in `wait`,
-    // letting `close` in to notify, and re-checks the flag on wake.
+    // Close-wakes-waiters handshake: `close` stores the flag and *then*
+    // acquires `waiters` before notifying. Any would-be sleeper either
+    // observes the flag during its under-lock re-check, or is already
+    // parked and receives the notify.
     closed: AtomicBool,
     name: String,
     pushed: Counter,
     popped: Counter,
     push_waits: Counter,
     pop_waits: Counter,
-    // Written only under the queue mutex (reads are lock-free), so the
-    // gauge always reflects a consistent post-operation length.
+    // Updated from the committed ring length right after each
+    // operation's CAS; reads are lock-free (registry/sampler).
     depth: Gauge,
     high_watermark: Watermark,
 }
 
 impl<T> Inner<T> {
-    /// Publishes the post-operation queue length to the lock-free depth
-    /// gauge and high-watermark. Callers hold the queue mutex.
-    fn note_depth(&self, len: usize) {
+    /// Accounts a committed push of `n` items first claimed at `first`:
+    /// counters, depth gauge, and the high-watermark, all computed from
+    /// the post-CAS committed length. Reading the head *after* the CAS
+    /// means the length can only under-estimate the instantaneous depth,
+    /// so the watermark can never exceed capacity.
+    fn note_push(&self, first: u64, n: usize) {
+        self.pushed.add(n as u64);
+        let d = self.ring.dequeue_head.0.load(Ordering::SeqCst);
+        let len = (first + n as u64)
+            .saturating_sub(d)
+            .min(self.capacity as u64);
+        self.high_watermark.observe(len);
         self.depth.set(len as i64);
-        self.high_watermark.observe(len as u64);
+    }
+
+    /// Accounts a committed pop of `n` items first claimed at `first`;
+    /// the dual of [`Inner::note_push`] (no watermark: pops only shrink
+    /// the queue).
+    fn note_pop(&self, first: u64, n: usize) {
+        self.popped.add(n as u64);
+        let e = self.ring.enqueue_head.0.load(Ordering::SeqCst);
+        let len = e.saturating_sub(first + n as u64).min(self.capacity as u64);
+        self.depth.set(len as i64);
+    }
+
+    /// Publisher half of the sleeper handshake: after committing items,
+    /// wake a parked consumer. One load when nobody sleeps; the lock is
+    /// taken only to serialize with a consumer between its registration
+    /// and its wait. No fence is needed before the sleeper load: the
+    /// caller's commit (the `SeqCst` `enqueue_head` CAS) and this
+    /// `SeqCst` load, together with the sleeper's `SeqCst` registration
+    /// and its position-based re-check ([`Ring::pop_ready`],
+    /// all-`SeqCst` loads), put all four accesses in the single total
+    /// order of `SeqCst` operations, which rules out the
+    /// both-sides-miss interleaving directly.
+    ///
+    /// Exactly **one** consumer is woken, never the whole herd: a pop
+    /// claims the entire committed range, so under `notify_all` every
+    /// consumer but the winner pays two slow-path lock round-trips just
+    /// to go back to sleep (measured as tens of thousands of futile
+    /// park/claim cycles per second under a 4x4 bulk workload). A
+    /// consumer that leaves committed items behind relays the wake to
+    /// the next sleeper ([`Inner::after_pop`]), so a single token is
+    /// enough for any number of sleepers.
+    fn wake_consumers(&self) {
+        if self.pop_sleepers.load(Ordering::SeqCst) > 0
+            && !self.pop_wake_pending.swap(true, Ordering::SeqCst)
+        {
+            let guard = self.waiters.lock();
+            if guard.pop_waiting > 0 {
+                self.not_empty.notify_one();
+            } else {
+                // The registered sleeper left before ever waiting: drop
+                // the token so the next wake is not suppressed.
+                self.pop_wake_pending.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Post-pop wake-ups: producers (space was freed) plus the consumer
+    /// wake *relay* — if committed items remain and a consumer sleeps,
+    /// pass the single wake token on. The relay is what makes
+    /// [`Inner::wake_consumers`]'s `notify_one` sufficient: every state
+    /// with committed items and only parked consumers is reached either
+    /// by a push (which sends a token) or by a pop that left items
+    /// behind (which relays one), so some sleeper always holds a token.
+    /// Fence-free for the same reason as [`Inner::wake_consumers`]: the
+    /// caller's release (a `SeqCst` `dequeue_tail` store), these
+    /// `SeqCst` sleeper loads, a registering producer's `SeqCst`
+    /// registration, and its position-based re-check
+    /// ([`Ring::push_ready`]) all sit in the `SeqCst` total order.
+    ///
+    /// Producers keep the batch-sized notify (`notify_batch`): freed
+    /// space is split between claimants rather than taken whole, so
+    /// waking several producers lets each claim a share of a large
+    /// drain.
+    fn after_pop(&self, n: usize) {
+        if self.push_sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.waiters.lock();
+            notify_batch(&self.not_full, n);
+        }
+        if self.pop_sleepers.load(Ordering::SeqCst) > 0
+            && self.ring.len() > 0
+            && !self.pop_wake_pending.swap(true, Ordering::SeqCst)
+        {
+            let guard = self.waiters.lock();
+            if guard.pop_waiting > 0 {
+                self.not_empty.notify_one();
+            } else {
+                self.pop_wake_pending.store(false, Ordering::SeqCst);
+            }
+        }
     }
 }
 
@@ -117,15 +602,24 @@ impl<T> Inner<T> {
 /// [`ThreadState::Waiting`] — exactly what the JVM's `ThreadMXBean`
 /// reports for a thread parked on a `Condition`.
 ///
+/// # Lock-free core
+///
+/// The queue is a bounded MPMC ring (CAS'd claim heads, in-order
+/// published/freed frontier tails — see `Ring`): operations that
+/// find space/items complete without locking. The internal
+/// mutex+condvar pair is only the slow path for threads that must
+/// block, and for [`BoundedQueue::close`]'s
+/// store-then-lock-then-notify protocol.
+///
 /// # Bulk operations
 ///
 /// A request crosses at least four of these queues on its way through
 /// the replica, so per-item overhead bounds end-to-end throughput. The
 /// bulk operations ([`BoundedQueue::push_many`],
-/// [`BoundedQueue::try_pop_all`], [`BoundedQueue::pop_wait_all`]) move a
-/// whole burst under a single lock acquisition with a single condvar
-/// notification per batch, draining into a caller-owned reusable buffer
-/// so the steady state allocates nothing.
+/// [`BoundedQueue::try_pop_all`], [`BoundedQueue::pop_wait_all`]) claim
+/// a whole contiguous run of ring slots with one CAS and one wake-up
+/// check per burst, draining into a caller-owned reusable buffer so the
+/// steady state allocates nothing.
 ///
 /// # Examples
 ///
@@ -170,12 +664,29 @@ impl<T> BoundedQueue<T> {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        Self::with_start_index(name, capacity, 0)
+    }
+
+    /// Creates a queue whose ring positions start at `start` instead of
+    /// zero. Behaviour is identical to [`BoundedQueue::new`]; the only
+    /// use is tests/benches that exercise index wraparound (e.g. cycling
+    /// the absolute positions past `u32::MAX` without pushing four
+    /// billion items).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_start_index(name: impl Into<String>, capacity: usize, start: u64) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         BoundedQueue {
             inner: Arc::new(Inner {
-                queue: Mutex::new(VecDeque::with_capacity(capacity.min(65_536))),
+                ring: Ring::new(capacity, start),
+                waiters: Mutex::new(Waiters::default()),
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
+                pop_sleepers: AtomicUsize::new(0),
+                pop_wake_pending: AtomicBool::new(false),
+                push_sleepers: AtomicUsize::new(0),
                 capacity,
                 closed: AtomicBool::new(false),
                 name: name.into(),
@@ -199,9 +710,10 @@ impl<T> BoundedQueue<T> {
         self.inner.capacity
     }
 
-    /// Current number of queued items.
+    /// Current number of queued items (committed ring length; never
+    /// exceeds the capacity).
     pub fn len(&self) -> usize {
-        self.inner.queue.lock().len()
+        self.inner.ring.len()
     }
 
     /// Whether the queue currently holds no items.
@@ -211,14 +723,20 @@ impl<T> BoundedQueue<T> {
 
     /// Whether [`BoundedQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.closed.load(Ordering::Acquire)
+        self.inner.closed.load(Ordering::SeqCst)
     }
 
     /// Closes the queue: subsequent pushes fail, pops drain remaining
     /// items and then report [`PopError::Closed`]. All waiters wake.
+    ///
+    /// The store-then-lock-then-notify order is load-bearing: a thread
+    /// that read `closed == false` during its under-lock park re-check
+    /// is either still holding the slow-path lock (so this call's
+    /// `notify_all` happens after it releases into the wait) or already
+    /// parked — either way it receives the wake and re-checks the flag.
     pub fn close(&self) {
-        self.inner.closed.store(true, Ordering::Release);
-        let _guard = self.inner.queue.lock();
+        self.inner.closed.store(true, Ordering::SeqCst);
+        let _guard = self.inner.waiters.lock();
         self.inner.not_empty.notify_all();
         self.inner.not_full.notify_all();
     }
@@ -239,7 +757,9 @@ impl<T> BoundedQueue<T> {
     /// A type-erased observability handle for this queue: shares the
     /// queue's counters, depth gauge and high-watermark without holding
     /// the items' type, so queues of different item types can live in
-    /// one [`QueueRegistry`](crate::QueueRegistry).
+    /// one [`QueueRegistry`](crate::QueueRegistry). All shared handles
+    /// are plain atomics, so observation stays lock-free against the
+    /// ring core.
     pub fn probe(&self) -> QueueProbe {
         QueueProbe::new(
             self.inner.name.clone(),
@@ -251,6 +771,78 @@ impl<T> BoundedQueue<T> {
             self.inner.push_waits.clone(),
             self.inner.pop_waits.clone(),
         )
+    }
+
+    /// Sleeper half of the consumer handshake: registers, re-checks the
+    /// ring and the closed flag under the lock, and parks. Returns
+    /// whether the wait timed out. `counted` dedupes the `pop_waits`
+    /// accounting to one count per wait episode. No fence between
+    /// registration and re-check: the registration RMW and the
+    /// re-check loads are `SeqCst`, which pairs with the publisher's
+    /// `SeqCst` frontier store + sleeper load (see [`Ring`]).
+    fn park_pop(&self, deadline: Option<Instant>, counted: &mut bool) -> bool {
+        let inner = &*self.inner;
+        let mut guard = inner.waiters.lock();
+        inner.pop_sleepers.fetch_add(1, Ordering::SeqCst);
+        if inner.ring.pop_ready() || inner.closed.load(Ordering::SeqCst) {
+            inner.pop_sleepers.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        if !*counted {
+            inner.pop_waits.inc();
+            *counted = true;
+        }
+        guard.pop_waiting += 1;
+        let timed_out = match deadline {
+            Some(dl) => inner.not_empty.wait_until(&mut guard, dl).timed_out(),
+            None => {
+                inner.not_empty.wait(&mut guard);
+                false
+            }
+        };
+        guard.pop_waiting -= 1;
+        // Consume the wake token on any park exit (notify, timeout, or
+        // spurious). Clearing on a timeout whose token targeted another
+        // waiter merely permits one extra notify; never clearing would
+        // suppress wakes forever.
+        inner.pop_wake_pending.store(false, Ordering::SeqCst);
+        inner.pop_sleepers.fetch_sub(1, Ordering::SeqCst);
+        timed_out
+    }
+
+    /// The producer dual of [`BoundedQueue::park_pop`].
+    fn park_push(&self, counted: &mut bool) {
+        let inner = &*self.inner;
+        let mut guard = inner.waiters.lock();
+        inner.push_sleepers.fetch_add(1, Ordering::SeqCst);
+        if inner.ring.push_ready() || inner.closed.load(Ordering::SeqCst) {
+            inner.push_sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        if !*counted {
+            inner.push_waits.inc();
+            *counted = true;
+        }
+        inner.not_full.wait(&mut guard);
+        inner.push_sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Moves `n` claimed items starting at `first` into `buf` and
+    /// settles accounting + producer wake-ups.
+    fn take_claimed(&self, first: u64, n: usize, buf: &mut Vec<T>) {
+        let ring = &self.inner.ring;
+        // One counter wait for the whole run, then move the values out
+        // contiguously (≤ 2 memcpys) and release the slots for reuse.
+        ring.await_published(first, n);
+        buf.reserve(n);
+        let base = buf.len();
+        unsafe {
+            ring.copy_out(first, n, buf.as_mut_ptr().add(base));
+            buf.set_len(base + n);
+        }
+        ring.release(first, n);
+        self.inner.note_pop(first, n);
+        self.inner.after_pop(n);
     }
 
     /// Blocking push without metrics attribution.
@@ -275,51 +867,43 @@ impl<T> BoundedQueue<T> {
         if self.is_closed() {
             return Err(PushError::Closed(item));
         }
-        let mut q = self.inner.queue.lock();
-        if q.len() >= self.inner.capacity {
-            self.inner.push_waits.inc();
-            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
-            while q.len() >= self.inner.capacity {
-                if self.is_closed_locked() {
-                    drop(q);
-                    return Err(PushError::Closed(item));
-                }
-                self.inner.not_full.wait(&mut q);
+        let mut counted = false;
+        let mut wait_guard = None;
+        loop {
+            if let Some((pos, _)) = self.inner.ring.claim_push(1) {
+                unsafe { self.inner.ring.write(pos, item) };
+                self.inner.ring.publish(pos, 1);
+                self.inner.note_push(pos, 1);
+                self.inner.wake_consumers();
+                return Ok(());
             }
+            if self.is_closed() {
+                return Err(PushError::Closed(item));
+            }
+            if wait_guard.is_none() {
+                wait_guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            }
+            self.park_push(&mut counted);
         }
-        if self.is_closed_locked() {
-            drop(q);
-            return Err(PushError::Closed(item));
-        }
-        q.push_back(item);
-        self.inner.pushed.inc();
-        self.inner.note_depth(q.len());
-        drop(q);
-        self.inner.not_empty.notify_one();
-        Ok(())
-    }
-
-    fn is_closed_locked(&self) -> bool {
-        // Callers hold the queue mutex, which already orders this load
-        // against `close`'s store-then-lock handshake; Relaxed suffices.
-        self.inner.closed.load(Ordering::Relaxed)
     }
 
     /// Blocking bulk push: moves every item of `items` into the queue,
-    /// filling whatever space is free under one lock acquisition and
-    /// waiting for room when full. Consumers are woken once per burst
-    /// (one `notify_one` for a single item, one `notify_all` for more)
-    /// instead of once per item. Returns the number of items pushed.
+    /// claiming whatever contiguous run of free slots exists with one
+    /// CAS per burst and waiting for room when full. Consumers are woken
+    /// once per burst (one `notify_one` for a single item, one
+    /// `notify_all` for more) instead of once per item — and only when
+    /// one is actually parked. Returns the number of items pushed.
     ///
-    /// The iterator is advanced while the queue's internal lock is held:
-    /// it must be cheap and must not touch this queue (calling any
-    /// method of the same queue from `next()` deadlocks). Pass drained
-    /// buffers, ranges, or plain maps — not iterators doing I/O.
+    /// Unlike the historical mutex core, the iterator is advanced
+    /// *outside* any internal lock, so the old "must not touch this
+    /// queue from `next()`" deadlock caveat no longer applies to the
+    /// fast path; keep iterators cheap anyway — they run on the hot
+    /// path.
     ///
     /// # Errors
     ///
-    /// Returns [`PushError::Closed`] carrying the items not yet pushed if
-    /// the queue closes mid-way; items pushed before the close remain
+    /// Returns [`PushError::Closed`] carrying the items not yet pushed
+    /// if the queue closes mid-way; items pushed before the close remain
     /// poppable (close drains).
     ///
     /// # Examples
@@ -339,7 +923,6 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Blocking bulk push; wait time is charged to `handle` as `Waiting`.
-    /// The iterator contract of [`BoundedQueue::push_many`] applies.
     ///
     /// # Errors
     ///
@@ -364,47 +947,63 @@ impl<T> BoundedQueue<T> {
     where
         I: IntoIterator<Item = T>,
     {
-        let mut iter = items.into_iter().peekable();
-        if iter.peek().is_none() {
-            return Ok(0);
-        }
-        if self.is_closed() {
-            return Err(PushError::Closed(iter.collect()));
-        }
+        let mut iter = items.into_iter();
+        // Items pulled from the iterator but not yet written to claimed
+        // slots (a claim can come up shorter than the staged run when
+        // producers race); nothing here has been pushed yet.
+        let mut staged: Vec<T> = Vec::new();
+        let mut exhausted = false;
         let mut total = 0usize;
-        let mut q = self.inner.queue.lock();
+        let mut counted = false;
+        let mut wait_guard = None;
         loop {
-            if self.is_closed_locked() {
-                drop(q);
-                return Err(PushError::Closed(iter.collect()));
+            if self.is_closed() {
+                let mut rest: Vec<T> = staged;
+                rest.extend(iter);
+                if rest.is_empty() && total == 0 {
+                    // Closed before anything was staged or pushed: the
+                    // empty-input contract is Ok(0).
+                    return Ok(0);
+                }
+                return Err(PushError::Closed(rest));
             }
-            let mut pushed = 0usize;
-            while q.len() < self.inner.capacity && iter.peek().is_some() {
-                q.push_back(iter.next().expect("peeked item"));
-                pushed += 1;
+            if staged.is_empty() && !exhausted {
+                // Stage up to one queue's worth; more can never be
+                // claimed in one burst anyway.
+                staged.extend(iter.by_ref().take(self.inner.capacity));
+                exhausted = staged.len() < self.inner.capacity;
             }
-            if pushed > 0 {
-                self.inner.pushed.add(pushed as u64);
-                self.inner.note_depth(q.len());
-                total += pushed;
-            }
-            if iter.peek().is_none() {
-                drop(q);
-                notify_batch(&self.inner.not_empty, pushed);
+            if staged.is_empty() {
                 return Ok(total);
             }
-            // Queue full with items remaining: hand the burst pushed so
-            // far to consumers (notify under the lock — we must keep it
-            // to wait), then block for space.
-            notify_batch(&self.inner.not_empty, pushed);
-            self.inner.push_waits.inc();
-            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
-            while q.len() >= self.inner.capacity {
-                if self.is_closed_locked() {
-                    drop(q);
-                    return Err(PushError::Closed(iter.collect()));
+            match self.inner.ring.claim_push(staged.len()) {
+                Some((first, n)) => {
+                    let ring = &self.inner.ring;
+                    // Bitwise-move the claimed prefix into the ring,
+                    // shift any unclaimed remainder to the front, and
+                    // publish. No per-item moves, no drops: the copies
+                    // and `set_len` transfer ownership without running
+                    // any `T` code, so there is no double-drop window.
+                    unsafe {
+                        ring.copy_in(first, n, staged.as_ptr());
+                        let rem = staged.len() - n;
+                        std::ptr::copy(staged.as_ptr().add(n), staged.as_mut_ptr(), rem);
+                        staged.set_len(rem);
+                    }
+                    ring.publish(first, n);
+                    total += n;
+                    self.inner.note_push(first, n);
+                    self.inner.wake_consumers();
+                    // Progress made: a later full-queue stall is a new
+                    // wait episode for the stats.
+                    counted = false;
                 }
-                self.inner.not_full.wait(&mut q);
+                None => {
+                    if wait_guard.is_none() {
+                        wait_guard = handle.map(|h| h.enter(ThreadState::Waiting));
+                    }
+                    self.park_push(&mut counted);
+                }
             }
         }
     }
@@ -419,20 +1018,23 @@ impl<T> BoundedQueue<T> {
         if self.is_closed() {
             return Err(PushError::Closed(item));
         }
-        let mut q = self.inner.queue.lock();
-        if q.len() >= self.inner.capacity {
-            // A rejected non-blocking push is the try-path's equivalent
-            // of a blocked push: count it so backpressure stays visible
-            // in Table I-style stats regardless of push mode.
-            self.inner.push_waits.inc();
-            return Err(PushError::Full(item));
+        match self.inner.ring.claim_push(1) {
+            Some((pos, _)) => {
+                unsafe { self.inner.ring.write(pos, item) };
+                self.inner.ring.publish(pos, 1);
+                self.inner.note_push(pos, 1);
+                self.inner.wake_consumers();
+                Ok(())
+            }
+            None => {
+                // A rejected non-blocking push is the try-path's
+                // equivalent of a blocked push: count it so backpressure
+                // stays visible in Table I-style stats regardless of
+                // push mode.
+                self.inner.push_waits.inc();
+                Err(PushError::Full(item))
+            }
         }
-        q.push_back(item);
-        self.inner.pushed.inc();
-        self.inner.note_depth(q.len());
-        drop(q);
-        self.inner.not_empty.notify_one();
-        Ok(())
     }
 
     /// Blocking pop without metrics attribution.
@@ -454,23 +1056,32 @@ impl<T> BoundedQueue<T> {
     }
 
     fn pop_impl(&self, handle: Option<&ThreadHandle>) -> Result<T, PopError> {
-        let mut q = self.inner.queue.lock();
-        if q.is_empty() {
-            self.inner.pop_waits.inc();
-            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
-            while q.is_empty() {
-                if self.is_closed_locked() {
+        let mut counted = false;
+        let mut wait_guard = None;
+        loop {
+            if let Some((pos, _)) = self.inner.ring.claim_pop_committed(1) {
+                self.inner.ring.await_published(pos, 1);
+                let value = unsafe { self.inner.ring.read(pos) };
+                self.inner.ring.release(pos, 1);
+                self.inner.note_pop(pos, 1);
+                self.inner.after_pop(1);
+                return Ok(value);
+            }
+            if self.is_closed() {
+                if self.inner.ring.len() == 0 {
                     return Err(PopError::Closed);
                 }
-                self.inner.not_empty.wait(&mut q);
+                // Closed with items still in flight: a producer claimed
+                // slots before the close and is about to publish them.
+                // They must be drained, not dropped — spin them in.
+                std::thread::yield_now();
+                continue;
             }
+            if wait_guard.is_none() {
+                wait_guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            }
+            self.park_pop(None, &mut counted);
         }
-        let item = q.pop_front().expect("queue is non-empty");
-        self.inner.popped.inc();
-        self.inner.note_depth(q.len());
-        drop(q);
-        self.inner.not_full.notify_one();
-        Ok(item)
     }
 
     /// Non-blocking pop.
@@ -480,29 +1091,35 @@ impl<T> BoundedQueue<T> {
     /// Returns [`PopError::Empty`] when nothing is queued, or
     /// [`PopError::Closed`] when closed and drained.
     pub fn try_pop(&self) -> Result<T, PopError> {
-        let mut q = self.inner.queue.lock();
-        match q.pop_front() {
-            Some(item) => {
-                self.inner.popped.inc();
-                self.inner.note_depth(q.len());
-                drop(q);
-                self.inner.not_full.notify_one();
-                Ok(item)
+        loop {
+            if let Some((pos, _)) = self.inner.ring.claim_pop_committed(1) {
+                self.inner.ring.await_published(pos, 1);
+                let value = unsafe { self.inner.ring.read(pos) };
+                self.inner.ring.release(pos, 1);
+                self.inner.note_pop(pos, 1);
+                self.inner.after_pop(1);
+                return Ok(value);
             }
-            None => {
-                if self.is_closed_locked() {
-                    Err(PopError::Closed)
-                } else {
-                    Err(PopError::Empty)
+            if self.is_closed() {
+                if self.inner.ring.len() == 0 {
+                    return Err(PopError::Closed);
                 }
+                // In-flight publish after close: `Closed` here would
+                // strand the items, so wait the publish out.
+                std::thread::yield_now();
+                continue;
             }
+            return Err(PopError::Empty);
         }
     }
 
-    /// Non-blocking bulk pop: drains everything currently queued into
-    /// `buf` (appending) under one lock acquisition, waking producers
-    /// once per batch. Returns the number of items moved (at least 1 on
-    /// success).
+    /// Non-blocking bulk pop: drains every committed item into `buf`
+    /// (appending) with one CAS per run, waking producers once per
+    /// batch. Returns the number of items moved (at least 1 on
+    /// success). "Committed" includes items a racing bulk push has
+    /// claimed but not yet published; those are waited out with a brief
+    /// spin rather than left behind, so a successful return reflects
+    /// the queue's committed length at the claim.
     ///
     /// # Errors
     ///
@@ -521,27 +1138,31 @@ impl<T> BoundedQueue<T> {
     /// assert_eq!(buf, vec![0, 1, 2, 3]);
     /// ```
     pub fn try_pop_all(&self, buf: &mut Vec<T>) -> Result<usize, PopError> {
-        let mut q = self.inner.queue.lock();
-        let n = q.len();
-        if n == 0 {
-            return if self.is_closed_locked() {
-                Err(PopError::Closed)
-            } else {
-                Err(PopError::Empty)
-            };
+        loop {
+            if let Some((first, n)) = self.inner.ring.claim_pop_committed(self.inner.capacity) {
+                self.take_claimed(first, n, buf);
+                return Ok(n);
+            }
+            if self.is_closed() {
+                if self.inner.ring.len() == 0 {
+                    return Err(PopError::Closed);
+                }
+                std::thread::yield_now();
+                continue;
+            }
+            return Err(PopError::Empty);
         }
-        buf.extend(q.drain(..));
-        self.inner.popped.add(n as u64);
-        self.inner.note_depth(q.len());
-        drop(q);
-        notify_batch(&self.inner.not_full, n);
-        Ok(n)
     }
 
     /// Blocking bulk pop: waits up to `timeout` for the queue to become
-    /// non-empty, then drains up to `max` items into `buf` (appending)
-    /// under the same lock acquisition. Producers are woken once per
+    /// non-empty, then drains up to `max` committed items into `buf`
+    /// (appending) with one CAS per run. Producers are woken once per
     /// batch. Returns the number of items moved (at least 1 on success).
+    ///
+    /// A consumer woken by [`BoundedQueue::close`] drains any items
+    /// already committed to the queue — including items a racing bulk
+    /// push claimed before the close but had not yet published — before
+    /// ever reporting [`PopError::Closed`].
     ///
     /// # Errors
     ///
@@ -582,33 +1203,42 @@ impl<T> BoundedQueue<T> {
         if max == 0 {
             return Err(PopError::Empty);
         }
-        let mut q = self.inner.queue.lock();
-        if q.is_empty() {
-            self.inner.pop_waits.inc();
-            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
-            let deadline = std::time::Instant::now() + timeout;
-            while q.is_empty() {
-                if self.is_closed_locked() {
+        let mut counted = false;
+        let mut wait_guard = None;
+        let mut deadline = None;
+        loop {
+            if let Some((first, n)) = self.inner.ring.claim_pop_committed(max) {
+                self.take_claimed(first, n, buf);
+                return Ok(n);
+            }
+            if self.is_closed() {
+                if self.inner.ring.len() == 0 {
                     return Err(PopError::Closed);
                 }
-                if self
-                    .inner
-                    .not_empty
-                    .wait_until(&mut q, deadline)
-                    .timed_out()
-                    && q.is_empty()
-                {
-                    return Err(PopError::Empty);
+                std::thread::yield_now();
+                continue;
+            }
+            if wait_guard.is_none() {
+                wait_guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            }
+            let dl = *deadline.get_or_insert_with(|| Instant::now() + timeout);
+            if self.park_pop(Some(dl), &mut counted) {
+                // Timed out: one final claim so a just-published burst
+                // is not reported as Empty.
+                if let Some((first, n)) = self.inner.ring.claim_pop_committed(max) {
+                    self.take_claimed(first, n, buf);
+                    return Ok(n);
                 }
+                if self.is_closed() {
+                    if self.inner.ring.len() == 0 {
+                        return Err(PopError::Closed);
+                    }
+                    std::thread::yield_now();
+                    continue;
+                }
+                return Err(PopError::Empty);
             }
         }
-        let n = q.len().min(max);
-        buf.extend(q.drain(..n));
-        self.inner.popped.add(n as u64);
-        self.inner.note_depth(q.len());
-        drop(q);
-        notify_batch(&self.inner.not_full, n);
-        Ok(n)
     }
 
     /// Pop with a timeout.
@@ -640,48 +1270,83 @@ impl<T> BoundedQueue<T> {
         timeout: Duration,
         handle: Option<&ThreadHandle>,
     ) -> Result<T, PopError> {
-        let mut q = self.inner.queue.lock();
-        let _guard = if q.is_empty() {
-            handle.map(|h| h.enter(ThreadState::Waiting))
-        } else {
-            None
-        };
-        if q.is_empty() {
-            self.inner.pop_waits.inc();
-            let deadline = std::time::Instant::now() + timeout;
-            while q.is_empty() {
-                if self.is_closed_locked() {
+        let mut counted = false;
+        let mut wait_guard = None;
+        let mut deadline = None;
+        loop {
+            if let Some((pos, _)) = self.inner.ring.claim_pop_committed(1) {
+                self.inner.ring.await_published(pos, 1);
+                let value = unsafe { self.inner.ring.read(pos) };
+                self.inner.ring.release(pos, 1);
+                self.inner.note_pop(pos, 1);
+                self.inner.after_pop(1);
+                return Ok(value);
+            }
+            if self.is_closed() {
+                if self.inner.ring.len() == 0 {
                     return Err(PopError::Closed);
                 }
-                if self
-                    .inner
-                    .not_empty
-                    .wait_until(&mut q, deadline)
-                    .timed_out()
-                {
-                    return if q.is_empty() {
-                        Err(PopError::Empty)
-                    } else {
+                std::thread::yield_now();
+                continue;
+            }
+            if wait_guard.is_none() {
+                wait_guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            }
+            let dl = *deadline.get_or_insert_with(|| Instant::now() + timeout);
+            if self.park_pop(Some(dl), &mut counted) {
+                if let Some((pos, _)) = self.inner.ring.claim_pop_committed(1) {
+                    self.inner.ring.await_published(pos, 1);
+                    let value = unsafe { self.inner.ring.read(pos) };
+                    self.inner.ring.release(pos, 1);
+                    self.inner.note_pop(pos, 1);
+                    self.inner.after_pop(1);
+                    return Ok(value);
+                }
+                if self.is_closed() {
+                    if self.inner.ring.len() == 0 {
+                        return Err(PopError::Closed);
+                    }
+                    std::thread::yield_now();
+                    continue;
+                }
+                return Err(PopError::Empty);
+            }
+        }
+    }
+
+    /// Drains everything currently queued, waiting out any in-flight
+    /// publishes so a concurrent bulk push cannot strand claimed items.
+    pub fn drain(&self) -> Vec<T> {
+        let mut items: Vec<T> = Vec::new();
+        loop {
+            match self.inner.ring.claim_pop_committed(self.inner.capacity) {
+                Some((first, n)) => {
+                    let ring = &self.inner.ring;
+                    ring.await_published(first, n);
+                    items.reserve(n);
+                    let base = items.len();
+                    unsafe {
+                        ring.copy_out(first, n, items.as_mut_ptr().add(base));
+                        items.set_len(base + n);
+                    }
+                    ring.release(first, n);
+                    self.inner.note_pop(first, n);
+                }
+                None => {
+                    // Nothing published, but a producer may still hold
+                    // a claimed-but-unpublished run (it never parks in
+                    // that window) — wait it out rather than strand it.
+                    if self.inner.ring.len() == 0 {
                         break;
-                    };
+                    }
+                    std::thread::yield_now();
                 }
             }
         }
-        let item = q.pop_front().expect("queue is non-empty");
-        self.inner.popped.inc();
-        self.inner.note_depth(q.len());
-        drop(q);
-        self.inner.not_full.notify_one();
-        Ok(item)
-    }
-
-    /// Drains everything currently queued.
-    pub fn drain(&self) -> Vec<T> {
-        let mut q = self.inner.queue.lock();
-        let items: Vec<T> = q.drain(..).collect();
-        self.inner.popped.add(items.len() as u64);
-        self.inner.note_depth(q.len());
-        drop(q);
+        // Unconditional (not sleeper-gated): drain is a shutdown-path
+        // operation, so one uncontended lock is preferable to any risk
+        // of a missed wake.
+        let _guard = self.inner.waiters.lock();
         self.inner.not_full.notify_all();
         items
     }
@@ -1105,5 +1770,266 @@ mod tests {
             }
             assert!(bulk_popper.join().unwrap(), "bulk popper observed Closed");
         }
+    }
+
+    fn stress_iters(default: usize) -> usize {
+        std::env::var("SMR_STRESS_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The ring core must never report a depth or high-watermark larger
+    /// than the capacity, even while a sampler races concurrent pushes
+    /// and pops (the committed-length observation, not a racy
+    /// two-counter load). A racy implementation fails this within a few
+    /// thousand iterations.
+    #[test]
+    fn watermark_never_exceeds_capacity_under_contention() {
+        const CAP: usize = 7;
+        let iters = stress_iters(30_000) as u64;
+        let q: BoundedQueue<u64> = BoundedQueue::new("stress", CAP);
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler = {
+            let q = q.clone();
+            let probe = q.probe();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let s = q.stats();
+                    assert!(s.depth <= CAP, "depth {} > capacity {}", s.depth, CAP);
+                    assert!(
+                        s.high_watermark <= CAP,
+                        "high watermark {} > capacity {}",
+                        s.high_watermark,
+                        CAP
+                    );
+                    assert!(probe.depth() <= CAP, "probe depth exceeds capacity");
+                    assert!(q.len() <= CAP, "len exceeds capacity");
+                }
+            })
+        };
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..iters {
+                        if p == 0 {
+                            q.push(i).unwrap();
+                        } else {
+                            q.push_many([i, i + 1]).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    while let Ok(_) | Err(PopError::Empty) =
+                        q.pop_wait_all(&mut buf, CAP, Duration::from_millis(20))
+                    {
+                        buf.clear();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        sampler.join().unwrap();
+        let s = q.stats();
+        assert!(s.high_watermark <= CAP);
+        assert_eq!(s.pushed, s.popped, "close drained everything");
+    }
+
+    /// Close racing bulk pushes: every item a push reported as accepted
+    /// (returned `Ok` or not in the handed-back remainder) must be
+    /// drained by the consumers before they observe `Closed` — items a
+    /// producer had *claimed* but not yet published at close time
+    /// included. Conservation proves no accepted item is stranded.
+    #[test]
+    fn close_drains_in_flight_bulk_pushes() {
+        let rounds = stress_iters(200);
+        for _ in 0..rounds {
+            let q: BoundedQueue<u64> = BoundedQueue::new("inflight", 4);
+            let producers: Vec<_> = (0..2)
+                .map(|p| {
+                    let q = q.clone();
+                    thread::spawn(move || {
+                        let mut accepted = 0u64;
+                        for burst in 0..4u64 {
+                            let base = p * 1_000 + burst * 10;
+                            match q.push_many(base..base + 6) {
+                                Ok(n) => accepted += n as u64,
+                                Err(PushError::Closed(rest)) => {
+                                    accepted += 6 - rest.len() as u64;
+                                    break;
+                                }
+                                Err(PushError::Full(_)) => unreachable!("blocking push"),
+                            }
+                        }
+                        accepted
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let q = q.clone();
+                    thread::spawn(move || {
+                        let mut got = 0u64;
+                        let mut buf = Vec::new();
+                        loop {
+                            match q.pop_wait_all(&mut buf, 8, Duration::from_secs(10)) {
+                                Ok(n) => {
+                                    got += n as u64;
+                                    buf.clear();
+                                }
+                                Err(PopError::Closed) => break,
+                                Err(PopError::Empty) => {}
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            thread::yield_now();
+            q.close();
+            let accepted: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+            let drained: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(
+                accepted, drained,
+                "every accepted item was drained before Closed"
+            );
+            let s = q.stats();
+            assert_eq!(s.pushed, accepted);
+            assert_eq!(s.popped, drained);
+        }
+    }
+
+    /// ABA/wraparound: with a tiny capacity and ring positions starting
+    /// just below `u32::MAX`, push/pop cycles carry the absolute indices
+    /// across the 32-bit boundary (and thousands of laps beyond). FIFO
+    /// order, stats, and depth must be unaffected — this is the test a
+    /// 32-bit-counter or masked-index implementation fails.
+    #[test]
+    fn ring_indices_survive_u32_wraparound() {
+        const CAP: usize = 3;
+        let start = u64::from(u32::MAX) - 7;
+        let laps = stress_iters(20_000) as u64;
+        let q: BoundedQueue<u64> = BoundedQueue::with_start_index("wrap", CAP, start);
+        // Single-threaded laps across the boundary: exact FIFO.
+        let mut next_out = 0u64;
+        let mut next_in = 0u64;
+        for _ in 0..laps {
+            q.push(next_in).unwrap();
+            next_in += 1;
+            q.push(next_in).unwrap();
+            next_in += 1;
+            assert_eq!(q.pop().unwrap(), next_out);
+            next_out += 1;
+            assert_eq!(q.pop().unwrap(), next_out);
+            next_out += 1;
+        }
+        let s = q.stats();
+        assert_eq!(s.pushed, 2 * laps);
+        assert_eq!(s.popped, 2 * laps);
+        assert_eq!(s.depth, 0);
+        assert!(s.high_watermark <= CAP);
+
+        // Concurrent wraparound: producers and consumers hammer the same
+        // tiny ring across the boundary; nothing lost, nothing
+        // duplicated.
+        let q: BoundedQueue<u64> = BoundedQueue::with_start_index("wrap-mpmc", CAP, start);
+        let per = laps.min(10_000);
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..per {
+                        q.push(p * per + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..2 * per).collect::<Vec<_>>());
+    }
+
+    /// A queue created with a non-zero start index behaves exactly like
+    /// a fresh one for a scripted single-threaded sequence.
+    #[test]
+    fn start_index_is_transparent() {
+        let plain: BoundedQueue<u32> = BoundedQueue::new("plain", 4);
+        let offset: BoundedQueue<u32> = BoundedQueue::with_start_index("offset", 4, u64::MAX / 3);
+        for q in [&plain, &offset] {
+            assert_eq!(q.push_many(0..3).unwrap(), 3);
+            assert_eq!(q.try_pop().unwrap(), 0);
+            assert_eq!(q.try_push(9), Ok(()));
+            assert_eq!(q.try_push(10), Ok(()));
+            assert_eq!(q.try_push(11), Err(PushError::Full(11)));
+            let mut buf = Vec::new();
+            assert_eq!(q.try_pop_all(&mut buf).unwrap(), 4);
+            assert_eq!(buf, vec![1, 2, 9, 10]);
+        }
+        let (p, o) = (plain.stats(), offset.stats());
+        assert_eq!(p.pushed, o.pushed);
+        assert_eq!(p.popped, o.popped);
+        assert_eq!(p.push_waits, o.push_waits);
+        assert_eq!(p.high_watermark, o.high_watermark);
+    }
+
+    /// Items left in the ring at drop time are dropped exactly once
+    /// (the ring owns raw `MaybeUninit` cells, so leaks or double drops
+    /// are the failure mode).
+    #[test]
+    fn dropping_queue_drops_remaining_items() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        #[derive(Debug)]
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let q = BoundedQueue::new("drop", 8);
+        for _ in 0..5 {
+            q.push(Tracked(Arc::clone(&counter))).unwrap();
+        }
+        drop(q.pop().unwrap());
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        drop(q);
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            5,
+            "remaining 4 dropped with the queue"
+        );
     }
 }

@@ -25,9 +25,11 @@
 //! turns the live depths into mean ± std-dev.
 
 mod bounded;
+mod mutex_core;
 mod registry;
 mod timer;
 
 pub use bounded::{BoundedQueue, PopError, PushError, QueueStats};
+pub use mutex_core::MutexBoundedQueue;
 pub use registry::{DepthSampler, QueueProbe, QueueRegistry};
 pub use timer::{CancelHandle, TimerEntry, TimerQueue};

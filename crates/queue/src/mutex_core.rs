@@ -1,0 +1,643 @@
+//! The historical `Mutex<VecDeque>` queue core, kept as the reference
+//! implementation for the lock-free ring in [`crate::bounded`].
+//!
+//! [`MutexBoundedQueue`] is the queue exactly as it shipped before the
+//! ring rewrite: one mutex around a `VecDeque`, condvars for waiters,
+//! bulk ops amortizing one lock acquisition per burst. It exists for
+//! two jobs:
+//!
+//! 1. **Differential testing.** The bulk-equivalence proptests run the
+//!    same scenario against this core and the ring core and assert
+//!    identical observable traces — any semantic drift in the ring
+//!    shows up as a counterexample against this oracle.
+//! 2. **Benchmark baseline.** `bench_snapshot` measures the contended
+//!    MPMC cases against both cores in the same run, so the ring's
+//!    speedup is a same-file, same-machine ratio rather than a
+//!    cross-run comparison.
+//!
+//! It shares [`PushError`]/[`PopError`]/[`QueueStats`] with the ring
+//! core, so tests and benches can be written once and parameterized
+//! over the core.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use smr_metrics::{Counter, Gauge, ThreadHandle, ThreadState, Watermark};
+
+use crate::bounded::{notify_batch, PopError, PushError, QueueStats};
+use crate::registry::QueueProbe;
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    // A plain atomic, not a second mutex: readers on the hot path take
+    // exactly one lock (the queue mutex) per operation. The close-wakes
+    // -waiters handshake stays sound because `close` stores the flag and
+    // *then* acquires the queue mutex before notifying: any waiter that
+    // read `closed == false` under the mutex will release it in `wait`,
+    // letting `close` in to notify, and re-checks the flag on wake.
+    closed: AtomicBool,
+    name: String,
+    pushed: Counter,
+    popped: Counter,
+    push_waits: Counter,
+    pop_waits: Counter,
+    // Written only under the queue mutex (reads are lock-free), so the
+    // gauge always reflects a consistent post-operation length.
+    depth: Gauge,
+    high_watermark: Watermark,
+}
+
+impl<T> Inner<T> {
+    /// Publishes the post-operation queue length to the lock-free depth
+    /// gauge and high-watermark. Callers hold the queue mutex.
+    fn note_depth(&self, len: usize) {
+        self.depth.set(len as i64);
+        self.high_watermark.observe(len as u64);
+    }
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+///
+/// Cloning shares the queue. Blocking operations come in untracked
+/// (`push`/`pop`) and tracked (`push_with`/`pop_with`) flavours; tracked
+/// variants charge wait time to the calling thread's profile as
+/// [`ThreadState::Waiting`] — exactly what the JVM's `ThreadMXBean`
+/// reports for a thread parked on a `Condition`.
+///
+/// # Bulk operations
+///
+/// A request crosses at least four of these queues on its way through
+/// the replica, so per-item overhead bounds end-to-end throughput. The
+/// bulk operations ([`MutexBoundedQueue::push_many`],
+/// [`MutexBoundedQueue::try_pop_all`], [`MutexBoundedQueue::pop_wait_all`]) move a
+/// whole burst under a single lock acquisition with a single condvar
+/// notification per batch, draining into a caller-owned reusable buffer
+/// so the steady state allocates nothing.
+///
+/// # Examples
+///
+/// ```
+/// use smr_queue::MutexBoundedQueue;
+///
+/// let q = MutexBoundedQueue::new("RequestQueue", 1000);
+/// q.push(42).unwrap();
+/// assert_eq!(q.pop().unwrap(), 42);
+///
+/// q.push_many(0..3).unwrap();
+/// let mut buf = Vec::new();
+/// assert_eq!(q.try_pop_all(&mut buf).unwrap(), 3);
+/// assert_eq!(buf, vec![0, 1, 2]);
+/// ```
+pub struct MutexBoundedQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for MutexBoundedQueue<T> {
+    fn clone(&self) -> Self {
+        MutexBoundedQueue {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> fmt::Debug for MutexBoundedQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutexBoundedQueue")
+            .field("name", &self.inner.name)
+            .field("capacity", &self.inner.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> MutexBoundedQueue<T> {
+    /// Creates a queue with the given diagnostic name and capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        MutexBoundedQueue {
+            inner: Arc::new(Inner {
+                queue: Mutex::new(VecDeque::with_capacity(capacity.min(65_536))),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                capacity,
+                closed: AtomicBool::new(false),
+                name: name.into(),
+                pushed: Counter::new(),
+                popped: Counter::new(),
+                push_waits: Counter::new(),
+                pop_waits: Counter::new(),
+                depth: Gauge::new(),
+                high_watermark: Watermark::new(),
+            }),
+        }
+    }
+
+    /// The queue's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Maximum number of items the queue holds.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`MutexBoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// Closes the queue: subsequent pushes fail, pops drain remaining
+    /// items and then report [`PopError::Closed`]. All waiters wake.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Release);
+        let _guard = self.inner.queue.lock();
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.inner.pushed.get(),
+            popped: self.inner.popped.get(),
+            push_waits: self.inner.push_waits.get(),
+            pop_waits: self.inner.pop_waits.get(),
+            capacity: self.inner.capacity,
+            depth: self.inner.depth.get().max(0) as usize,
+            high_watermark: self.inner.high_watermark.get() as usize,
+        }
+    }
+
+    /// A type-erased observability handle for this queue: shares the
+    /// queue's counters, depth gauge and high-watermark without holding
+    /// the items' type, so queues of different item types can live in
+    /// one [`QueueRegistry`](crate::QueueRegistry).
+    pub fn probe(&self) -> QueueProbe {
+        QueueProbe::new(
+            self.inner.name.clone(),
+            self.inner.capacity,
+            self.inner.depth.clone(),
+            self.inner.high_watermark.clone(),
+            self.inner.pushed.clone(),
+            self.inner.popped.clone(),
+            self.inner.push_waits.clone(),
+            self.inner.pop_waits.clone(),
+        )
+    }
+
+    /// Blocking push without metrics attribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] if the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        self.push_impl(item, None)
+    }
+
+    /// Blocking push; wait time is charged to `handle` as `Waiting`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] if the queue is closed.
+    pub fn push_with(&self, item: T, handle: &ThreadHandle) -> Result<(), PushError<T>> {
+        self.push_impl(item, Some(handle))
+    }
+
+    fn push_impl(&self, item: T, handle: Option<&ThreadHandle>) -> Result<(), PushError<T>> {
+        if self.is_closed() {
+            return Err(PushError::Closed(item));
+        }
+        let mut q = self.inner.queue.lock();
+        if q.len() >= self.inner.capacity {
+            self.inner.push_waits.inc();
+            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            while q.len() >= self.inner.capacity {
+                if self.is_closed_locked() {
+                    drop(q);
+                    return Err(PushError::Closed(item));
+                }
+                self.inner.not_full.wait(&mut q);
+            }
+        }
+        if self.is_closed_locked() {
+            drop(q);
+            return Err(PushError::Closed(item));
+        }
+        q.push_back(item);
+        self.inner.pushed.inc();
+        self.inner.note_depth(q.len());
+        drop(q);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    fn is_closed_locked(&self) -> bool {
+        // Callers hold the queue mutex, which already orders this load
+        // against `close`'s store-then-lock handshake; Relaxed suffices.
+        self.inner.closed.load(Ordering::Relaxed)
+    }
+
+    /// Blocking bulk push: moves every item of `items` into the queue,
+    /// filling whatever space is free under one lock acquisition and
+    /// waiting for room when full. Consumers are woken once per burst
+    /// (one `notify_one` for a single item, one `notify_all` for more)
+    /// instead of once per item. Returns the number of items pushed.
+    ///
+    /// The iterator is advanced while the queue's internal lock is held:
+    /// it must be cheap and must not touch this queue (calling any
+    /// method of the same queue from `next()` deadlocks). Pass drained
+    /// buffers, ranges, or plain maps — not iterators doing I/O.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] carrying the items not yet pushed if
+    /// the queue closes mid-way; items pushed before the close remain
+    /// poppable (close drains).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smr_queue::MutexBoundedQueue;
+    ///
+    /// let q = MutexBoundedQueue::new("ProposalQueue", 8);
+    /// assert_eq!(q.push_many(vec!["a", "b", "c"]).unwrap(), 3);
+    /// assert_eq!(q.len(), 3);
+    /// ```
+    pub fn push_many<I>(&self, items: I) -> Result<usize, PushError<Vec<T>>>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        self.push_many_impl(items, None)
+    }
+
+    /// Blocking bulk push; wait time is charged to `handle` as `Waiting`.
+    /// The iterator contract of [`MutexBoundedQueue::push_many`] applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] carrying the items not yet pushed if
+    /// the queue closes mid-way.
+    pub fn push_many_with<I>(
+        &self,
+        items: I,
+        handle: &ThreadHandle,
+    ) -> Result<usize, PushError<Vec<T>>>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        self.push_many_impl(items, Some(handle))
+    }
+
+    fn push_many_impl<I>(
+        &self,
+        items: I,
+        handle: Option<&ThreadHandle>,
+    ) -> Result<usize, PushError<Vec<T>>>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        let mut iter = items.into_iter().peekable();
+        if iter.peek().is_none() {
+            return Ok(0);
+        }
+        if self.is_closed() {
+            return Err(PushError::Closed(iter.collect()));
+        }
+        let mut total = 0usize;
+        let mut q = self.inner.queue.lock();
+        loop {
+            if self.is_closed_locked() {
+                drop(q);
+                return Err(PushError::Closed(iter.collect()));
+            }
+            let mut pushed = 0usize;
+            while q.len() < self.inner.capacity && iter.peek().is_some() {
+                q.push_back(iter.next().expect("peeked item"));
+                pushed += 1;
+            }
+            if pushed > 0 {
+                self.inner.pushed.add(pushed as u64);
+                self.inner.note_depth(q.len());
+                total += pushed;
+            }
+            if iter.peek().is_none() {
+                drop(q);
+                notify_batch(&self.inner.not_empty, pushed);
+                return Ok(total);
+            }
+            // Queue full with items remaining: hand the burst pushed so
+            // far to consumers (notify under the lock — we must keep it
+            // to wait), then block for space.
+            notify_batch(&self.inner.not_empty, pushed);
+            self.inner.push_waits.inc();
+            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            while q.len() >= self.inner.capacity {
+                if self.is_closed_locked() {
+                    drop(q);
+                    return Err(PushError::Closed(iter.collect()));
+                }
+                self.inner.not_full.wait(&mut q);
+            }
+        }
+    }
+
+    /// Non-blocking push.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Full`] or [`PushError::Closed`], handing the
+    /// item back.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        if self.is_closed() {
+            return Err(PushError::Closed(item));
+        }
+        let mut q = self.inner.queue.lock();
+        if q.len() >= self.inner.capacity {
+            // A rejected non-blocking push is the try-path's equivalent
+            // of a blocked push: count it so backpressure stays visible
+            // in Table I-style stats regardless of push mode.
+            self.inner.push_waits.inc();
+            return Err(PushError::Full(item));
+        }
+        q.push_back(item);
+        self.inner.pushed.inc();
+        self.inner.note_depth(q.len());
+        drop(q);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop without metrics attribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopError::Closed`] once the queue is closed and drained.
+    pub fn pop(&self) -> Result<T, PopError> {
+        self.pop_impl(None)
+    }
+
+    /// Blocking pop; wait time is charged to `handle` as `Waiting`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopError::Closed`] once the queue is closed and drained.
+    pub fn pop_with(&self, handle: &ThreadHandle) -> Result<T, PopError> {
+        self.pop_impl(Some(handle))
+    }
+
+    fn pop_impl(&self, handle: Option<&ThreadHandle>) -> Result<T, PopError> {
+        let mut q = self.inner.queue.lock();
+        if q.is_empty() {
+            self.inner.pop_waits.inc();
+            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            while q.is_empty() {
+                if self.is_closed_locked() {
+                    return Err(PopError::Closed);
+                }
+                self.inner.not_empty.wait(&mut q);
+            }
+        }
+        let item = q.pop_front().expect("queue is non-empty");
+        self.inner.popped.inc();
+        self.inner.note_depth(q.len());
+        drop(q);
+        self.inner.not_full.notify_one();
+        Ok(item)
+    }
+
+    /// Non-blocking pop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopError::Empty`] when nothing is queued, or
+    /// [`PopError::Closed`] when closed and drained.
+    pub fn try_pop(&self) -> Result<T, PopError> {
+        let mut q = self.inner.queue.lock();
+        match q.pop_front() {
+            Some(item) => {
+                self.inner.popped.inc();
+                self.inner.note_depth(q.len());
+                drop(q);
+                self.inner.not_full.notify_one();
+                Ok(item)
+            }
+            None => {
+                if self.is_closed_locked() {
+                    Err(PopError::Closed)
+                } else {
+                    Err(PopError::Empty)
+                }
+            }
+        }
+    }
+
+    /// Non-blocking bulk pop: drains everything currently queued into
+    /// `buf` (appending) under one lock acquisition, waking producers
+    /// once per batch. Returns the number of items moved (at least 1 on
+    /// success).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopError::Empty`] when nothing is queued, or
+    /// [`PopError::Closed`] when closed and drained.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smr_queue::MutexBoundedQueue;
+    ///
+    /// let q = MutexBoundedQueue::new("ReplyQueue", 8);
+    /// q.push_many(0..4).unwrap();
+    /// let mut buf = Vec::new();
+    /// assert_eq!(q.try_pop_all(&mut buf).unwrap(), 4);
+    /// assert_eq!(buf, vec![0, 1, 2, 3]);
+    /// ```
+    pub fn try_pop_all(&self, buf: &mut Vec<T>) -> Result<usize, PopError> {
+        let mut q = self.inner.queue.lock();
+        let n = q.len();
+        if n == 0 {
+            return if self.is_closed_locked() {
+                Err(PopError::Closed)
+            } else {
+                Err(PopError::Empty)
+            };
+        }
+        buf.extend(q.drain(..));
+        self.inner.popped.add(n as u64);
+        self.inner.note_depth(q.len());
+        drop(q);
+        notify_batch(&self.inner.not_full, n);
+        Ok(n)
+    }
+
+    /// Blocking bulk pop: waits up to `timeout` for the queue to become
+    /// non-empty, then drains up to `max` items into `buf` (appending)
+    /// under the same lock acquisition. Producers are woken once per
+    /// batch. Returns the number of items moved (at least 1 on success).
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Empty`] on timeout, [`PopError::Closed`] when closed
+    /// and drained.
+    pub fn pop_wait_all(
+        &self,
+        buf: &mut Vec<T>,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<usize, PopError> {
+        self.pop_wait_all_impl(buf, max, timeout, None)
+    }
+
+    /// Blocking bulk pop; wait time is charged to `handle` as `Waiting`.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Empty`] on timeout, [`PopError::Closed`] when closed
+    /// and drained.
+    pub fn pop_wait_all_with(
+        &self,
+        buf: &mut Vec<T>,
+        max: usize,
+        timeout: Duration,
+        handle: &ThreadHandle,
+    ) -> Result<usize, PopError> {
+        self.pop_wait_all_impl(buf, max, timeout, Some(handle))
+    }
+
+    fn pop_wait_all_impl(
+        &self,
+        buf: &mut Vec<T>,
+        max: usize,
+        timeout: Duration,
+        handle: Option<&ThreadHandle>,
+    ) -> Result<usize, PopError> {
+        if max == 0 {
+            return Err(PopError::Empty);
+        }
+        let mut q = self.inner.queue.lock();
+        if q.is_empty() {
+            self.inner.pop_waits.inc();
+            let _guard = handle.map(|h| h.enter(ThreadState::Waiting));
+            let deadline = std::time::Instant::now() + timeout;
+            while q.is_empty() {
+                if self.is_closed_locked() {
+                    return Err(PopError::Closed);
+                }
+                if self
+                    .inner
+                    .not_empty
+                    .wait_until(&mut q, deadline)
+                    .timed_out()
+                    && q.is_empty()
+                {
+                    return Err(PopError::Empty);
+                }
+            }
+        }
+        let n = q.len().min(max);
+        buf.extend(q.drain(..n));
+        self.inner.popped.add(n as u64);
+        self.inner.note_depth(q.len());
+        drop(q);
+        notify_batch(&self.inner.not_full, n);
+        Ok(n)
+    }
+
+    /// Pop with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Empty`] on timeout, [`PopError::Closed`] when closed
+    /// and drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<T, PopError> {
+        self.pop_timeout_impl(timeout, None)
+    }
+
+    /// Pop with a timeout; wait time is charged to `handle` as `Waiting`.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Empty`] on timeout, [`PopError::Closed`] when closed
+    /// and drained.
+    pub fn pop_timeout_with(
+        &self,
+        timeout: Duration,
+        handle: &ThreadHandle,
+    ) -> Result<T, PopError> {
+        self.pop_timeout_impl(timeout, Some(handle))
+    }
+
+    fn pop_timeout_impl(
+        &self,
+        timeout: Duration,
+        handle: Option<&ThreadHandle>,
+    ) -> Result<T, PopError> {
+        let mut q = self.inner.queue.lock();
+        let _guard = if q.is_empty() {
+            handle.map(|h| h.enter(ThreadState::Waiting))
+        } else {
+            None
+        };
+        if q.is_empty() {
+            self.inner.pop_waits.inc();
+            let deadline = std::time::Instant::now() + timeout;
+            while q.is_empty() {
+                if self.is_closed_locked() {
+                    return Err(PopError::Closed);
+                }
+                if self
+                    .inner
+                    .not_empty
+                    .wait_until(&mut q, deadline)
+                    .timed_out()
+                {
+                    return if q.is_empty() {
+                        Err(PopError::Empty)
+                    } else {
+                        break;
+                    };
+                }
+            }
+        }
+        let item = q.pop_front().expect("queue is non-empty");
+        self.inner.popped.inc();
+        self.inner.note_depth(q.len());
+        drop(q);
+        self.inner.not_full.notify_one();
+        Ok(item)
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        let mut q = self.inner.queue.lock();
+        let items: Vec<T> = q.drain(..).collect();
+        self.inner.popped.add(items.len() as u64);
+        self.inner.note_depth(q.len());
+        drop(q);
+        self.inner.not_full.notify_all();
+        items
+    }
+}

@@ -1,166 +1,301 @@
 //! Property tests for the bounded queue: conservation (nothing lost,
 //! nothing duplicated) and per-producer FIFO order under concurrency.
+//!
+//! Every concurrent scenario runs twice — once against the lock-free
+//! ring core ([`BoundedQueue`]) and once against the retained mutex
+//! reference core ([`MutexBoundedQueue`]) — via the `core_suite!`
+//! macro, so the two implementations are held to the same properties.
+//! On top of that, `scripted_trace_identical_across_cores` drives both
+//! cores through the *same* randomized operation script and asserts the
+//! observable trace (every op result, every popped value, the robust
+//! stats fields) is identical op-for-op: the mutex core is the oracle
+//! the ring must match.
 
 use std::collections::HashMap;
 use std::thread;
+use std::time::Duration;
 
 use proptest::prelude::*;
 
-use smr_queue::BoundedQueue;
+use smr_queue::{BoundedQueue, MutexBoundedQueue, PopError};
+
+/// Instantiates the concurrent property suite for one queue core. Both
+/// cores expose the identical inherent API, so the scenarios are
+/// written once and stamped out per core.
+macro_rules! core_suite {
+    ($suite:ident, $Q:ident) => {
+        mod $suite {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(16))]
+
+                #[test]
+                fn conservation_and_per_producer_fifo(
+                    producers in 1usize..5,
+                    per_producer in 1usize..200,
+                    capacity in 1usize..64,
+                ) {
+                    let q: $Q<(usize, usize)> = $Q::new("prop", capacity);
+                    let handles: Vec<_> = (0..producers)
+                        .map(|p| {
+                            let q = q.clone();
+                            thread::spawn(move || {
+                                for i in 0..per_producer {
+                                    q.push((p, i)).unwrap();
+                                }
+                            })
+                        })
+                        .collect();
+                    let consumer = {
+                        let q = q.clone();
+                        thread::spawn(move || {
+                            let mut got = Vec::new();
+                            while let Ok(v) = q.pop() {
+                                got.push(v);
+                            }
+                            got
+                        })
+                    };
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                    q.close();
+                    let got = consumer.join().unwrap();
+                    // Conservation.
+                    prop_assert_eq!(got.len(), producers * per_producer);
+                    // Per-producer FIFO.
+                    let mut next: HashMap<usize, usize> = HashMap::new();
+                    for (p, i) in got {
+                        let expected = next.entry(p).or_insert(0);
+                        prop_assert_eq!(i, *expected, "producer {}'s items in order", p);
+                        *expected += 1;
+                    }
+                }
+
+                /// Bulk ops are observationally equivalent to scalar ops: with a mix
+                /// of `push`/`push_many` producers and `pop`/`pop_wait_all` consumers
+                /// the queue still loses nothing, duplicates nothing, keeps
+                /// per-producer FIFO order (each consumer's observed subsequence per
+                /// producer is strictly in order), and the `QueueStats` totals equal
+                /// the item count exactly as with scalar ops.
+                #[test]
+                fn bulk_ops_equivalent_to_scalar(
+                    producers in 1usize..5,
+                    per_producer in 1usize..150,
+                    capacity in 1usize..64,
+                    chunk in 1usize..17,
+                ) {
+                    let q: $Q<(usize, usize)> = $Q::new("prop-bulk", capacity);
+                    let handles: Vec<_> = (0..producers)
+                        .map(|p| {
+                            let q = q.clone();
+                            thread::spawn(move || {
+                                if p % 2 == 0 {
+                                    // Bulk producer: bursts of `chunk` requests.
+                                    let mut i = 0;
+                                    while i < per_producer {
+                                        let end = (i + chunk).min(per_producer);
+                                        q.push_many((i..end).map(|j| (p, j))).unwrap();
+                                        i = end;
+                                    }
+                                } else {
+                                    // Scalar producer.
+                                    for i in 0..per_producer {
+                                        q.push((p, i)).unwrap();
+                                    }
+                                }
+                            })
+                        })
+                        .collect();
+                    let consumers: Vec<_> = (0..2)
+                        .map(|c| {
+                            let q = q.clone();
+                            thread::spawn(move || {
+                                let mut got = Vec::new();
+                                if c == 0 {
+                                    // Bulk consumer.
+                                    let mut buf = Vec::new();
+                                    while let Ok(_) | Err(PopError::Empty) =
+                                        q.pop_wait_all(&mut buf, 64, Duration::from_millis(50))
+                                    {
+                                        got.append(&mut buf);
+                                    }
+                                } else {
+                                    // Scalar consumer.
+                                    while let Ok(v) = q.pop() {
+                                        got.push(v);
+                                    }
+                                }
+                                got
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                    q.close();
+                    let per_consumer: Vec<Vec<(usize, usize)>> =
+                        consumers.into_iter().map(|c| c.join().unwrap()).collect();
+                    // Per-producer FIFO within each consumer's observation.
+                    for got in &per_consumer {
+                        let mut last: HashMap<usize, usize> = HashMap::new();
+                        for &(p, i) in got {
+                            if let Some(prev) = last.get(&p) {
+                                prop_assert!(i > *prev, "producer {}: {} after {}", p, i, prev);
+                            }
+                            last.insert(p, i);
+                        }
+                    }
+                    // Conservation: nothing lost, nothing duplicated.
+                    let mut all: Vec<(usize, usize)> = per_consumer.into_iter().flatten().collect();
+                    all.sort_unstable();
+                    let expected: Vec<(usize, usize)> = (0..producers)
+                        .flat_map(|p| (0..per_producer).map(move |i| (p, i)))
+                        .collect();
+                    prop_assert_eq!(&all, &expected);
+                    // Stats totals identical to what scalar ops would record.
+                    let stats = q.stats();
+                    prop_assert_eq!(stats.pushed, (producers * per_producer) as u64);
+                    prop_assert_eq!(stats.popped, (producers * per_producer) as u64);
+                }
+
+                #[test]
+                fn drain_plus_pops_account_for_everything(
+                    pushes in 0usize..100,
+                    pops in 0usize..100,
+                ) {
+                    let q: $Q<usize> = $Q::new("prop", 128);
+                    for i in 0..pushes {
+                        q.push(i).unwrap();
+                    }
+                    let mut popped = 0;
+                    for _ in 0..pops.min(pushes) {
+                        if q.try_pop().is_ok() {
+                            popped += 1;
+                        }
+                    }
+                    let drained = q.drain().len();
+                    prop_assert_eq!(popped + drained, pushes);
+                    prop_assert!(q.is_empty());
+                }
+            }
+        }
+    };
+}
+
+core_suite!(ring_core, BoundedQueue);
+core_suite!(mutex_core, MutexBoundedQueue);
+
+/// One step of the differential script. Every variant is non-blocking
+/// in single-threaded use, so the script runs to completion on both
+/// cores deterministically.
+#[derive(Debug, Clone)]
+enum Op {
+    TryPush(u32),
+    TryPop,
+    PushMany(u8),
+    TryPopAll,
+    PopWaitAll(u8),
+    Len,
+    Close,
+    Drain,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored prop_oneof is unweighted, so pushes/pops repeat to
+    // bias the script toward traffic over rare structural ops.
+    prop_oneof![
+        any::<u32>().prop_map(Op::TryPush),
+        any::<u32>().prop_map(Op::TryPush),
+        any::<u32>().prop_map(Op::TryPush),
+        Just(Op::TryPop),
+        Just(Op::TryPop),
+        (1u8..20).prop_map(Op::PushMany),
+        (1u8..20).prop_map(Op::PushMany),
+        Just(Op::TryPopAll),
+        (1u8..20).prop_map(Op::PopWaitAll),
+        Just(Op::Len),
+        Just(Op::Close),
+        Just(Op::Drain),
+    ]
+}
+
+/// Applies `ops` to a queue of the given core and returns the full
+/// observable trace, one rendered entry per op (results, popped values,
+/// handed-back remainders), terminated by the robust stats fields.
+///
+/// `pop_waits` is deliberately excluded from the trace: the mutex core
+/// counts a pop that finds the queue empty *and closed* as a wait
+/// episode before noticing the close, while the ring core answers
+/// `Closed` from the fast path without ever parking. That divergence is
+/// an accounting artifact of "how often did we park", not an observable
+/// queue semantic, so the oracle does not pin it.
+macro_rules! run_script {
+    ($Q:ident, $ops:expr) => {{
+        let q: $Q<u32> = $Q::new("diff", 5);
+        let mut trace: Vec<String> = Vec::new();
+        let mut seq = 0u32;
+        for op in $ops {
+            match op {
+                Op::TryPush(v) => trace.push(format!("try_push: {:?}", q.try_push(*v))),
+                Op::TryPop => trace.push(format!("try_pop: {:?}", q.try_pop())),
+                Op::PushMany(n) => {
+                    // push_many blocks when the burst exceeds the free
+                    // space, which would deadlock a single-threaded
+                    // script — clamp to what fits while the queue is
+                    // open. Once closed, any size returns immediately
+                    // with the remainder handed back, so the close
+                    // semantics still get exercised unclamped.
+                    let n = if q.is_closed() {
+                        usize::from(*n)
+                    } else {
+                        usize::from(*n).min(q.capacity() - q.len())
+                    };
+                    let base = seq;
+                    seq += n as u32;
+                    trace.push(format!("push_many({n}): {:?}", q.push_many(base..seq)));
+                }
+                Op::TryPopAll => {
+                    let mut buf = Vec::new();
+                    let r = q.try_pop_all(&mut buf);
+                    trace.push(format!("try_pop_all: {:?} {:?}", r, buf));
+                }
+                Op::PopWaitAll(max) => {
+                    let mut buf = Vec::new();
+                    let r = q.pop_wait_all(&mut buf, usize::from(*max), Duration::ZERO);
+                    trace.push(format!("pop_wait_all: {:?} {:?}", r, buf));
+                }
+                Op::Len => trace.push(format!("len: {} empty: {}", q.len(), q.is_empty())),
+                Op::Close => {
+                    q.close();
+                    trace.push(format!("close: closed={}", q.is_closed()));
+                }
+                Op::Drain => trace.push(format!("drain: {:?}", q.drain())),
+            }
+        }
+        let s = q.stats();
+        trace.push(format!(
+            "stats: pushed={} popped={} push_waits={} depth={} hw={} cap={}",
+            s.pushed, s.popped, s.push_waits, s.depth, s.high_watermark, s.capacity
+        ));
+        trace
+    }};
+}
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
+    /// Differential oracle: the ring core and the mutex core produce an
+    /// identical observable trace for any single-threaded op script —
+    /// same results, same values in the same order, same remainders on
+    /// close, same robust stats.
     #[test]
-    fn conservation_and_per_producer_fifo(
-        producers in 1usize..5,
-        per_producer in 1usize..200,
-        capacity in 1usize..64,
+    fn scripted_trace_identical_across_cores(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
     ) {
-        let q: BoundedQueue<(usize, usize)> = BoundedQueue::new("prop", capacity);
-        let handles: Vec<_> = (0..producers)
-            .map(|p| {
-                let q = q.clone();
-                thread::spawn(move || {
-                    for i in 0..per_producer {
-                        q.push((p, i)).unwrap();
-                    }
-                })
-            })
-            .collect();
-        let consumer = {
-            let q = q.clone();
-            thread::spawn(move || {
-                let mut got = Vec::new();
-                while let Ok(v) = q.pop() {
-                    got.push(v);
-                }
-                got
-            })
-        };
-        for h in handles {
-            h.join().unwrap();
-        }
-        q.close();
-        let got = consumer.join().unwrap();
-        // Conservation.
-        prop_assert_eq!(got.len(), producers * per_producer);
-        // Per-producer FIFO.
-        let mut next: HashMap<usize, usize> = HashMap::new();
-        for (p, i) in got {
-            let expected = next.entry(p).or_insert(0);
-            prop_assert_eq!(i, *expected, "producer {}'s items in order", p);
-            *expected += 1;
-        }
-    }
-
-    /// Bulk ops are observationally equivalent to scalar ops: with a mix
-    /// of `push`/`push_many` producers and `pop`/`pop_wait_all` consumers
-    /// the queue still loses nothing, duplicates nothing, keeps
-    /// per-producer FIFO order (each consumer's observed subsequence per
-    /// producer is strictly in order), and the `QueueStats` totals equal
-    /// the item count exactly as with scalar ops.
-    #[test]
-    fn bulk_ops_equivalent_to_scalar(
-        producers in 1usize..5,
-        per_producer in 1usize..150,
-        capacity in 1usize..64,
-        chunk in 1usize..17,
-    ) {
-        use std::time::Duration;
-        use smr_queue::PopError;
-
-        let q: BoundedQueue<(usize, usize)> = BoundedQueue::new("prop-bulk", capacity);
-        let handles: Vec<_> = (0..producers)
-            .map(|p| {
-                let q = q.clone();
-                thread::spawn(move || {
-                    if p % 2 == 0 {
-                        // Bulk producer: bursts of `chunk` requests.
-                        let mut i = 0;
-                        while i < per_producer {
-                            let end = (i + chunk).min(per_producer);
-                            q.push_many((i..end).map(|j| (p, j))).unwrap();
-                            i = end;
-                        }
-                    } else {
-                        // Scalar producer.
-                        for i in 0..per_producer {
-                            q.push((p, i)).unwrap();
-                        }
-                    }
-                })
-            })
-            .collect();
-        let consumers: Vec<_> = (0..2)
-            .map(|c| {
-                let q = q.clone();
-                thread::spawn(move || {
-                    let mut got = Vec::new();
-                    if c == 0 {
-                        // Bulk consumer.
-                        let mut buf = Vec::new();
-                        while let Ok(_) | Err(PopError::Empty) =
-                            q.pop_wait_all(&mut buf, 64, Duration::from_millis(50))
-                        {
-                            got.append(&mut buf);
-                        }
-                    } else {
-                        // Scalar consumer.
-                        while let Ok(v) = q.pop() {
-                            got.push(v);
-                        }
-                    }
-                    got
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
-        q.close();
-        let per_consumer: Vec<Vec<(usize, usize)>> =
-            consumers.into_iter().map(|c| c.join().unwrap()).collect();
-        // Per-producer FIFO within each consumer's observation.
-        for got in &per_consumer {
-            let mut last: HashMap<usize, usize> = HashMap::new();
-            for &(p, i) in got {
-                if let Some(prev) = last.get(&p) {
-                    prop_assert!(i > *prev, "producer {}: {} after {}", p, i, prev);
-                }
-                last.insert(p, i);
-            }
-        }
-        // Conservation: nothing lost, nothing duplicated.
-        let mut all: Vec<(usize, usize)> = per_consumer.into_iter().flatten().collect();
-        all.sort_unstable();
-        let expected: Vec<(usize, usize)> = (0..producers)
-            .flat_map(|p| (0..per_producer).map(move |i| (p, i)))
-            .collect();
-        prop_assert_eq!(&all, &expected);
-        // Stats totals identical to what scalar ops would record.
-        let stats = q.stats();
-        prop_assert_eq!(stats.pushed, (producers * per_producer) as u64);
-        prop_assert_eq!(stats.popped, (producers * per_producer) as u64);
-    }
-
-    #[test]
-    fn drain_plus_pops_account_for_everything(
-        pushes in 0usize..100,
-        pops in 0usize..100,
-    ) {
-        let q: BoundedQueue<usize> = BoundedQueue::new("prop", 128);
-        for i in 0..pushes {
-            q.push(i).unwrap();
-        }
-        let mut popped = 0;
-        for _ in 0..pops.min(pushes) {
-            if q.try_pop().is_ok() {
-                popped += 1;
-            }
-        }
-        let drained = q.drain().len();
-        prop_assert_eq!(popped + drained, pushes);
-        prop_assert!(q.is_empty());
+        let ring = run_script!(BoundedQueue, ops.iter());
+        let mutex = run_script!(MutexBoundedQueue, ops.iter());
+        prop_assert_eq!(&ring, &mutex, "ring vs mutex trace diverged");
     }
 }

@@ -288,6 +288,36 @@ fn main() {
     let stall_ratio = stall_par / stall_seq;
     println!("exec stall parallel/sequential{:>12.2} x", stall_ratio);
 
+    // Client-path connection scaling over real TCP loopback: the
+    // threaded mode scans every owned connection per wakeup, the evented
+    // mode pays one epoll_wait. The headline ratio holds the evented
+    // mode at 4x the threaded idle-connection count — the acceptance
+    // shape for the readiness-loop ClientIO ("evented sustains >= 4x the
+    // connections at equal-or-better throughput, same run, same host").
+    let cio_cell = |idle| smr_bench::ClientIoCell {
+        pool: 2,
+        idle_conns: idle,
+        reply_capacity: 4096,
+        active_clients: 4,
+        window: Duration::from_millis(1500),
+    };
+    let cio = |mode, idle| smr_bench::clientio_tcp_run(mode, cio_cell(idle));
+    let thr_idle128 = cio(smr_bench::IoMode::Threaded, 128);
+    println!("clientio tcp threaded 128idle {:>12.0} req/s", thr_idle128);
+    let thr_idle512 = cio(smr_bench::IoMode::Threaded, 512);
+    println!("clientio tcp threaded 512idle {:>12.0} req/s", thr_idle512);
+    let ev_idle128 = cio(smr_bench::IoMode::Evented, 128);
+    println!("clientio tcp evented  128idle {:>12.0} req/s", ev_idle128);
+    let ev_idle512 = cio(smr_bench::IoMode::Evented, 512);
+    println!("clientio tcp evented  512idle {:>12.0} req/s", ev_idle512);
+    let ev4x_over_thr = ev_idle512 / thr_idle128;
+    println!("clientio evented@512/threaded@128 {:>8.2} x", ev4x_over_thr);
+    let ev_over_thr_512 = ev_idle512 / thr_idle512;
+    println!(
+        "clientio evented/threaded @512    {:>8.2} x",
+        ev_over_thr_512
+    );
+
     // Durability path: snapshot serialization/deserialization over a
     // populated KV state, and cold-start WAL recovery (open + CRC scan +
     // replay), the crash-recovery critical path.
@@ -361,10 +391,16 @@ fn main() {
     field("exec_stall_sequential_cmds_per_s", stall_seq);
     field("exec_stall_parallel8_cmds_per_s", stall_par);
     field("exec_stall_parallel_over_sequential", stall_ratio);
+    field("clientio_tcp_threaded_idle128_rps", thr_idle128);
+    field("clientio_tcp_threaded_idle512_rps", thr_idle512);
+    field("clientio_tcp_evented_idle128_rps", ev_idle128);
+    field("clientio_tcp_evented_idle512_rps", ev_idle512);
+    field("clientio_evented512_over_threaded128", ev4x_over_thr);
+    field("clientio_evented_over_threaded_at512", ev_over_thr_512);
     field("snapshot_write_10k_entries_per_s", snap_write);
     field("snapshot_restore_10k_entries_per_s", snap_restore);
     field("recovery_replay_wal_reqs_per_s", replay);
-    json.push_str("  \"workload\": \"4x4 MPMC, burst 64, batch 8x128B, crc 4KiB, 8 closed-loop clients x 2s, exec 2000 cmds x 2000 hash rounds + 512 cmds x 150us stall, snapshot 10k entries x 20, replay 4000 wal batches x 8\"\n}\n");
+    json.push_str("  \"workload\": \"4x4 MPMC, burst 64, batch 8x128B, crc 4KiB, 8 closed-loop clients x 2s, clientio tcp n=1 pool=2 4 clients x 1.5s at 128/512 idle conns, exec 2000 cmds x 2000 hash rounds + 512 cmds x 150us stall, snapshot 10k entries x 20, replay 4000 wal batches x 8\"\n}\n");
     std::fs::write(&out_path, json).expect("write snapshot");
     println!("wrote {out_path}");
 }

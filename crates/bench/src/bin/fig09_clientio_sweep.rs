@@ -1,17 +1,33 @@
-//! Figure 9: throughput and leader CPU as a function of the number of
-//! ClientIO threads (parapluie, 24 cores, n=3).
+//! Figure 9: the ClientIO axis — first the paper's simulated curve
+//! (throughput and leader CPU vs number of ClientIO threads on
+//! parapluie), then a *real* sweep of this repo's client path over TCP:
+//! I/O mode (thread-pool scanning vs evented readiness loop) × pool
+//! size × idle-connection count × reply-queue capacity.
 //!
 //! Paper reference points: ~40K requests/s with one ClientIO thread,
 //! \>100K with four (a 2.5x gain from three added threads), then a slight
 //! degradation beyond ~8 threads, down to ~80K at 24 — caused not by JVM
 //! lock contention (blocked time stays under 10%) but by the pre-2.6.35
-//! kernel's socket structures bouncing between cores (Boyd-Wickizer et al., ref. \[14\]). Leader CPU
-//! peaks ~550% at 4 threads and mirrors the throughput curve.
+//! kernel's socket structures bouncing between cores (Boyd-Wickizer et
+//! al., ref. \[14\]). Leader CPU peaks ~550% at 4 threads and mirrors the
+//! throughput curve.
+//!
+//! The real sweep extends the axis the paper could not vary: connection
+//! count. The threaded mode scans every owned connection per wakeup
+//! (O(connections) per iteration); the evented mode pays one
+//! `epoll_wait` (O(ready)). Pass `--quick` for a small smoke
+//! configuration.
 
+use std::time::Duration;
+
+use smr_bench::{clientio_tcp_run, ClientIoCell, IoMode};
 use smr_sim_jpaxos::{run_experiment, ExperimentConfig};
 
 fn main() {
-    let cio_axis: Vec<usize> = if std::env::args().any(|a| a == "--quick") {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // Part 1: the paper's simulated ClientIO-thread curve.
+    let cio_axis: Vec<usize> = if quick {
         vec![1, 4, 8, 24]
     } else {
         vec![1, 2, 3, 4, 6, 8, 12, 16, 20, 24]
@@ -41,6 +57,65 @@ fn main() {
                 "req/s(x1000)",
                 "leaderCPU%",
                 "leaderBlocked%"
+            ],
+            &rows
+        )
+    );
+
+    // Part 2: the real TCP sweep over this repo's client path.
+    let (pools, conns, caps, window): (Vec<usize>, Vec<usize>, Vec<usize>, Duration) = if quick {
+        (
+            vec![1, 2],
+            vec![0, 256],
+            vec![4096],
+            Duration::from_millis(400),
+        )
+    } else {
+        (
+            vec![1, 2, 4],
+            vec![0, 64, 256, 1024],
+            vec![1024, 4096],
+            Duration::from_secs(1),
+        )
+    };
+    smr_bench::banner(
+        "ClientIO connection scaling (this host, n=1, TCP loopback)",
+        "mode x pool x idle connections x reply-queue capacity, 4 closed-loop clients",
+    );
+    let mut rows = Vec::new();
+    for &pool in &pools {
+        for &cap in &caps {
+            for &idle in &conns {
+                let cell = ClientIoCell {
+                    pool,
+                    idle_conns: idle,
+                    reply_capacity: cap,
+                    active_clients: 4,
+                    window,
+                };
+                let thr = clientio_tcp_run(IoMode::Threaded, cell);
+                let ev = clientio_tcp_run(IoMode::Evented, cell);
+                rows.push(vec![
+                    pool.to_string(),
+                    cap.to_string(),
+                    idle.to_string(),
+                    smr_bench::fmt(thr, 0),
+                    smr_bench::fmt(ev, 0),
+                    smr_bench::fmt(ev / thr, 2),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        smr_bench::render_table(
+            &[
+                "pool",
+                "reply-cap",
+                "idle conns",
+                "threaded req/s",
+                "evented req/s",
+                "evented/threaded"
             ],
             &rows
         )

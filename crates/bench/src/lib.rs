@@ -14,9 +14,11 @@ use std::time::Duration;
 
 use smr_queue::{BoundedQueue, MutexBoundedQueue, PopError};
 
+mod clientio;
 mod exec;
 mod recovery;
 
+pub use clientio::{clientio_tcp_run, ClientIoCell, IoMode};
 pub use exec::{exec_parallel, exec_sequential, CpuHashService};
 pub use recovery::{recovery_replay, snapshot_restore, snapshot_write};
 

@@ -79,7 +79,7 @@ pub use exec::ParallelExecutor;
 pub use reply_cache::{
     CacheOutcome, CoarseReplyCache, ExecuteOutcome, ReplyCache, ShardedReplyCache,
 };
-pub use runtime::{Replica, ReplicaBuilder};
+pub use runtime::{EventedIoOptions, Replica, ReplicaBuilder};
 pub use service::{
     ConcurrentKvService, ConflictAwareService, KvService, LockService, NullService,
     RecoverableService, SequencerService, Service, ServiceState, SharedSnapshotService,

@@ -28,6 +28,9 @@ pub(crate) fn run_acceptor(ctx: &Ctx, listener: Box<dyn ClientListener>) {
                 if ctx.intake_qs[next].push(conn).is_err() {
                     break;
                 }
+                // No-op in threaded mode; wakes an evented pool thread
+                // out of epoll_wait to adopt the connection.
+                ctx.io_wakers[next].ring();
                 next = (next + 1) % k;
             }
             Ok(None) => {}
@@ -166,22 +169,42 @@ fn deliver_reply(
     }
 }
 
-/// Processes one inbound frame; returns false if the connection should be
-/// dropped.
-fn handle_frame(ctx: &Ctx, index: usize, state: &mut ConnState, frame: &[u8]) -> bool {
+/// What a ClientIO loop must do with one inbound frame, as decided by
+/// [`classify_frame`]. The threaded and evented paths share the
+/// classification (decode, reply-cache probe, leader check, client
+/// binding, RequestQueue push) and differ only in how they write
+/// responses and park backpressured requests.
+pub(crate) enum FrameAction {
+    /// Write this pre-encoded frame (cache-hit reply or leader redirect)
+    /// back to the client.
+    Respond(Vec<u8>),
+    /// Nothing further: stale duplicate ignored or request accepted into
+    /// the RequestQueue.
+    Continue,
+    /// The RequestQueue is full (§V-E): hold the stamped request and stop
+    /// reading this connection until it fits.
+    Park((Request, u64)),
+    /// Drop the connection (undecodable frame, non-request message, or
+    /// closed RequestQueue).
+    Drop,
+}
+
+/// Processes one inbound frame up to (and including) the RequestQueue
+/// push, stamping intake for the stage-latency breakdown.
+pub(crate) fn classify_frame(ctx: &Ctx, index: usize, conn_id: u64, frame: &[u8]) -> FrameAction {
     let msg = match ClientMsg::decode(frame) {
         Ok(m) => m,
-        Err(_) => return false, // garbage: drop the connection
+        Err(_) => return FrameAction::Drop, // garbage: drop the connection
     };
     let ClientMsg::Request(request) = msg else {
-        return false; // clients only send requests
+        return FrameAction::Drop; // clients only send requests
     };
     match ctx.cache.lookup(request.id) {
         CacheOutcome::Hit(reply) => {
             let frame = ClientMsg::Reply(Reply::new(request.id, reply)).encode_to_vec();
-            return state.conn.send(frame).is_ok();
+            return FrameAction::Respond(frame);
         }
-        CacheOutcome::Stale => return true, // outdated duplicate: ignore
+        CacheOutcome::Stale => return FrameAction::Continue, // outdated duplicate
         CacheOutcome::Miss => {}
     }
     if !ctx.shared.is_leader() {
@@ -190,18 +213,28 @@ fn handle_frame(ctx: &Ctx, index: usize, state: &mut ConnState, frame: &[u8]) ->
         let leader = ctx.shared.leader();
         let hint = if leader == ctx.me { None } else { Some(leader) };
         let frame = ClientMsg::Redirect { leader: hint }.encode_to_vec();
-        return state.conn.send(frame).is_ok();
+        return FrameAction::Respond(frame);
     }
     // Remember how to route the reply back (§V-D hand-over).
-    ctx.shared
-        .bind_client(request.id.client, index, state.conn.id());
+    ctx.shared.bind_client(request.id.client, index, conn_id);
     let stamp = ctx.stage.stamp(&ctx.shared);
     match ctx.request_q.try_push((request, stamp)) {
-        Ok(()) => true,
-        Err(PushError::Full(pending)) => {
+        Ok(()) => FrameAction::Continue,
+        Err(PushError::Full(pending)) => FrameAction::Park(pending),
+        Err(PushError::Closed(_)) => FrameAction::Drop,
+    }
+}
+
+/// Processes one inbound frame; returns false if the connection should be
+/// dropped.
+fn handle_frame(ctx: &Ctx, index: usize, state: &mut ConnState, frame: &[u8]) -> bool {
+    match classify_frame(ctx, index, state.conn.id(), frame) {
+        FrameAction::Respond(f) => state.conn.send(f).is_ok(),
+        FrameAction::Continue => true,
+        FrameAction::Park(pending) => {
             state.pending = Some(pending);
             true
         }
-        Err(PushError::Closed(_)) => false,
+        FrameAction::Drop => false,
     }
 }

@@ -2,6 +2,7 @@
 
 mod client_io;
 mod core_threads;
+mod evented;
 mod replica_io;
 mod service_manager;
 mod stage;
@@ -34,7 +35,18 @@ use crate::service::{
 };
 use crate::shared::SharedState;
 
+pub use evented::EventedIoOptions;
+pub(crate) use evented::IoWaker;
 pub(crate) use service_manager::SnapshotRig;
+
+/// Which ClientIO implementation the builder spawns.
+enum ClientIoMode {
+    /// Thread-per-connection-scan pool (the paper's §V-A; default).
+    Threaded,
+    /// Readiness loop: `pool` threads, each owning an epoll instance and
+    /// a connection slab (see [`evented`]).
+    Evented { pool: usize, opts: EventedIoOptions },
+}
 
 /// How the ServiceManager executes decided commands.
 enum ServiceMode {
@@ -159,6 +171,9 @@ pub(crate) struct Ctx {
     pub reply_qs: Vec<BoundedQueue<(u64, Reply)>>,
     /// Indexed by ClientIO thread: newly accepted connections.
     pub intake_qs: Vec<BoundedQueue<Box<dyn ClientConn>>>,
+    /// Indexed by ClientIO thread: rings the thread out of `epoll_wait`
+    /// when replies or connections land. No-ops in threaded mode.
+    pub io_wakers: Vec<IoWaker>,
     pub network: Arc<dyn ReplicaNetwork>,
     pub timers: TimerQueue<RetransmitEntry>,
     pub retransmits: Mutex<HashMap<RetransmitKey, CancelHandle>>,
@@ -216,6 +231,7 @@ pub struct ReplicaBuilder {
     stage_metrics: bool,
     metrics_dump: Option<(PathBuf, Duration)>,
     queue_sampler: Option<Duration>,
+    client_io_mode: ClientIoMode,
 }
 
 impl ReplicaBuilder {
@@ -235,6 +251,7 @@ impl ReplicaBuilder {
             stage_metrics: true,
             metrics_dump: None,
             queue_sampler: None,
+            client_io_mode: ClientIoMode::Threaded,
         }
     }
 
@@ -329,6 +346,23 @@ impl ReplicaBuilder {
     /// Sets the client listener (required).
     pub fn with_client_listener(mut self, listener: Box<dyn ClientListener>) -> Self {
         self.listener = Some(listener);
+        self
+    }
+
+    /// Replaces the thread-per-connection-scan ClientIO pool with the
+    /// evented path: `pool` readiness-loop threads, each owning an epoll
+    /// instance and a slab of connections, with per-connection reply
+    /// coalescing and slow-reader backpressure (see [`EventedIoOptions`]).
+    /// `pool` overrides [`ClusterConfig::client_io_threads`] and is
+    /// clamped to at least 1. The protocol pipeline is unaffected; on
+    /// platforms without epoll the pool degrades to the threaded loop.
+    ///
+    /// [`ClusterConfig::client_io_threads`]: smr_types::ClusterConfig::client_io_threads
+    pub fn with_evented_client_io(mut self, pool: usize, opts: EventedIoOptions) -> Self {
+        self.client_io_mode = ClientIoMode::Evented {
+            pool: pool.max(1),
+            opts,
+        };
         self
     }
 
@@ -484,7 +518,14 @@ impl ReplicaBuilder {
         let config = self.config;
         let me = self.me;
         let n = config.n();
-        let k = config.client_io_threads();
+        let evented_opts = match &self.client_io_mode {
+            ClientIoMode::Threaded => None,
+            ClientIoMode::Evented { opts, .. } => Some(opts.clone()),
+        };
+        let k = match &self.client_io_mode {
+            ClientIoMode::Threaded => config.client_io_threads(),
+            ClientIoMode::Evented { pool, .. } => *pool,
+        };
         let stage = StageMetrics::new(&metrics, self.stage_metrics);
         // A named counter rather than a free-floating one, so the
         // metrics export picks it up with everything else.
@@ -505,11 +546,14 @@ impl ReplicaBuilder {
                 .map(|p| BoundedQueue::new(format!("SendQueue-{p}"), config.send_queue_capacity()))
                 .collect(),
             reply_qs: (0..k)
-                .map(|i| BoundedQueue::new(format!("ReplyQueue-{i}"), 4096))
+                .map(|i| {
+                    BoundedQueue::new(format!("ReplyQueue-{i}"), config.reply_queue_capacity())
+                })
                 .collect(),
             intake_qs: (0..k)
                 .map(|i| BoundedQueue::new(format!("ConnIntake-{i}"), 1024))
                 .collect(),
+            io_wakers: (0..k).map(|_| IoWaker::empty()).collect(),
             network,
             timers: TimerQueue::new(),
             retransmits: Mutex::new(HashMap::new()),
@@ -551,19 +595,30 @@ impl ReplicaBuilder {
                 .expect("spawn replica thread")
         };
 
-        // ClientIO pool + acceptor (§V-A).
+        // ClientIO pool + acceptor (§V-A) — threaded or evented per the
+        // builder; the rest of the pipeline is identical either way.
         for i in 0..k {
             let ctx2 = Arc::clone(&ctx);
             threads.push(spawn(
                 format!("ClientIO-{i}"),
-                Box::new(move || client_io::run_client_io(&ctx2, i)),
+                match &evented_opts {
+                    Some(opts) => {
+                        let opts = opts.clone();
+                        Box::new(move || evented::run_evented_client_io(&ctx2, i, &opts))
+                    }
+                    None => Box::new(move || client_io::run_client_io(&ctx2, i)),
+                },
             ));
         }
         {
             let ctx2 = Arc::clone(&ctx);
             threads.push(spawn(
                 "ClientAcceptor".into(),
-                Box::new(move || client_io::run_acceptor(&ctx2, listener)),
+                if evented_opts.is_some() {
+                    Box::new(move || evented::run_evented_acceptor(&ctx2, listener))
+                } else {
+                    Box::new(move || client_io::run_acceptor(&ctx2, listener))
+                },
             ));
         }
         // ReplicaIO: one sender + one receiver per peer (§V-B).
@@ -885,6 +940,11 @@ impl Replica {
         }
         self.ctx.timers.close();
         self.ctx.network.shutdown();
+        // Kick evented ClientIO threads out of epoll_wait so they
+        // observe the flag now rather than at their next timeout.
+        for w in &self.ctx.io_wakers {
+            w.ring();
+        }
         for t in threads {
             let _ = t.join();
         }

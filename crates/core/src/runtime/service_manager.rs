@@ -495,12 +495,18 @@ fn route_replies(
         outboxes[cio].push((conn, Reply::new(id, payload)));
     }
     for (cio, outbox) in outboxes.iter_mut().enumerate() {
-        if !outbox.is_empty()
-            && ctx.reply_qs[cio]
+        if !outbox.is_empty() {
+            // Ring before a potentially blocking push: if the queue is
+            // full, the drain this push waits for needs the evented
+            // thread out of epoll_wait. (No-op in threaded mode.)
+            ctx.io_wakers[cio].ring();
+            if ctx.reply_qs[cio]
                 .push_many_with(outbox.drain(..), handle)
                 .is_err()
-        {
-            return false;
+            {
+                return false;
+            }
+            ctx.io_wakers[cio].ring();
         }
     }
     true

@@ -304,6 +304,21 @@ impl ClientConn for MemoryServerConn {
     fn id(&self) -> u64 {
         self.id
     }
+
+    fn try_send(
+        &mut self,
+        frame: Vec<u8>,
+        _max_buffered: usize,
+    ) -> Result<Option<Vec<u8>>, NetError> {
+        // The bounded queue is the outbound buffer: `Full` is the
+        // slow-reader signal (a blocking `send` here would stall the
+        // whole evented loop on one unread client).
+        match self.outgoing.try_push(frame) {
+            Ok(()) => Ok(None),
+            Err(PushError::Full(frame)) => Ok(Some(frame)),
+            Err(PushError::Closed(_)) => Err(NetError::Closed),
+        }
+    }
 }
 
 /// Listener handing out the server halves of client connections.

@@ -11,10 +11,13 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bytes::BytesMut;
 use parking_lot::{Condvar, Mutex};
 
 use smr_types::ReplicaId;
@@ -64,6 +67,8 @@ struct TcpNetInner {
     peers: Vec<SocketAddr>,
     slots: HashMap<u16, PeerSlot>,
     shutdown: AtomicBool,
+    /// Encoded once at bind so reconnect attempts don't allocate.
+    handshake: Vec<u8>,
 }
 
 /// TCP implementation of [`ReplicaNetwork`].
@@ -103,6 +108,7 @@ impl TcpReplicaNetwork {
             peers,
             slots,
             shutdown: AtomicBool::new(false),
+            handshake: handshake_frame(me),
         });
         let acceptor = {
             let inner = Arc::clone(&inner);
@@ -118,7 +124,52 @@ impl TcpReplicaNetwork {
     }
 }
 
+/// Parks a nonblocking listener on epoll readiness. Returns `None` when
+/// epoll is unavailable (non-Linux), in which case callers sleep-poll.
+struct AcceptParker {
+    poll: mio::Poll,
+    events: mio::Events,
+}
+
+impl AcceptParker {
+    #[cfg(unix)]
+    fn new(listener: &TcpListener) -> Option<AcceptParker> {
+        if !mio::SUPPORTED {
+            return None;
+        }
+        let poll = mio::Poll::new().ok()?;
+        let fd = listener.as_raw_fd();
+        poll.registry()
+            .register(
+                &mut mio::unix::SourceFd(&fd),
+                mio::Token(0),
+                mio::Interest::READABLE,
+            )
+            .ok()?;
+        Some(AcceptParker {
+            poll,
+            events: mio::Events::with_capacity(4),
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn new(_listener: &TcpListener) -> Option<AcceptParker> {
+        None
+    }
+
+    /// Blocks until the listener is readable or `timeout` elapses. The
+    /// registration is edge-triggered, so callers must accept to
+    /// `WouldBlock` before parking again.
+    fn park(&mut self, timeout: Duration) {
+        let _ = self.poll.poll(&mut self.events, Some(timeout));
+    }
+}
+
 fn accept_loop(inner: &TcpNetInner, listener: TcpListener) {
+    // Bounded park so the shutdown flag is still observed promptly even
+    // though nothing rings an eventfd for it.
+    const PARK_INTERVAL: Duration = Duration::from_millis(100);
+    let mut parker = AcceptParker::new(&listener);
     while !inner.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((mut stream, _addr)) => {
@@ -150,9 +201,10 @@ fn accept_loop(inner: &TcpNetInner, listener: TcpListener) {
                     }
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => match parker.as_mut() {
+                Some(p) => p.park(PARK_INTERVAL),
+                None => std::thread::sleep(POLL_INTERVAL),
+            },
             Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
     }
@@ -172,7 +224,7 @@ impl ReplicaNetwork for TcpReplicaNetwork {
             {
                 Ok(mut stream) => {
                     stream.set_nodelay(true).ok();
-                    if stream.write_all(&handshake_frame(inner.me)).is_ok() {
+                    if stream.write_all(&inner.handshake).is_ok() {
                         *outgoing = Some(stream);
                     }
                 }
@@ -240,13 +292,43 @@ impl ReplicaNetwork for TcpReplicaNetwork {
 
 static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
 
-/// Server side of a TCP client connection (non-blocking reads).
+/// Server side of a TCP client connection (non-blocking reads, buffered
+/// coalesced writes).
 #[derive(Debug)]
 pub struct TcpServerConn {
     id: u64,
     stream: TcpStream,
     decoder: FrameDecoder,
+    /// Framed bytes queued for the client but not yet written. Filled by
+    /// `try_send` (one append per reply), drained by `flush_out` (one
+    /// write burst per batch) — that asymmetry is the reply coalescing.
+    out: BytesMut,
     closed: bool,
+}
+
+impl TcpServerConn {
+    /// Writes as much of `out` as the socket accepts right now.
+    /// `Ok(true)` = drained, `Ok(false)` = `WouldBlock` with a backlog.
+    fn flush_pending(&mut self) -> Result<bool, NetError> {
+        while !self.out.is_empty() {
+            match self.stream.write(&self.out) {
+                Ok(0) => {
+                    self.closed = true;
+                    return Err(NetError::Io("write returned 0".into()));
+                }
+                Ok(n) => {
+                    let _ = self.out.split_to(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.closed = true;
+                    return Err(NetError::Io(e.to_string()));
+                }
+            }
+        }
+        Ok(true)
+    }
 }
 
 impl ClientConn for TcpServerConn {
@@ -254,59 +336,97 @@ impl ClientConn for TcpServerConn {
         if self.closed {
             return Err(NetError::Closed);
         }
-        if let Some(frame) = self
-            .decoder
-            .next_frame()
-            .map_err(|e| NetError::BadFrame(e.to_string()))?
-        {
-            return Ok(Some(frame));
-        }
+        // Loop until a complete frame or a read that proves the kernel
+        // buffer is drained (`WouldBlock`). Returning `None` on a partial
+        // frame while bytes remain buffered would wedge an edge-triggered
+        // caller: no new readable edge fires for bytes already received.
         let mut buf = [0u8; 16 * 1024];
-        match self.stream.read(&mut buf) {
-            Ok(0) => {
-                self.closed = true;
-                Err(NetError::Closed)
+        loop {
+            if let Some(frame) = self
+                .decoder
+                .next_frame()
+                .map_err(|e| NetError::BadFrame(e.to_string()))?
+            {
+                return Ok(Some(frame));
             }
-            Ok(n) => {
-                self.decoder.extend(&buf[..n]);
-                self.decoder
-                    .next_frame()
-                    .map_err(|e| NetError::BadFrame(e.to_string()))
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
-            Err(e) => {
-                self.closed = true;
-                Err(NetError::Io(e.to_string()))
-            }
-        }
-    }
-
-    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
-        let wire = Frame::encode_to_vec(&frame);
-        let mut written = 0;
-        // The socket is non-blocking (shared mode with reads); spin
-        // briefly on WouldBlock. Replies are small, so this is rare.
-        let start = Instant::now();
-        while written < wire.len() {
-            match self.stream.write(&wire[written..]) {
-                Ok(n) => written += n,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if start.elapsed() > Duration::from_secs(5) {
-                        return Err(NetError::Io("send stalled".into()));
-                    }
-                    std::thread::sleep(Duration::from_micros(200));
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.closed = true;
+                    return Err(NetError::Closed);
                 }
+                Ok(n) => self.decoder.extend(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => {
                     self.closed = true;
                     return Err(NetError::Io(e.to_string()));
                 }
             }
         }
-        Ok(())
+    }
+
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        if self.closed {
+            return Err(NetError::Closed);
+        }
+        Frame::encode(&frame, &mut self.out);
+        // The socket is non-blocking (shared mode with reads); spin
+        // briefly on WouldBlock. Replies are small, so this is rare.
+        let start = Instant::now();
+        loop {
+            if self.flush_pending()? {
+                return Ok(());
+            }
+            if start.elapsed() > Duration::from_secs(5) {
+                return Err(NetError::Io("send stalled".into()));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
     }
 
     fn id(&self) -> u64 {
         self.id
+    }
+
+    fn raw_fd(&self) -> Option<i32> {
+        #[cfg(unix)]
+        {
+            Some(self.stream.as_raw_fd())
+        }
+        #[cfg(not(unix))]
+        {
+            None
+        }
+    }
+
+    fn try_send(
+        &mut self,
+        frame: Vec<u8>,
+        max_buffered: usize,
+    ) -> Result<Option<Vec<u8>>, NetError> {
+        if self.closed {
+            return Err(NetError::Closed);
+        }
+        if self.out.len() >= max_buffered {
+            // One opportunistic flush before declaring the reader slow.
+            self.flush_pending()?;
+            if self.out.len() >= max_buffered {
+                return Ok(Some(frame));
+            }
+        }
+        Frame::encode(&frame, &mut self.out);
+        Ok(None)
+    }
+
+    fn flush_out(&mut self) -> Result<bool, NetError> {
+        if self.closed {
+            return Err(NetError::Closed);
+        }
+        self.flush_pending()
+    }
+
+    fn has_backlog(&self) -> bool {
+        !self.out.is_empty()
     }
 }
 
@@ -362,6 +482,7 @@ impl ClientListener for TcpClientListener {
                         id: NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed),
                         stream,
                         decoder: FrameDecoder::new(),
+                        out: BytesMut::new(),
                         closed: false,
                     })));
                 }
@@ -373,6 +494,17 @@ impl ClientListener for TcpClientListener {
                 }
                 Err(e) => return Err(NetError::Io(e.to_string())),
             }
+        }
+    }
+
+    fn raw_fd(&self) -> Option<i32> {
+        #[cfg(unix)]
+        {
+            Some(self.listener.as_raw_fd())
+        }
+        #[cfg(not(unix))]
+        {
+            None
         }
     }
 }

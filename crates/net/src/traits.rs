@@ -50,6 +50,51 @@ pub trait ClientConn: Send + 'static {
 
     /// Stable identifier for logs.
     fn id(&self) -> u64;
+
+    /// Raw file descriptor for readiness registration, when the transport
+    /// is backed by one (TCP). `None` means the connection must be polled
+    /// (in-memory transport) — the evented loop scans such connections on
+    /// its tick instead of registering them with epoll.
+    fn raw_fd(&self) -> Option<i32> {
+        None
+    }
+
+    /// Queues one frame into the connection's outbound buffer without
+    /// blocking. Returns `Ok(Some(frame))` — handing the frame back —
+    /// when more than `max_buffered` bytes are already queued (slow
+    /// reader); the caller decides whether to stash it or drop the
+    /// connection. The default forwards to the blocking
+    /// [`ClientConn::send`], which is correct for transports without an
+    /// outbound buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] when the client disconnected.
+    fn try_send(
+        &mut self,
+        frame: Vec<u8>,
+        max_buffered: usize,
+    ) -> Result<Option<Vec<u8>>, NetError> {
+        let _ = max_buffered;
+        self.send(frame).map(|()| None)
+    }
+
+    /// Flushes buffered outbound bytes without blocking. `Ok(true)` means
+    /// the buffer drained completely; `Ok(false)` means the socket went
+    /// `WouldBlock` and the caller should re-arm writable interest.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] / [`NetError::Io`] when the connection broke.
+    fn flush_out(&mut self) -> Result<bool, NetError> {
+        Ok(true)
+    }
+
+    /// Whether outbound bytes remain buffered (i.e. the last
+    /// [`ClientConn::flush_out`] returned `Ok(false)`).
+    fn has_backlog(&self) -> bool {
+        false
+    }
 }
 
 /// Accepts incoming client connections (driven by the acceptor thread,
@@ -61,6 +106,21 @@ pub trait ClientListener: Send + 'static {
     ///
     /// [`NetError::Closed`] after shutdown.
     fn accept_timeout(&self, timeout: Duration) -> Result<Option<Box<dyn ClientConn>>, NetError>;
+
+    /// Raw file descriptor of the listening socket, when there is one, so
+    /// an evented acceptor can park on readiness instead of sleep-polling.
+    fn raw_fd(&self) -> Option<i32> {
+        None
+    }
+
+    /// Accepts one pending connection without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] after shutdown.
+    fn try_accept(&self) -> Result<Option<Box<dyn ClientConn>>, NetError> {
+        self.accept_timeout(Duration::ZERO)
+    }
 }
 
 /// Client side of a connection to one replica.

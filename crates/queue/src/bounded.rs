@@ -278,7 +278,13 @@ impl<T> Ring<T> {
         let mut spins = 0u32;
         while self.enqueue_tail.0.load(Ordering::Acquire) < end {
             spins += 1;
-            if spins > 64 {
+            if spins > 256 {
+                // The publisher has been preempted mid-publish; on an
+                // oversubscribed host a herd of yielders can starve it
+                // of a quantum for a long time. Sleeping hands the core
+                // over outright.
+                std::thread::sleep(Duration::from_micros(50));
+            } else if spins > 64 {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -302,7 +308,12 @@ impl<T> Ring<T> {
         let mut spins = 0u32;
         while tail.load(Ordering::Acquire) != first {
             spins += 1;
-            if spins > 64 {
+            if spins > 256 {
+                // Same escalation as `await_published`: the earlier
+                // claimant holding the frontier is preempted, so burn no
+                // more quanta yelling at it.
+                std::thread::sleep(Duration::from_micros(50));
+            } else if spins > 64 {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();

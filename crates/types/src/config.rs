@@ -130,6 +130,7 @@ pub struct ClusterConfig {
     dispatcher_queue_capacity: usize,
     decision_queue_capacity: usize,
     send_queue_capacity: usize,
+    reply_queue_capacity: usize,
     heartbeat_interval: Duration,
     suspect_timeout: Duration,
     reply_cache_shards: usize,
@@ -163,6 +164,7 @@ impl ClusterConfig {
                 dispatcher_queue_capacity: 4096,
                 decision_queue_capacity: 1024,
                 send_queue_capacity: 4096,
+                reply_queue_capacity: 4096,
                 heartbeat_interval: Duration::from_millis(100),
                 suspect_timeout: Duration::from_millis(500),
                 reply_cache_shards: 16,
@@ -229,6 +231,12 @@ impl ClusterConfig {
     /// Capacity of each ReplicaIOSnd queue.
     pub fn send_queue_capacity(&self) -> usize {
         self.send_queue_capacity
+    }
+
+    /// Capacity of each per-ClientIO-thread ReplyQueue (ServiceManager →
+    /// ClientIO; the third axis of the Fig. 9-style reply-path sweep).
+    pub fn reply_queue_capacity(&self) -> usize {
+        self.reply_queue_capacity
     }
 
     /// Leader heartbeat period for the failure detector.
@@ -329,6 +337,12 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Sets the per-ClientIO-thread reply queue capacity.
+    pub fn reply_queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.reply_queue_capacity = capacity;
+        self
+    }
+
     /// Sets the heartbeat interval.
     pub fn heartbeat_interval(mut self, interval: Duration) -> Self {
         self.config.heartbeat_interval = interval;
@@ -374,6 +388,7 @@ impl ClusterConfigBuilder {
             ("dispatcher_queue_capacity", c.dispatcher_queue_capacity),
             ("decision_queue_capacity", c.decision_queue_capacity),
             ("send_queue_capacity", c.send_queue_capacity),
+            ("reply_queue_capacity", c.reply_queue_capacity),
         ] {
             if cap == 0 {
                 return Err(ConfigError::invalid(format!("{name} must be > 0")));
@@ -429,6 +444,20 @@ mod tests {
     #[test]
     fn builder_rejects_zero_window() {
         assert!(ClusterConfig::builder(3).window(0).build().is_err());
+    }
+
+    #[test]
+    fn reply_queue_capacity_round_trips_and_validates() {
+        let c = ClusterConfig::builder(3)
+            .reply_queue_capacity(128)
+            .build()
+            .unwrap();
+        assert_eq!(c.reply_queue_capacity(), 128);
+        assert_eq!(ClusterConfig::new(3).reply_queue_capacity(), 4096);
+        assert!(ClusterConfig::builder(3)
+            .reply_queue_capacity(0)
+            .build()
+            .is_err());
     }
 
     #[test]
